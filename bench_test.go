@@ -1,0 +1,242 @@
+package tdtcp
+
+// Benchmark harness: one benchmark per evaluation figure of the paper (see
+// DESIGN.md §4 for the index), each regenerating that figure's series and
+// reporting its key metric, plus microbenchmarks for the mechanisms the
+// paper's §4 performance claims rest on (wire codec, per-TDN state switch).
+//
+// Figure benches run the Quick configuration (2 warmup + 3 measured optical
+// weeks) per iteration so `go test -bench=.` completes in seconds; run
+// cmd/tdsim for full-scale reproductions.
+
+import (
+	"testing"
+
+	"github.com/rdcn-net/tdtcp/internal/core"
+	"github.com/rdcn-net/tdtcp/internal/experiments"
+	"github.com/rdcn-net/tdtcp/internal/packet"
+	"github.com/rdcn-net/tdtcp/internal/sim"
+	"github.com/rdcn-net/tdtcp/internal/tcp"
+)
+
+func benchFigure(b *testing.B, id string, metric func(*Figure) (string, float64)) {
+	b.Helper()
+	var last *Figure
+	for i := 0; i < b.N; i++ {
+		fig, err := Figures[id](FigureOptions{Quick: true, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = fig
+	}
+	if last != nil && metric != nil {
+		name, v := metric(last)
+		b.ReportMetric(v, name)
+	}
+}
+
+func goodputOf(fig *Figure, label string) float64 {
+	for _, r := range fig.Summary {
+		if r.Label == label {
+			return r.GoodputGbps
+		}
+	}
+	return 0
+}
+
+// BenchmarkFig2SequenceGraph regenerates Figure 2 (CUBIC and MPTCP vs the
+// optimal/packet-only references on the hybrid RDCN).
+func BenchmarkFig2SequenceGraph(b *testing.B) {
+	benchFigure(b, "fig2", func(f *Figure) (string, float64) {
+		return "cubic_gbps", goodputOf(f, "cubic")
+	})
+}
+
+// BenchmarkFig7aThroughput regenerates Figure 7a (all variants, bandwidth +
+// latency difference).
+func BenchmarkFig7aThroughput(b *testing.B) {
+	benchFigure(b, "fig7", func(f *Figure) (string, float64) {
+		return "tdtcp_gbps", goodputOf(f, "tdtcp")
+	})
+}
+
+// BenchmarkFig7bVOQ regenerates Figure 7b (ToR VOQ occupancy) and reports
+// TDTCP's mean occupancy — the paper's "lowest of all variants" claim.
+func BenchmarkFig7bVOQ(b *testing.B) {
+	benchFigure(b, "fig7", func(f *Figure) (string, float64) {
+		for _, s := range f.VOQ {
+			if s.Label == "tdtcp" {
+				return "tdtcp_voq_mean", s.Mean()
+			}
+		}
+		return "tdtcp_voq_mean", 0
+	})
+}
+
+// BenchmarkFig8aThroughput regenerates Figure 8a (bandwidth difference only).
+func BenchmarkFig8aThroughput(b *testing.B) {
+	benchFigure(b, "fig8", func(f *Figure) (string, float64) {
+		return "cubic_gbps", goodputOf(f, "cubic")
+	})
+}
+
+// BenchmarkFig8bVOQ regenerates Figure 8b's VOQ series.
+func BenchmarkFig8bVOQ(b *testing.B) {
+	benchFigure(b, "fig8", func(f *Figure) (string, float64) {
+		for _, s := range f.VOQ {
+			if s.Label == "tdtcp" {
+				return "tdtcp_voq_mean", s.Mean()
+			}
+		}
+		return "tdtcp_voq_mean", 0
+	})
+}
+
+// BenchmarkFig9LatencyOnly regenerates Figure 9 (latency difference only at
+// 100 Gbps; TDTCP and CUBIC should be nearly identical).
+func BenchmarkFig9LatencyOnly(b *testing.B) {
+	benchFigure(b, "fig9", func(f *Figure) (string, float64) {
+		return "tdtcp_over_cubic", goodputOf(f, "tdtcp") / goodputOf(f, "cubic")
+	})
+}
+
+// BenchmarkFig10Reordering regenerates Figure 10 (per-optical-day reordering
+// and retransmission CDFs).
+func BenchmarkFig10Reordering(b *testing.B) {
+	benchFigure(b, "fig10", func(f *Figure) (string, float64) {
+		for _, r := range f.Summary {
+			if r.Label == "tdtcp" {
+				return "tdtcp_events_p90", r.Extra["events_p90"]
+			}
+		}
+		return "tdtcp_events_p90", 0
+	})
+}
+
+// BenchmarkFig11Notification regenerates Figure 11 (notification
+// optimizations on vs off).
+func BenchmarkFig11Notification(b *testing.B) {
+	benchFigure(b, "fig11", func(f *Figure) (string, float64) {
+		return "optimized_gain", goodputOf(f, "optimized")/goodputOf(f, "unoptimized") - 1
+	})
+}
+
+// BenchmarkFig13VOQHybrid regenerates appendix Figure 13.
+func BenchmarkFig13VOQHybrid(b *testing.B) {
+	benchFigure(b, "fig13", func(f *Figure) (string, float64) {
+		return "cubic_voq_mean", f.Summary[0].Extra["voq_mean"]
+	})
+}
+
+// BenchmarkFig14VOQLatencyOnly regenerates appendix Figure 14.
+func BenchmarkFig14VOQLatencyOnly(b *testing.B) {
+	benchFigure(b, "fig14", nil)
+}
+
+// BenchmarkHeadlineThroughput regenerates the abstract's headline comparison
+// and reports the TDTCP:CUBIC ratio (paper: 1.24).
+func BenchmarkHeadlineThroughput(b *testing.B) {
+	benchFigure(b, "headline", func(f *Figure) (string, float64) {
+		return "tdtcp_over_cubic", goodputOf(f, "tdtcp") / goodputOf(f, "cubic")
+	})
+}
+
+// BenchmarkAblation regenerates the TDTCP mechanism ablation.
+func BenchmarkAblation(b *testing.B) {
+	benchFigure(b, "ablation", func(f *Figure) (string, float64) {
+		return "filter_gain", goodputOf(f, "full")/goodputOf(f, "no-reorder-filter") - 1
+	})
+}
+
+// --- microbenchmarks -------------------------------------------------------
+
+// BenchmarkSegmentSerialize measures the Fig. 5 wire encoder (§4's 100-Gbps
+// claim needs sub-µs per-packet costs).
+func BenchmarkSegmentSerialize(b *testing.B) {
+	s := &packet.Segment{
+		Src: 1, Dst: 2, TTL: 64, Proto: packet.ProtoTCP,
+		TCP: packet.TCPHeader{
+			Flags: packet.FlagACK | packet.FlagPSH, PayloadLen: 8960,
+			TDPresent: true, TDFlags: packet.TDFlagData | packet.TDFlagACK, DataTDN: 1,
+		},
+	}
+	buf := make([]byte, 0, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = s.Serialize(buf[:0])
+	}
+}
+
+// BenchmarkSegmentParse measures the reusable-decode path.
+func BenchmarkSegmentParse(b *testing.B) {
+	s := &packet.Segment{
+		Src: 1, Dst: 2, TTL: 64, Proto: packet.ProtoTCP,
+		TCP: packet.TCPHeader{
+			Flags: packet.FlagACK, TDPresent: true, TDFlags: packet.TDFlagACK, AckTDN: 1,
+			SACK: []packet.SACKBlock{{Start: 100, End: 200}, {Start: 300, End: 400}},
+		},
+	}
+	wire := s.Serialize(nil)
+	var dst packet.Segment
+	dst.TCP.SACK = make([]packet.SACKBlock, 0, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := packet.Parse(wire, &dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTDNStateSwitch measures the per-TDN state swap on a notification
+// (§4.3: the paper optimizes this to support µs-scale reconfiguration).
+func BenchmarkTDNStateSwitch(b *testing.B) {
+	loop := sim.NewLoop(1)
+	pol := core.New(2, core.Options{})
+	c := tcp.NewConn(loop, tcp.Config{NumTDNs: 2, Policy: pol}, func(*packet.Segment) {})
+	_ = c
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pol.OnNotify(i%2, 0)
+	}
+}
+
+// BenchmarkEventLoop measures raw simulator event throughput.
+func BenchmarkEventLoop(b *testing.B) {
+	loop := sim.NewLoop(1)
+	b.ReportAllocs()
+	var fn func()
+	n := 0
+	fn = func() {
+		n++
+		if n < b.N {
+			loop.After(1, fn)
+		}
+	}
+	loop.After(1, fn)
+	loop.Run()
+}
+
+// BenchmarkSimulatedSecond measures wall time per simulated optical week of
+// the full 16-flow TDTCP experiment (events, transport, wire codec).
+func BenchmarkSimulatedWeek(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		loop := NewLoop(int64(i + 1))
+		cfg := DefaultNetworkConfig()
+		net, err := NewNetwork(loop, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for f := 0; f < cfg.HostsPerRack; f++ {
+			fl, err := BuildFlow(loop, net, f, TDTCP, FlowOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			fl.Start(-1)
+		}
+		end := Time(cfg.Schedule.Week())
+		net.Start(end)
+		loop.RunUntil(end)
+	}
+}
+
+var _ = experiments.AllVariants // keep the import for documentation links

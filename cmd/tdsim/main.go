@@ -1,0 +1,143 @@
+// Command tdsim reproduces the paper's experiments on the emulated RDCN.
+//
+// Usage:
+//
+//	tdsim -fig fig7                 # reproduce one figure
+//	tdsim -fig all                  # reproduce every figure
+//	tdsim -fig fig10 -csv out/      # also dump plottable CSV series
+//	tdsim -run tdtcp -weeks 20      # single-variant run with counters
+//
+// Figures: fig2 fig7 fig8 fig9 fig10 fig11 fig13 fig14 headline ablation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	tdtcp "github.com/rdcn-net/tdtcp"
+	"github.com/rdcn-net/tdtcp/internal/stats"
+)
+
+func main() {
+	var (
+		figID  = flag.String("fig", "", "figure to reproduce (fig2, fig7, ..., headline, ablation, or 'all')")
+		runVar = flag.String("run", "", "run a single variant (tdtcp, cubic, dctcp, retcp, retcpdyn, mptcp2f) and print counters")
+		flows  = flag.Int("flows", 16, "flows (host pairs)")
+		warmup = flag.Int("warmup", 0, "warmup weeks excluded from measurement (0 = default 3)")
+		weeks  = flag.Int("weeks", 0, "measurement weeks (0 = default 20)")
+		seed   = flag.Int64("seed", 1, "simulation seed")
+		quick  = flag.Bool("quick", false, "shrink runs for a fast smoke pass")
+		csvDir = flag.String("csv", "", "directory to write plottable CSV series into")
+	)
+	flag.Parse()
+
+	switch {
+	case *runVar != "":
+		w, m := *warmup, *weeks
+		if w == 0 {
+			w = 3
+		}
+		if m == 0 {
+			m = 20
+		}
+		if err := runOne(tdtcp.Variant(*runVar), *flows, w, m, *seed); err != nil {
+			fatal(err)
+		}
+	case *figID != "":
+		opts := tdtcp.FigureOptions{Flows: *flows, WarmupWeeks: *warmup, MeasureWeeks: *weeks, Seed: *seed, Quick: *quick}
+		ids := []string{*figID}
+		if *figID == "all" {
+			ids = ids[:0]
+			for id := range tdtcp.Figures {
+				ids = append(ids, id)
+			}
+			sort.Strings(ids)
+		}
+		for _, id := range ids {
+			runner, ok := tdtcp.Figures[id]
+			if !ok {
+				fatal(fmt.Errorf("unknown figure %q", id))
+			}
+			fig, err := runner(opts)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(fig.Render())
+			fmt.Println()
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, fig); err != nil {
+					fatal(err)
+				}
+			}
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(v tdtcp.Variant, flows, warmup, weeks int, seed int64) error {
+	res, err := tdtcp.Run(tdtcp.RunConfig{
+		Variant: v, Flows: flows, WarmupWeeks: warmup, MeasureWeeks: weeks, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("variant        %s\n", res.Variant)
+	fmt.Printf("goodput        %.2f Gbps (optimal %.2f, packet-only %.2f)\n",
+		res.GoodputGbps, res.OptimalGbps, res.PacketOnlyGbps)
+	s := res.Sender
+	fmt.Printf("sender         sent=%d acked=%dB retrans=%d (fast=%d rto=%d tlp=%d)\n",
+		s.SegsSent, s.BytesAcked, s.Retransmits, s.FastRetransmits, s.RTOFires, s.TLPProbes)
+	fmt.Printf("reordering     events=%d pkts=%d lossMarks=%d filtered=%d undos=%d\n",
+		s.ReorderEvents, s.ReorderPackets, s.LossMarks, s.FilteredMarks, s.Undos)
+	fmt.Printf("rtt            samples=%d dropped-mixed=%d\n", s.RTTSamples, s.RTTSamplesDropped)
+	fmt.Printf("receiver       delivered=%dB spurious-rx=%d dsacks=%d\n",
+		res.Receiver.BytesDelivered, res.Receiver.DupSegsRcvd, res.Receiver.DSACKsSent)
+	if res.TDTCPSwitches > 0 {
+		fmt.Printf("tdtcp          state switches=%d\n", res.TDTCPSwitches)
+	}
+	return nil
+}
+
+func writeCSV(dir string, fig *tdtcp.Figure) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	dump := func(kind string, series []*stats.Series) error {
+		for _, s := range series {
+			name := fmt.Sprintf("%s_%s_%s.csv", fig.ID, kind, sanitize(s.Label))
+			if err := os.WriteFile(filepath.Join(dir, name), []byte(s.CSV()), 0o644); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := dump("seq", fig.Seq); err != nil {
+		return err
+	}
+	if err := dump("voq", fig.VOQ); err != nil {
+		return err
+	}
+	return dump("cdf", fig.CDF)
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tdsim:", err)
+	os.Exit(1)
+}

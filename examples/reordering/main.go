@@ -1,0 +1,108 @@
+// reordering: the cross-TDN reordering scenarios of Figures 3 and 12.
+//
+// All cross-TDN reordering happens when the fabric moves from a high-latency
+// TDN to a low-latency one: segments (or their ACKs) launched on the slow
+// path are overtaken by later ones on the fast path. This example constructs
+// that situation directly — two endpoints joined by a wire whose delay is a
+// function of the currently active TDN — and shows how TDTCP's relaxed
+// detection (§3.4) classifies it versus an ablated sender that follows the
+// classic dupACK/SACK heuristics.
+package main
+
+import (
+	"fmt"
+
+	tdtcp "github.com/rdcn-net/tdtcp"
+)
+
+// wire delivers serialized segments after the active TDN's one-way delay.
+type wire struct {
+	loop   *tdtcp.Loop
+	active *int
+	delays []tdtcp.Duration
+	dst    func(*tdtcp.Segment)
+}
+
+func (w *wire) send(s *tdtcp.Segment) {
+	b := s.Serialize(nil)
+	d := w.delays[*w.active]
+	w.loop.After(d, func() {
+		var got tdtcp.Segment
+		if err := tdtcp.ParseSegment(b, &got); err != nil {
+			panic(err)
+		}
+		w.dst(&got)
+	})
+}
+
+func run(relaxed bool) {
+	loop := tdtcp.NewLoop(7)
+	active := 0
+	delays := []tdtcp.Duration{50 * tdtcp.Microsecond, 5 * tdtcp.Microsecond}
+
+	opts := tdtcp.TDTCPOptions{DisableRelaxedReordering: !relaxed}
+	mk := func() tdtcp.ConnConfig {
+		return tdtcp.ConnConfig{
+			NumTDNs: 2,
+			Policy:  tdtcp.NewTDTCPPolicy(2, opts),
+			CC:      tdtcp.NewRenoCC,
+		}
+	}
+	wa := &wire{loop: loop, active: &active, delays: delays}
+	wb := &wire{loop: loop, active: &active, delays: delays}
+	a := tdtcp.NewConn(loop, mk(), wa.send)
+	b := tdtcp.NewConn(loop, mk(), wb.send)
+	a.LocalAddr, a.RemoteAddr, a.LocalPort, a.RemotePort = 1, 2, 1, 2
+	b.LocalAddr, b.RemoteAddr, b.LocalPort, b.RemotePort = 2, 1, 2, 1
+	wa.dst = func(s *tdtcp.Segment) { b.Input(s) }
+	wb.dst = func(s *tdtcp.Segment) { a.Input(s) }
+
+	b.Listen()
+	a.Connect(0)
+	runFor := func(d tdtcp.Duration) { loop.RunUntil(loop.Now().Add(d)) }
+	runFor(2 * tdtcp.Millisecond)
+
+	// Warm both TDN estimators.
+	epoch := uint32(0)
+	switchTDN := func(tdn int) {
+		active = tdn
+		epoch++
+		a.Notify(tdn, epoch)
+		b.Notify(tdn, epoch)
+	}
+	for i := 0; i < 8; i++ {
+		a.QueueBytes(6 * 8960)
+		runFor(400 * tdtcp.Microsecond)
+		switchTDN(1 - active)
+	}
+	switchTDN(0)
+	runFor(1 * tdtcp.Millisecond)
+
+	// Figure 3(a): a batch launched on the slow TDN...
+	a.QueueBytes(6 * 8960)
+	runFor(10 * tdtcp.Microsecond)
+	// ...the fabric switches to the fast TDN and a second batch overtakes.
+	switchTDN(1)
+	a.QueueBytes(6 * 8960)
+	runFor(3 * tdtcp.Millisecond)
+
+	mode := "classic heuristics (filter disabled)"
+	if relaxed {
+		mode = "TDTCP relaxed detection (§3.4)"
+	}
+	fmt.Printf("%s:\n", mode)
+	fmt.Printf("  reordering events seen:  %d\n", a.Stats.ReorderEvents)
+	fmt.Printf("  loss candidates filtered: %d\n", a.Stats.FilteredMarks)
+	fmt.Printf("  segments retransmitted:  %d\n", a.Stats.Retransmits)
+	fmt.Printf("  spurious copies at rcvr: %d (ground truth)\n", b.Stats.DupSegsRcvd)
+	fmt.Printf("  bytes delivered in order: %d\n\n", b.Stats.BytesDelivered)
+}
+
+func main() {
+	fmt.Println("cross-TDN data reordering (Fig. 3a): slow-TDN batch overtaken after a switch")
+	fmt.Println()
+	run(true)
+	run(false)
+	fmt.Println("Both senders deliver everything, but only the relaxed detector avoids")
+	fmt.Println("retransmitting segments whose ACKs were merely delayed on the slow TDN.")
+}

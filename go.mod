@@ -1,0 +1,3 @@
+module github.com/rdcn-net/tdtcp
+
+go 1.24

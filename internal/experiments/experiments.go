@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/rdcn-net/tdtcp/internal/core"
+	"github.com/rdcn-net/tdtcp/internal/rdcn"
+	"github.com/rdcn-net/tdtcp/internal/sim"
+	"github.com/rdcn-net/tdtcp/internal/stats"
+	"github.com/rdcn-net/tdtcp/internal/tcp"
+	"github.com/rdcn-net/tdtcp/internal/workload"
+)
+
+// Scenario selects the network conditions of an experiment (§5.2's three
+// settings).
+type Scenario struct {
+	Name     string
+	TDNs     []rdcn.TDNParams
+	Schedule *rdcn.Schedule
+	VOQCap   int
+}
+
+// Hybrid is the paper's main setting: TDN 0 = 10 Gbps / ~100 µs RTT packet
+// network, TDN 1 = 100 Gbps / ~40 µs RTT optical network (Figs. 2, 7, 10,
+// 11, 13).
+func Hybrid() Scenario {
+	return Scenario{
+		Name: "hybrid",
+		TDNs: []rdcn.TDNParams{
+			{Rate: 10 * sim.Gbps, Delay: 49 * sim.Microsecond},
+			{Rate: 100 * sim.Gbps, Delay: 19 * sim.Microsecond},
+		},
+		Schedule: rdcn.HybridWeek(6, 180*sim.Microsecond, 20*sim.Microsecond),
+		VOQCap:   16,
+	}
+}
+
+// BandwidthOnly keeps both TDNs at the same latency and varies only the
+// rate (Fig. 8).
+func BandwidthOnly() Scenario {
+	s := Hybrid()
+	s.Name = "bw-only"
+	s.TDNs[1].Delay = s.TDNs[0].Delay
+	return s
+}
+
+// LatencyOnly fixes the rate on both TDNs and varies only the latency:
+// packet RTT 20 µs, optical RTT 10 µs (Figs. 9 and 14).
+func LatencyOnly(rate sim.Rate) Scenario {
+	s := Hybrid()
+	s.Name = fmt.Sprintf("lat-only-%s", rate)
+	s.TDNs[0] = rdcn.TDNParams{Rate: rate, Delay: 9 * sim.Microsecond}
+	s.TDNs[1] = rdcn.TDNParams{Rate: rate, Delay: 4 * sim.Microsecond}
+	return s
+}
+
+// RunConfig fully specifies one experiment run.
+type RunConfig struct {
+	Variant  Variant
+	Scenario Scenario
+	// Flows is the number of host pairs (default 16, §5.1).
+	Flows int
+	// WarmupWeeks are excluded from measurement (default 3); MeasureWeeks
+	// is the measurement window (default 10).
+	WarmupWeeks, MeasureWeeks int
+	Seed                      int64
+	// Notify is the TDN-change notification profile (default optimized).
+	Notify *rdcn.NotifyProfile
+	// SampleEvery is the series sampling cadence (default 5 µs).
+	SampleEvery sim.Duration
+	// MarkThresh is the ECN marking threshold; defaults to 5 packets when
+	// the variant is DCTCP, otherwise 0.
+	MarkThresh int
+	Flow       FlowOptions
+}
+
+func (cfg *RunConfig) fillDefaults() {
+	if cfg.Flows == 0 {
+		cfg.Flows = 16
+	}
+	if cfg.WarmupWeeks == 0 {
+		cfg.WarmupWeeks = 3
+	}
+	if cfg.MeasureWeeks == 0 {
+		cfg.MeasureWeeks = 10
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.SampleEvery == 0 {
+		cfg.SampleEvery = 5 * sim.Microsecond
+	}
+	if cfg.MarkThresh == 0 && cfg.Variant == DCTCP {
+		cfg.MarkThresh = 5
+	}
+	if cfg.Scenario.Name == "" {
+		cfg.Scenario = Hybrid()
+	}
+}
+
+// Result carries everything a figure needs from one run.
+type Result struct {
+	Variant Variant
+	Cfg     RunConfig
+
+	// Seq is the aggregate delivered-bytes series over the measurement
+	// window, normalized to its start (the paper's sequence graphs).
+	Seq *stats.Series
+	// VOQ is rack 0's uplink occupancy in packets over the same window.
+	VOQ *stats.Series
+	// Optimal and PacketOnly are the §2.2 analytic references on the same
+	// window (aggregate bytes).
+	Optimal, PacketOnly *stats.Series
+
+	GoodputGbps    float64
+	OptimalGbps    float64
+	PacketOnlyGbps float64
+
+	// Per-optical-day distributions (Fig. 10): deltas between consecutive
+	// optical-day starts during measurement.
+	ReorderEventsPerDay *stats.CDF
+	RetransPerDay       *stats.CDF
+
+	// Aggregated endpoint counters over the whole run.
+	Sender, Receiver tcp.Stats
+	TDTCPSwitches    uint64
+}
+
+// Run executes one experiment and returns its measurements.
+func Run(cfg RunConfig) (*Result, error) {
+	cfg.fillDefaults()
+	loop := sim.NewLoop(cfg.Seed)
+
+	ncfg := rdcn.DefaultConfig()
+	ncfg.HostsPerRack = cfg.Flows
+	ncfg.TDNs = cfg.Scenario.TDNs
+	ncfg.Schedule = cfg.Scenario.Schedule
+	ncfg.VOQCap = cfg.Scenario.VOQCap
+	ncfg.MarkThresh = cfg.MarkThresh
+	if cfg.Notify != nil {
+		ncfg.Notify = *cfg.Notify
+	}
+	if cfg.Variant == ReTCPDyn {
+		ncfg.PreChange = &rdcn.PreChange{TDN: 1, Lead: 150 * sim.Microsecond, Cap: 50}
+	}
+	net, err := rdcn.New(loop, ncfg)
+	if err != nil {
+		return nil, err
+	}
+
+	flows := make([]*Flow, cfg.Flows)
+	for i := range flows {
+		f, err := BuildFlow(loop, net, i, cfg.Variant, cfg.Flow)
+		if err != nil {
+			return nil, err
+		}
+		flows[i] = f
+	}
+
+	week := cfg.Scenario.Schedule.Week()
+	measureStart := sim.Time(sim.Duration(cfg.WarmupWeeks) * week)
+	end := measureStart.Add(sim.Duration(cfg.MeasureWeeks) * week)
+	net.Start(end)
+
+	delivered := func() float64 {
+		var sum int64
+		for _, f := range flows {
+			sum += f.Delivered()
+		}
+		return float64(sum)
+	}
+	voqLen := func() float64 { return float64(net.Racks[0].QueueLen()) }
+
+	// Per-optical-day buckets over [measureStart, end).
+	var evBuckets, rtBuckets stats.Buckets
+	net.OnTransition = func(tdn int) {
+		if tdn != 1 || loop.Now() < measureStart || loop.Now() > end {
+			return
+		}
+		var ev, rt float64
+		for _, f := range flows {
+			st := f.SenderStats()
+			ev += float64(st.ReorderEvents)
+			rt += float64(st.LossMarks)
+		}
+		evBuckets.Close(ev)
+		rtBuckets.Close(rt)
+	}
+
+	for _, f := range flows {
+		f.Start(-1)
+	}
+
+	loop.RunUntil(measureStart)
+	baseline := delivered()
+	seq := stats.NewSampler(loop, string(cfg.Variant), cfg.SampleEvery, end,
+		func() float64 { return delivered() - baseline })
+	voq := stats.NewSampler(loop, string(cfg.Variant), cfg.SampleEvery, end, voqLen)
+	loop.RunUntil(end)
+
+	measureDur := end.Sub(measureStart)
+	res := &Result{
+		Variant:     cfg.Variant,
+		Cfg:         cfg,
+		Seq:         seq.Series.Normalize(),
+		VOQ:         voq.Series, // occupancy needs no normalization
+		GoodputGbps: stats.ThroughputGbps(int64(delivered()-baseline), measureDur),
+		Optimal: workload.OptimalSeries(cfg.Scenario.Schedule, cfg.Scenario.TDNs,
+			measureStart, end, cfg.SampleEvery).Normalize(),
+		PacketOnly: workload.PacketOnlySeries(cfg.Scenario.TDNs[0].Rate,
+			measureStart, end, cfg.SampleEvery).Normalize(),
+		OptimalGbps:         workload.OptimalGbps(cfg.Scenario.Schedule, cfg.Scenario.TDNs),
+		PacketOnlyGbps:      float64(cfg.Scenario.TDNs[0].Rate) / 1e9,
+		ReorderEventsPerDay: evBuckets.CDF(),
+		RetransPerDay:       rtBuckets.CDF(),
+	}
+	for _, f := range flows {
+		s, r := f.SenderStats(), f.ReceiverStats()
+		addStats(&res.Sender, &s)
+		addStats(&res.Receiver, &r)
+		if f.Snd != nil {
+			if p, ok := f.Snd.Config().Policy.(*core.TDTCP); ok {
+				res.TDTCPSwitches += p.Stats().Switches
+			}
+		}
+	}
+	// The VOQ series gets its label from the variant but its own axis: fix
+	// labels for clarity.
+	res.Seq.Label = string(cfg.Variant)
+	res.VOQ.Label = string(cfg.Variant)
+	return res, nil
+}

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/rdcn-net/tdtcp/internal/core"
+	"github.com/rdcn-net/tdtcp/internal/rdcn"
+	"github.com/rdcn-net/tdtcp/internal/sim"
+)
+
+// TestPaperOrdering is the repository's core integration assertion: with the
+// default configuration, the goodput ordering of the paper's Fig. 7 legend
+// must hold, along with the abstract's headline ratios (loosely bounded).
+func TestPaperOrdering(t *testing.T) {
+	goodput := map[Variant]float64{}
+	for _, v := range AllVariants {
+		res, err := Run(RunConfig{Variant: v, WarmupWeeks: 3, MeasureWeeks: 10})
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		goodput[v] = res.GoodputGbps
+		if res.GoodputGbps < res.PacketOnlyGbps*0.8 {
+			t.Errorf("%s below 80%% of packet-only: %.2f", v, res.GoodputGbps)
+		}
+	}
+	td := goodput[TDTCP]
+	if td <= goodput[Cubic] || td <= goodput[DCTCP] {
+		t.Errorf("tdtcp (%.2f) must beat cubic (%.2f) and dctcp (%.2f)",
+			td, goodput[Cubic], goodput[DCTCP])
+	}
+	if ratio := td / goodput[Cubic]; ratio < 1.10 || ratio > 1.60 {
+		t.Errorf("tdtcp/cubic = %.2f, expected in [1.10, 1.60] (paper 1.24)", ratio)
+	}
+	if ratio := td / goodput[MPTCP]; ratio < 1.15 {
+		t.Errorf("tdtcp/mptcp = %.2f, expected > 1.15 (paper 1.41)", ratio)
+	}
+	if parity := td / goodput[ReTCPDyn]; parity < 0.85 || parity > 1.20 {
+		t.Errorf("tdtcp/retcpdyn = %.2f, expected near parity", parity)
+	}
+	if goodput[MPTCP] >= goodput[Cubic] {
+		t.Errorf("mptcp (%.2f) must trail cubic (%.2f)", goodput[MPTCP], goodput[Cubic])
+	}
+}
+
+func TestScenarios(t *testing.T) {
+	h := Hybrid()
+	if h.TDNs[0].Rate != 10*sim.Gbps || h.TDNs[1].Rate != 100*sim.Gbps {
+		t.Fatalf("hybrid rates: %+v", h.TDNs)
+	}
+	bw := BandwidthOnly()
+	if bw.TDNs[0].Delay != bw.TDNs[1].Delay {
+		t.Fatal("bandwidth-only must equalize delays")
+	}
+	lat := LatencyOnly(100 * sim.Gbps)
+	if lat.TDNs[0].Rate != lat.TDNs[1].Rate {
+		t.Fatal("latency-only must equalize rates")
+	}
+	if lat.TDNs[0].Delay <= lat.TDNs[1].Delay {
+		t.Fatal("latency-only packet TDN must be slower")
+	}
+}
+
+func TestRunResultShape(t *testing.T) {
+	res, err := Run(RunConfig{Variant: TDTCP, WarmupWeeks: 1, MeasureWeeks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seq.Len() == 0 || res.VOQ.Len() == 0 || res.Optimal.Len() == 0 {
+		t.Fatal("missing series")
+	}
+	if res.Seq.T[0] != 0 || res.Seq.V[0] != 0 {
+		t.Fatal("seq series not normalized")
+	}
+	if res.TDTCPSwitches == 0 {
+		t.Fatal("tdtcp switches not counted")
+	}
+	// Two switches per flow per week (into and out of the optical day).
+	want := uint64(16 * 2 * 3) // 3 weeks total (warmup+measure), 16 flows
+	if res.TDTCPSwitches > want {
+		t.Fatalf("switches = %d, want <= %d", res.TDTCPSwitches, want)
+	}
+	if res.Sender.SegsSent == 0 || res.Receiver.BytesDelivered == 0 {
+		t.Fatal("stats not aggregated")
+	}
+}
+
+func TestHeterogeneousCCAs(t *testing.T) {
+	res, err := Run(RunConfig{
+		Variant: TDTCP, WarmupWeeks: 1, MeasureWeeks: 3,
+		Flow: FlowOptions{PerTDNCC: []string{"cubic", "dctcp"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GoodputGbps < res.PacketOnlyGbps*0.8 {
+		t.Fatalf("heterogeneous TDTCP collapsed: %.2f", res.GoodputGbps)
+	}
+	if _, err := Run(RunConfig{
+		Variant: TDTCP, WarmupWeeks: 1, MeasureWeeks: 1,
+		Flow: FlowOptions{PerTDNCC: []string{"nope"}},
+	}); err == nil {
+		t.Fatal("unknown per-TDN CC accepted")
+	}
+}
+
+func TestTDTCPAblationOrdering(t *testing.T) {
+	full, err := Run(RunConfig{Variant: TDTCP, WarmupWeeks: 2, MeasureWeeks: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	abl, err := Run(RunConfig{
+		Variant: TDTCP, WarmupWeeks: 2, MeasureWeeks: 6,
+		Flow: FlowOptions{TDTCPOpts: core.Options{DisableRelaxedReordering: true}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Sender.FilteredMarks == 0 {
+		t.Fatal("full TDTCP never exercised the reordering filter")
+	}
+	if abl.Sender.FilteredMarks != 0 {
+		t.Fatal("ablated TDTCP still filtered")
+	}
+}
+
+func TestNotificationProfilesOrdered(t *testing.T) {
+	opt, err := Run(RunConfig{Variant: TDTCP, WarmupWeeks: 2, MeasureWeeks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unopt := rdcn.UnoptimizedNotify()
+	u, err := Run(RunConfig{Variant: TDTCP, WarmupWeeks: 2, MeasureWeeks: 8, Notify: &unopt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.GoodputGbps >= opt.GoodputGbps {
+		t.Fatalf("unoptimized notify (%.2f) not worse than optimized (%.2f)",
+			u.GoodputGbps, opt.GoodputGbps)
+	}
+}
+
+func TestFigureRunnersQuick(t *testing.T) {
+	for id, run := range Figures {
+		fig, err := run(Options{Quick: true})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if fig.ID != id {
+			t.Errorf("%s: fig.ID = %q", id, fig.ID)
+		}
+		out := fig.Render()
+		if !strings.Contains(out, id) {
+			t.Errorf("%s: render missing id", id)
+		}
+		if len(fig.Summary) == 0 {
+			t.Errorf("%s: empty summary", id)
+		}
+	}
+}
+
+func TestBuildFlowValidation(t *testing.T) {
+	loop := sim.NewLoop(1)
+	cfg := rdcn.DefaultConfig()
+	cfg.HostsPerRack = 2
+	net, err := rdcn.New(loop, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildFlow(loop, net, 5, Cubic, FlowOptions{}); err == nil {
+		t.Fatal("out-of-range host accepted")
+	}
+	f, err := BuildFlow(loop, net, 1, MPTCP, FlowOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.MSnd == nil || len(f.MSnd.Subflows()) != 2 {
+		t.Fatal("mptcp flow not built with 2 subflows")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	r1, err := Run(RunConfig{Variant: TDTCP, WarmupWeeks: 1, MeasureWeeks: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(RunConfig{Variant: TDTCP, WarmupWeeks: 1, MeasureWeeks: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.GoodputGbps != r2.GoodputGbps || r1.Sender.SegsSent != r2.Sender.SegsSent {
+		t.Fatalf("runs with identical seed diverge: %.6f/%d vs %.6f/%d",
+			r1.GoodputGbps, r1.Sender.SegsSent, r2.GoodputGbps, r2.Sender.SegsSent)
+	}
+	r3, err := Run(RunConfig{Variant: TDTCP, WarmupWeeks: 1, MeasureWeeks: 2, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Sender.SegsSent == r1.Sender.SegsSent && r3.GoodputGbps == r1.GoodputGbps {
+		t.Log("different seeds produced identical results (suspicious but not fatal)")
+	}
+}

@@ -1,0 +1,19 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSmokeAllVariants(t *testing.T) {
+	for _, v := range []Variant{Cubic, DCTCP, TDTCP, ReTCP, ReTCPDyn, MPTCP} {
+		res, err := Run(RunConfig{Variant: v, WarmupWeeks: 3, MeasureWeeks: 10})
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		fmt.Printf("%-10s goodput=%6.2f Gbps optimal=%.2f pktonly=%.2f retrans=%d rto=%d reord=%d dup=%d filt=%d switches=%d\n",
+			v, res.GoodputGbps, res.OptimalGbps, res.PacketOnlyGbps,
+			res.Sender.Retransmits, res.Sender.RTOFires, res.Sender.ReorderEvents,
+			res.Receiver.DupSegsRcvd, res.Sender.FilteredMarks, res.TDTCPSwitches)
+	}
+}

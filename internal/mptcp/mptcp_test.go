@@ -1,0 +1,261 @@
+package mptcp
+
+import (
+	"testing"
+
+	"github.com/rdcn-net/tdtcp/internal/packet"
+	"github.com/rdcn-net/tdtcp/internal/sim"
+	"github.com/rdcn-net/tdtcp/internal/tcp"
+)
+
+// pinnedWire models a path pinned to one TDN: frames sent (in either
+// direction) while the TDN is inactive are held at the ToR and released when
+// the TDN next activates — exactly the stranding that stalls MPTCP in §2.2.
+type pinnedWire struct {
+	loop   *sim.Loop
+	tdn    int
+	delay  sim.Duration
+	active *int // pointer to the fabric's active TDN
+	held   [][]byte
+	dst    func(*packet.Segment)
+}
+
+func (w *pinnedWire) send(s *packet.Segment) {
+	b := s.Serialize(nil)
+	if *w.active != w.tdn {
+		w.held = append(w.held, b)
+		return
+	}
+	w.deliver(b)
+}
+
+func (w *pinnedWire) deliver(b []byte) {
+	w.loop.After(w.delay, func() {
+		var got packet.Segment
+		if err := packet.Parse(b, &got); err != nil {
+			panic(err)
+		}
+		w.dst(&got)
+	})
+}
+
+// release flushes held frames when the TDN activates.
+func (w *pinnedWire) release() {
+	for _, b := range w.held {
+		w.deliver(b)
+	}
+	w.held = nil
+}
+
+type env struct {
+	t      *testing.T
+	loop   *sim.Loop
+	active int
+	epoch  uint32
+	snd    *Conn
+	rcv    *Conn
+	wires  []*pinnedWire // 0,1: snd->rcv per TDN; 2,3: rcv->snd per TDN
+}
+
+func newEnv(t *testing.T, cfg Config) *env {
+	e := &env{t: t, loop: sim.NewLoop(5)}
+	delays := []sim.Duration{50 * sim.Microsecond, 5 * sim.Microsecond}
+	mk := func(tdn int) *pinnedWire {
+		return &pinnedWire{loop: e.loop, tdn: tdn, delay: delays[tdn], active: &e.active}
+	}
+	w0, w1, w2, w3 := mk(0), mk(1), mk(0), mk(1)
+	e.wires = []*pinnedWire{w0, w1, w2, w3}
+	e.snd = New(e.loop, cfg, []func(*packet.Segment){w0.send, w1.send})
+	e.rcv = New(e.loop, cfg, []func(*packet.Segment){w2.send, w3.send})
+	for i, sub := range e.snd.Subflows() {
+		sub.LocalAddr, sub.RemoteAddr = 1, 2
+		sub.LocalPort, sub.RemotePort = uint16(1000+i), uint16(2000+i)
+	}
+	for i, sub := range e.rcv.Subflows() {
+		sub.LocalAddr, sub.RemoteAddr = 2, 1
+		sub.LocalPort, sub.RemotePort = uint16(2000+i), uint16(1000+i)
+	}
+	w0.dst = func(s *packet.Segment) { e.rcv.Subflows()[0].Input(s) }
+	w1.dst = func(s *packet.Segment) { e.rcv.Subflows()[1].Input(s) }
+	w2.dst = func(s *packet.Segment) { e.snd.Subflows()[0].Input(s) }
+	w3.dst = func(s *packet.Segment) { e.snd.Subflows()[1].Input(s) }
+	return e
+}
+
+// switchTDN moves the fabric to tdn, releasing that TDN's held frames and
+// notifying both endpoints' schedulers.
+func (e *env) switchTDN(tdn int) {
+	e.active = tdn
+	e.epoch++
+	for _, w := range e.wires {
+		if w.tdn == tdn {
+			w.release()
+		}
+	}
+	e.snd.Notify(tdn, e.epoch)
+	e.rcv.Notify(tdn, e.epoch)
+}
+
+func (e *env) runFor(d sim.Duration) { e.loop.RunUntil(e.loop.Now().Add(d)) }
+
+func TestSingleSubflowTransfer(t *testing.T) {
+	e := newEnv(t, Config{})
+	e.rcv.Listen()
+	const total = 40 * 8960
+	e.snd.Connect(total)
+	e.runFor(20 * sim.Millisecond)
+	if e.rcv.DeliveredBytes != total {
+		t.Fatalf("delivered %d, want %d", e.rcv.DeliveredBytes, total)
+	}
+	if e.snd.Backlog() != 0 {
+		t.Fatalf("backlog %d remains", e.snd.Backlog())
+	}
+	// All data rode subflow 0 (TDN 0 active throughout).
+	if e.snd.Subflows()[1].Stats.BytesSent != 0 {
+		t.Fatal("inactive subflow carried data")
+	}
+}
+
+func TestSchedulerSteersToActiveSubflow(t *testing.T) {
+	e := newEnv(t, Config{})
+	e.rcv.Listen()
+	e.snd.Connect(-1)
+	e.runFor(2 * sim.Millisecond) // establish sub0; sub1's handshake is held
+	e.switchTDN(1)
+	e.runFor(3 * sim.Millisecond) // sub1 establishes, then carries data
+	if e.snd.Subflows()[1].Stats.BytesSent == 0 {
+		t.Fatal("active subflow 1 carried no data after switch")
+	}
+	// The inactive subflow may still RTO-retransmit stranded data, but it
+	// must not be given any new data to send.
+	nxt0 := e.snd.Subflows()[0].SndNxt()
+	e.runFor(2 * sim.Millisecond)
+	if e.snd.Subflows()[0].SndNxt() != nxt0 {
+		t.Fatal("inactive subflow 0 was scheduled new data")
+	}
+	if e.snd.Stats.SchedulerSwitches != 1 {
+		t.Fatalf("switches = %d", e.snd.Stats.SchedulerSwitches)
+	}
+}
+
+func TestStrandedDataIsReinjected(t *testing.T) {
+	// Reinjection is lazy: it fires when the shared send buffer fills with
+	// data stranded on an inactive subflow (§2.2's flow-control stall). Use
+	// a small buffer so the stall is reached quickly.
+	e := newEnv(t, Config{SendBuf: 6 * 8960})
+	e.rcv.Listen()
+	e.snd.Connect(0)
+	// Establish both subflows: bring TDN1 up once.
+	e.runFor(2 * sim.Millisecond)
+	e.switchTDN(1)
+	e.runFor(2 * sim.Millisecond)
+	if !e.snd.Subflows()[1].Established() {
+		t.Fatal("subflow 1 not established")
+	}
+	// With TDN1 active, queue data, let it be sent but not yet delivered
+	// (5us one-way), then yank the network back to TDN0: data+ACKs strand,
+	// the buffer fills, and the scheduler must reinject on subflow 0.
+	e.snd.QueueBytes(12 * 8960)
+	e.runFor(2 * sim.Microsecond)
+	e.switchTDN(0)
+	e.runFor(5 * sim.Millisecond)
+	if e.snd.Stats.BufferStalls == 0 {
+		t.Fatal("send buffer never stalled")
+	}
+	if e.snd.Stats.ReinjectEvents == 0 {
+		t.Fatal("no reinjection despite stranded subflow")
+	}
+	if e.rcv.DeliveredBytes != 12*8960 {
+		t.Fatalf("delivered %d, want %d", e.rcv.DeliveredBytes, 12*8960)
+	}
+	// When TDN1 next activates, the stranded originals arrive as duplicates.
+	e.switchTDN(1)
+	e.runFor(2 * sim.Millisecond)
+	if e.rcv.Stats.DupDSNBytes == 0 {
+		t.Fatal("stranded originals never arrived as DSN duplicates")
+	}
+	if e.rcv.DeliveredBytes != 12*8960 {
+		t.Fatalf("duplicates corrupted delivery count: %d", e.rcv.DeliveredBytes)
+	}
+}
+
+func TestDeliveryMonotoneAcrossSwitches(t *testing.T) {
+	e := newEnv(t, Config{})
+	e.rcv.Listen()
+	var last int64 = -1
+	e.rcv.OnDelivered = func(_ sim.Time, total int64) {
+		if total <= last {
+			t.Fatalf("delivery regressed: %d after %d", total, last)
+		}
+		last = total
+	}
+	const total = 100 * 8960
+	e.snd.Connect(total)
+	// Alternate TDNs on a fixed cadence.
+	for i := 0; i < 40 && e.rcv.DeliveredBytes < total; i++ {
+		e.runFor(400 * sim.Microsecond)
+		e.switchTDN(1 - e.active)
+	}
+	e.runFor(20 * sim.Millisecond)
+	if e.rcv.DeliveredBytes != total {
+		t.Fatalf("delivered %d, want %d (reinject=%d)", e.rcv.DeliveredBytes, total, e.snd.Stats.ReinjectEvents)
+	}
+}
+
+func TestDSNReassembly(t *testing.T) {
+	m := &Conn{Loop: sim.NewLoop(1)}
+	// Out-of-order DSN arrival with overlaps and duplicates.
+	m.acceptDSN(100, 50) // ooo
+	if m.DeliveredBytes != 0 {
+		t.Fatal("ooo delivered early")
+	}
+	m.acceptDSN(0, 50) // prefix
+	if m.DeliveredBytes != 50 {
+		t.Fatalf("delivered %d, want 50", m.DeliveredBytes)
+	}
+	m.acceptDSN(50, 50) // bridges to 150
+	if m.DeliveredBytes != 150 {
+		t.Fatalf("delivered %d, want 150", m.DeliveredBytes)
+	}
+	m.acceptDSN(0, 150) // full duplicate
+	if m.DeliveredBytes != 150 || m.Stats.DupDSNBytes != 150 {
+		t.Fatalf("dup handling wrong: delivered=%d dup=%d", m.DeliveredBytes, m.Stats.DupDSNBytes)
+	}
+	m.acceptDSN(140, 20) // partial overlap: 10 new
+	if m.DeliveredBytes != 160 {
+		t.Fatalf("delivered %d, want 160", m.DeliveredBytes)
+	}
+	// Many interleaved ranges.
+	for _, r := range [][2]uint32{{300, 310}, {280, 290}, {320, 330}, {290, 300}, {310, 320}} {
+		m.acceptDSN(r[0], int(r[1]-r[0]))
+	}
+	if m.DeliveredBytes != 160 {
+		t.Fatal("disjoint ranges advanced the pointer")
+	}
+	m.acceptDSN(160, 120) // bridge everything: contiguous to 330
+	if m.DeliveredBytes != 330 {
+		t.Fatalf("delivered %d, want 330", m.DeliveredBytes)
+	}
+	if len(m.ranges) != 0 {
+		t.Fatalf("ranges not drained: %v", m.ranges)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched outs accepted")
+		}
+	}()
+	New(sim.NewLoop(1), Config{NumSubflows: 2}, []func(*packet.Segment){func(*packet.Segment) {}})
+}
+
+func TestSubflowPolicyRejected(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("subflow policy accepted")
+		}
+	}()
+	cfg := Config{Sub: tcp.Config{Policy: tcp.NewSinglePath()}}
+	cfg.fillDefaults()
+}

@@ -1,0 +1,245 @@
+// Package netem provides the network-emulation building blocks the RDCN
+// model is assembled from: host NIC pipes, ToR virtual output queues (VOQs)
+// with drop-tail and ECN-marking behaviour, and schedule-driven drainers that
+// serialize frames onto whichever time-division network is currently active.
+//
+// It plays the role of Etalon's Click pipeline in the paper's testbed.
+package netem
+
+import (
+	"encoding/binary"
+
+	"github.com/rdcn-net/tdtcp/internal/packet"
+	"github.com/rdcn-net/tdtcp/internal/sim"
+)
+
+// Frame is a serialized packet in flight through the emulated network.
+// Wire holds the serialized headers; Len is the full on-the-wire length
+// (headers plus virtual payload) that links and queues charge for.
+type Frame struct {
+	Wire   []byte
+	Len    int
+	SentAt sim.Time
+}
+
+// NewFrame serializes seg into a fresh frame stamped at the current time.
+func NewFrame(loop *sim.Loop, seg *packet.Segment) Frame {
+	return Frame{
+		Wire:   seg.Serialize(make([]byte, 0, seg.HeaderLen())),
+		Len:    seg.WireLen(),
+		SentAt: loop.Now(),
+	}
+}
+
+// MarkCE sets the ECN CE codepoint on the frame's IP header in place,
+// updating the header checksum incrementally (RFC 1624) the way a real
+// switch would.
+func (f Frame) MarkCE() {
+	b := f.Wire
+	if len(b) < 20 {
+		return
+	}
+	old := binary.BigEndian.Uint16(b[0:2])
+	b[1] |= packet.ECNCE
+	new_ := binary.BigEndian.Uint16(b[0:2])
+	if old == new_ {
+		return
+	}
+	// RFC 1624 incremental update: HC' = ~(~HC + ~m + m').
+	hc := binary.BigEndian.Uint16(b[10:12])
+	sum := uint32(^hc) + uint32(^old) + uint32(new_)
+	for sum > 0xFFFF {
+		sum = (sum >> 16) + (sum & 0xFFFF)
+	}
+	binary.BigEndian.PutUint16(b[10:12], ^uint16(sum))
+}
+
+// Sink consumes frames that exit a network element.
+type Sink func(Frame)
+
+// Pipe is a serializing link with an unbounded FIFO: the host NIC and its
+// qdisc. Frames are serialized one at a time at Rate, then delivered to the
+// sink Delay later. Pipe is never the statistics bottleneck in the paper's
+// topology (hosts have fabric-rate NICs) but it shapes bursts realistically.
+type Pipe struct {
+	Loop  *sim.Loop
+	Rate  sim.Rate
+	Delay sim.Duration
+	Out   Sink
+
+	q    []Frame
+	busy bool
+}
+
+// Send enqueues a frame for transmission.
+func (p *Pipe) Send(f Frame) {
+	p.q = append(p.q, f)
+	p.kick()
+}
+
+// QueueLen reports the number of frames waiting in the pipe (not counting
+// one being serialized).
+func (p *Pipe) QueueLen() int { return len(p.q) }
+
+func (p *Pipe) kick() {
+	if p.busy || len(p.q) == 0 {
+		return
+	}
+	f := p.q[0]
+	copy(p.q, p.q[1:])
+	p.q = p.q[:len(p.q)-1]
+	p.busy = true
+	p.Loop.After(p.Rate.TransmitTime(f.Len), func() {
+		p.busy = false
+		out := p.Out
+		p.Loop.After(p.Delay, func() { out(f) })
+		p.kick()
+	})
+}
+
+// VOQ is a ToR virtual output queue: drop-tail, fixed capacity in packets,
+// optional ECN marking at a threshold (DCTCP-style), and runtime resizing
+// (used by the retcpdyn variant, which enlarges the VOQ ahead of a circuit
+// day).
+type VOQ struct {
+	Loop *sim.Loop
+
+	cap        int
+	markThresh int // mark CE when occupancy (pre-enqueue) >= threshold; 0 disables
+
+	q    []Frame
+	head int
+
+	// Monitor, when non-nil, is called with the occupancy after every
+	// enqueue, dequeue and drop. Used to produce the paper's VOQ-length
+	// traces (Figs. 7b, 8b, 13, 14).
+	Monitor func(t sim.Time, occupancy int)
+	// OnEnqueue, when non-nil, is called when a frame is accepted; the
+	// drainer uses it to wake up.
+	OnEnqueue func()
+
+	enq, deq, drops, marks uint64
+}
+
+// NewVOQ returns a VOQ with the given packet capacity and ECN mark
+// threshold (0 disables marking).
+func NewVOQ(loop *sim.Loop, capacity, markThresh int) *VOQ {
+	return &VOQ{Loop: loop, cap: capacity, markThresh: markThresh}
+}
+
+// Len reports current occupancy in packets.
+func (v *VOQ) Len() int { return len(v.q) - v.head }
+
+// Cap reports the current capacity.
+func (v *VOQ) Cap() int { return v.cap }
+
+// SetCap resizes the queue at runtime. Shrinking below the current
+// occupancy does not drop queued frames; it only refuses new ones.
+func (v *VOQ) SetCap(n int) { v.cap = n }
+
+// Stats reports cumulative enqueue, dequeue, drop and ECN-mark counts.
+func (v *VOQ) Stats() (enq, deq, drops, marks uint64) {
+	return v.enq, v.deq, v.drops, v.marks
+}
+
+// Enqueue offers a frame to the queue, returning false (and dropping it) if
+// the queue is full.
+func (v *VOQ) Enqueue(f Frame) bool {
+	if v.Len() >= v.cap {
+		v.drops++
+		v.sample()
+		return false
+	}
+	if v.markThresh > 0 && v.Len() >= v.markThresh {
+		f.MarkCE()
+		v.marks++
+	}
+	v.q = append(v.q, f)
+	v.enq++
+	v.sample()
+	if v.OnEnqueue != nil {
+		v.OnEnqueue()
+	}
+	return true
+}
+
+// Dequeue removes and returns the frame at the head of the queue.
+func (v *VOQ) Dequeue() (Frame, bool) {
+	if v.Len() == 0 {
+		return Frame{}, false
+	}
+	f := v.q[v.head]
+	v.q[v.head] = Frame{}
+	v.head++
+	if v.head > 64 && v.head*2 >= len(v.q) {
+		v.q = append(v.q[:0], v.q[v.head:]...)
+		v.head = 0
+	}
+	v.deq++
+	v.sample()
+	return f, true
+}
+
+func (v *VOQ) sample() {
+	if v.Monitor != nil {
+		v.Monitor(v.Loop.Now(), v.Len())
+	}
+}
+
+// Path describes the network a drainer is currently serving: the bottleneck
+// rate and the one-way propagation delay of the active TDN.
+type Path struct {
+	Rate  sim.Rate
+	Delay sim.Duration
+	TDN   int
+}
+
+// PathFunc reports the currently active path. ok is false during a night
+// (reconfiguration blackout), when nothing may be sent.
+type PathFunc func() (p Path, ok bool)
+
+// Drainer serializes frames from a VOQ onto the currently active path. It is
+// the ToR's uplink transmitter: one frame at a time, at the active TDN's
+// rate, delivered to the sink after the TDN's propagation delay. When the
+// schedule blacks out the path the drainer idles until Kick is called.
+type Drainer struct {
+	Loop *sim.Loop
+	Q    *VOQ
+	Path PathFunc
+	Out  Sink
+
+	busy bool
+}
+
+// Attach wires the drainer to its queue's enqueue notification and starts
+// draining if frames are already waiting.
+func (d *Drainer) Attach() {
+	d.Q.OnEnqueue = d.Kick
+	d.Kick()
+}
+
+// Kick attempts to (re)start draining. Call whenever the path may have
+// become active, e.g. at every schedule transition.
+func (d *Drainer) Kick() {
+	if d.busy {
+		return
+	}
+	path, ok := d.Path()
+	if !ok {
+		return
+	}
+	f, ok := d.Q.Dequeue()
+	if !ok {
+		return
+	}
+	d.busy = true
+	d.Loop.After(path.Rate.TransmitTime(f.Len), func() {
+		d.busy = false
+		out := d.Out
+		d.Loop.After(path.Delay, func() { out(f) })
+		d.Kick()
+	})
+}
+
+// Busy reports whether a frame is currently being serialized.
+func (d *Drainer) Busy() bool { return d.busy }

@@ -1,0 +1,314 @@
+package packet
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, s *Segment) *Segment {
+	t.Helper()
+	wire := s.Serialize(nil)
+	var got Segment
+	if err := Parse(wire, &got); err != nil {
+		t.Fatalf("Parse: %v (segment %s)", err, s.Dissect())
+	}
+	return &got
+}
+
+func TestRoundTripData(t *testing.T) {
+	s := &Segment{
+		Src: 0x0a000001, Dst: 0x0a000002, TTL: 64, Proto: ProtoTCP, ECN: ECNECT0,
+		TCP: TCPHeader{
+			SrcPort: 40000, DstPort: 5001,
+			Seq: 123456, Ack: 654321,
+			Flags:     FlagACK | FlagPSH,
+			Window:    1 << 20,
+			TDPresent: true, TDFlags: TDFlagData | TDFlagACK,
+			DataTDN: 1, AckTDN: 0,
+			PayloadLen: 8960,
+		},
+	}
+	got := roundTrip(t, s)
+	h := got.TCP
+	if h.Seq != 123456 || h.Ack != 654321 || h.PayloadLen != 8960 {
+		t.Fatalf("fields mangled: %+v", h)
+	}
+	if !h.TDPresent || h.DataTDN != 1 || h.AckTDN != 0 || h.TDFlags != TDFlagData|TDFlagACK {
+		t.Fatalf("TD option mangled: %+v", h)
+	}
+	if got.ECN != ECNECT0 {
+		t.Fatalf("ECN = %d", got.ECN)
+	}
+	if got.WireLen() != s.WireLen() {
+		t.Fatalf("WireLen mismatch")
+	}
+}
+
+func TestRoundTripSYN(t *testing.T) {
+	s := &Segment{
+		Src: 1, Dst: 2, TTL: 64, Proto: ProtoTCP,
+		TCP: TCPHeader{
+			SrcPort: 1000, DstPort: 2000, Seq: 99,
+			Flags:     FlagSYN,
+			TDCapable: true, NumTDNs: 2,
+			SACKPermitted: true,
+			Window:        65535 << 8,
+		},
+	}
+	got := roundTrip(t, s)
+	if !got.TCP.TDCapable || got.TCP.NumTDNs != 2 {
+		t.Fatalf("TD_CAPABLE lost: %+v", got.TCP)
+	}
+	if !got.TCP.SACKPermitted {
+		t.Fatal("SACK-permitted lost")
+	}
+	if got.TCP.Flags != FlagSYN {
+		t.Fatalf("flags = %x", got.TCP.Flags)
+	}
+}
+
+func TestRoundTripSACK(t *testing.T) {
+	blocks := []SACKBlock{{100, 200}, {300, 400}, {500, 600}, {700, 800}}
+	s := &Segment{
+		Src: 1, Dst: 2, TTL: 60, Proto: ProtoTCP,
+		TCP: TCPHeader{
+			Flags: FlagACK, Ack: 100,
+			TDPresent: true, TDFlags: TDFlagACK, DataTDN: NoTDN, AckTDN: 1,
+			SACK: blocks,
+		},
+	}
+	got := roundTrip(t, s)
+	if !reflect.DeepEqual(got.TCP.SACK, blocks) {
+		t.Fatalf("SACK = %v, want %v", got.TCP.SACK, blocks)
+	}
+}
+
+func TestRoundTripICMP(t *testing.T) {
+	s := &Segment{
+		Src: 0x0a000001, Dst: 0x0a0000ff, TTL: 1, Proto: ProtoICMP,
+		ICMP: TDNNotification{ActiveTDN: 3, Epoch: 0x123456},
+	}
+	got := roundTrip(t, s)
+	if got.ICMP.ActiveTDN != 3 || got.ICMP.Epoch != 0x123456 {
+		t.Fatalf("ICMP = %+v", got.ICMP)
+	}
+	if got.WireLen() != 28 {
+		t.Fatalf("ICMP WireLen = %d, want 28", got.WireLen())
+	}
+}
+
+func TestParseReusesSACKStorage(t *testing.T) {
+	s := &Segment{Src: 1, Dst: 2, Proto: ProtoTCP, TCP: TCPHeader{
+		Flags: FlagACK, SACK: []SACKBlock{{1, 2}, {3, 4}},
+	}}
+	wire := s.Serialize(nil)
+	var dst Segment
+	dst.TCP.SACK = make([]SACKBlock, 0, 8)
+	base := &dst.TCP.SACK[:1][0]
+	if err := Parse(wire, &dst); err != nil {
+		t.Fatal(err)
+	}
+	if len(dst.TCP.SACK) != 2 {
+		t.Fatalf("SACK len = %d", len(dst.TCP.SACK))
+	}
+	if &dst.TCP.SACK[0] != base {
+		t.Fatal("Parse reallocated SACK storage")
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	s := &Segment{Src: 1, Dst: 2, Proto: ProtoTCP, TCP: TCPHeader{Seq: 42, Flags: FlagACK}}
+	wire := s.Serialize(nil)
+	for _, i := range []int{0, 5, 14, 25, len(wire) - 1} {
+		mut := append([]byte(nil), wire...)
+		mut[i] ^= 0xFF
+		var got Segment
+		if err := Parse(mut, &got); err == nil {
+			// Flipping the ECN bits (byte 1 low bits) changes the IP
+			// checksum, so every single-byte flip must be caught.
+			t.Fatalf("corruption at byte %d not detected", i)
+		}
+	}
+}
+
+func TestParseTruncated(t *testing.T) {
+	s := &Segment{Src: 1, Dst: 2, Proto: ProtoTCP, TCP: TCPHeader{Flags: FlagACK}}
+	wire := s.Serialize(nil)
+	for n := 0; n < len(wire); n++ {
+		var got Segment
+		if err := Parse(wire[:n], &got); err == nil {
+			t.Fatalf("truncation to %d bytes not detected", n)
+		}
+	}
+}
+
+func TestParseBadVersion(t *testing.T) {
+	s := &Segment{Src: 1, Dst: 2, Proto: ProtoICMP}
+	wire := s.Serialize(nil)
+	wire[0] = 0x65 // version 6
+	var got Segment
+	if err := Parse(wire, &got); err != ErrBadVersion {
+		t.Fatalf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestHeaderLenPadding(t *testing.T) {
+	// 6-byte TD option must be padded to a 4-byte boundary.
+	h := TCPHeader{TDPresent: true}
+	if h.optionsLen()%4 != 0 {
+		t.Fatalf("optionsLen = %d, not padded", h.optionsLen())
+	}
+	h2 := TCPHeader{TDCapable: true, SACKPermitted: true}
+	if h2.optionsLen()%4 != 0 {
+		t.Fatalf("optionsLen = %d, not padded", h2.optionsLen())
+	}
+}
+
+func TestSerializeAppends(t *testing.T) {
+	prefix := []byte{1, 2, 3}
+	s := &Segment{Src: 1, Dst: 2, Proto: ProtoICMP}
+	out := s.Serialize(prefix)
+	if len(out) != 3+s.HeaderLen() {
+		t.Fatalf("len = %d", len(out))
+	}
+	if out[0] != 1 || out[1] != 2 || out[2] != 3 {
+		t.Fatal("prefix clobbered")
+	}
+	var got Segment
+	if err := Parse(out[3:], &got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDissect(t *testing.T) {
+	s := &Segment{
+		Src: 0x0a000001, Dst: 0x0a000002, Proto: ProtoTCP,
+		TCP: TCPHeader{
+			SrcPort: 1, DstPort: 2, Seq: 10, Ack: 20, Flags: FlagACK | FlagPSH,
+			TDPresent: true, TDFlags: TDFlagData, DataTDN: 1,
+			SACK: []SACKBlock{{5, 9}},
+		},
+	}
+	d := s.Dissect()
+	for _, want := range []string{"10.0.0.1", "10.0.0.2", "seq=10", "ack=20", "td_data_ack{D:tdn=1}", "sack=[5,9)"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Dissect() = %q missing %q", d, want)
+		}
+	}
+	icmp := &Segment{Proto: ProtoICMP, ICMP: TDNNotification{ActiveTDN: 1, Epoch: 7}}
+	if d := icmp.Dissect(); !strings.Contains(d, "tdn-change active=1 epoch=7") {
+		t.Errorf("ICMP Dissect() = %q", d)
+	}
+}
+
+func TestFlagString(t *testing.T) {
+	if s := FlagString(FlagSYN | FlagACK); s != "S." {
+		t.Errorf("FlagString = %q", s)
+	}
+	if s := FlagString(0); s != "none" {
+		t.Errorf("FlagString(0) = %q", s)
+	}
+}
+
+// Property: serialize→parse is the identity on the fields that matter, for
+// arbitrary header values.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seq, ack uint32, sport, dport uint16, payload uint16, dtdn, atdn uint8, nsack uint8, ecn uint8) bool {
+		payload %= 9001 // jumbo-frame payloads; the 16-bit total-length field caps larger ones
+		rng := rand.New(rand.NewSource(int64(seq)<<32 | int64(ack)))
+		s := &Segment{
+			Src: rng.Uint32(), Dst: rng.Uint32(), TTL: 64, Proto: ProtoTCP,
+			ECN: ecn & 0x03,
+			TCP: TCPHeader{
+				SrcPort: sport, DstPort: dport, Seq: seq, Ack: ack,
+				Flags:     FlagACK,
+				Window:    rng.Uint32() & 0x00FFFF00,
+				TDPresent: true, TDFlags: TDFlagData | TDFlagACK,
+				DataTDN: dtdn, AckTDN: atdn,
+				PayloadLen: int(payload),
+			},
+		}
+		for i := 0; i < int(nsack%5); i++ {
+			st := rng.Uint32()
+			s.TCP.SACK = append(s.TCP.SACK, SACKBlock{st, st + uint32(rng.Intn(1e6))})
+		}
+		wire := s.Serialize(nil)
+		var got Segment
+		if err := Parse(wire, &got); err != nil {
+			return false
+		}
+		if got.TCP.Seq != seq || got.TCP.Ack != ack || got.TCP.SrcPort != sport ||
+			got.TCP.DstPort != dport || got.TCP.PayloadLen != int(payload) ||
+			got.TCP.DataTDN != dtdn || got.TCP.AckTDN != atdn || got.ECN != ecn&0x03 {
+			return false
+		}
+		if len(got.TCP.SACK) != len(s.TCP.SACK) {
+			return false
+		}
+		for i := range got.TCP.SACK {
+			if got.TCP.SACK[i] != s.TCP.SACK[i] {
+				return false
+			}
+		}
+		// Window survives modulo the wire scale quantum.
+		return got.TCP.Window>>8 == s.TCP.Window>>8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Parse never panics on random bytes.
+func TestParseFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var s Segment
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(80)
+		b := make([]byte, n)
+		rng.Read(b)
+		_ = Parse(b, &s) // must not panic
+	}
+	// Also fuzz around valid packets with random flips.
+	base := (&Segment{Src: 1, Dst: 2, Proto: ProtoTCP, TCP: TCPHeader{
+		Flags: FlagACK, TDPresent: true, TDFlags: TDFlagData, DataTDN: 1,
+		SACK: []SACKBlock{{1, 2}},
+	}}).Serialize(nil)
+	for i := 0; i < 5000; i++ {
+		b := append([]byte(nil), base...)
+		for k := 0; k < 3; k++ {
+			b[rng.Intn(len(b))] ^= byte(1 << rng.Intn(8))
+		}
+		_ = Parse(b, &s)
+	}
+}
+
+func BenchmarkSerialize(b *testing.B) {
+	s := &Segment{Src: 1, Dst: 2, TTL: 64, Proto: ProtoTCP, TCP: TCPHeader{
+		Flags: FlagACK | FlagPSH, TDPresent: true, TDFlags: TDFlagData,
+		DataTDN: 1, PayloadLen: 8960,
+	}}
+	buf := make([]byte, 0, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = s.Serialize(buf[:0])
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	s := &Segment{Src: 1, Dst: 2, TTL: 64, Proto: ProtoTCP, TCP: TCPHeader{
+		Flags: FlagACK, TDPresent: true, TDFlags: TDFlagACK, AckTDN: 1,
+		SACK: []SACKBlock{{100, 200}, {300, 400}},
+	}}
+	wire := s.Serialize(nil)
+	var dst Segment
+	dst.TCP.SACK = make([]SACKBlock, 0, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Parse(wire, &dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

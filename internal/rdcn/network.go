@@ -1,0 +1,418 @@
+package rdcn
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/rdcn-net/tdtcp/internal/netem"
+	"github.com/rdcn-net/tdtcp/internal/packet"
+	"github.com/rdcn-net/tdtcp/internal/sim"
+)
+
+// TDNParams describes one time-division network: its bottleneck rate and
+// one-way propagation delay.
+type TDNParams struct {
+	Rate  sim.Rate
+	Delay sim.Duration
+}
+
+// NotifyProfile models the latency of the ToR-generated ICMP TDN-change
+// notification (§3.2, §5.4). The three §5.4 optimizations map onto its
+// fields: packet caching reduces Gen, the pull model eliminates Stagger, the
+// dedicated control network reduces Net and Jitter.
+type NotifyProfile struct {
+	// Gen is the ToR-side time to construct and emit the ICMP packet.
+	Gen sim.Duration
+	// Stagger is the extra per-host delay of the push model: host i
+	// receives its notification Gen + i*Stagger + Net after the change.
+	Stagger sim.Duration
+	// Net is the one-way delivery latency to the host.
+	Net sim.Duration
+	// Jitter adds a uniform [0,Jitter) random component per notification,
+	// modelling data-plane queueing of the notification packet.
+	Jitter sim.Duration
+}
+
+// OptimizedNotify returns the notification profile with all three §5.4
+// optimizations applied: cached ICMP construction, pull model, dedicated
+// control network.
+func OptimizedNotify() NotifyProfile {
+	return NotifyProfile{Gen: 500 * sim.Nanosecond, Stagger: 0, Net: 1 * sim.Microsecond, Jitter: 500 * sim.Nanosecond}
+}
+
+// UnoptimizedNotify returns the baseline profile: per-notification packet
+// construction, push model looping over flows, notifications sharing the
+// busy data-plane interface.
+func UnoptimizedNotify() NotifyProfile {
+	return NotifyProfile{Gen: 8 * sim.Microsecond, Stagger: 3 * sim.Microsecond, Net: 8 * sim.Microsecond, Jitter: 8 * sim.Microsecond}
+}
+
+// PreChange configures the retcpdyn behaviour (§5.2): Lead before each day
+// on TDN, the ToR resizes its VOQs to Cap and sends hosts an advance
+// circuit-up notification; the original capacity is restored when that day
+// ends.
+type PreChange struct {
+	TDN  int
+	Lead sim.Duration
+	Cap  int
+}
+
+// Config assembles a two-rack hybrid RDCN.
+type Config struct {
+	HostsPerRack int
+	HostRate     sim.Rate     // host NIC rate; bursts are shaped at this rate
+	HostDelay    sim.Duration // host-to-ToR propagation (intra-rack, tiny)
+	VOQCap       int          // ToR VOQ capacity in packets
+	MarkThresh   int          // ECN marking threshold (0 = no marking)
+	TDNs         []TDNParams
+	Schedule     *Schedule
+	Notify       NotifyProfile
+	PreChange    *PreChange // optional retcpdyn switch support
+
+	// PinnedVOQs gives each rack one VOQ per TDN, each draining only
+	// during its own TDN's days. This models MPTCP subflow pinning: a
+	// subflow's packets wait at the ToR until their network is active.
+	PinnedVOQs bool
+	// Classifier maps a frame to its pinned TDN when PinnedVOQs is set.
+	// Default: destination port modulo the TDN count.
+	Classifier func(wire []byte) int
+}
+
+// DefaultConfig returns the §5.1 Etalon configuration: 16 hosts per rack,
+// TDN 0 = 10 Gbps / 100 µs RTT packet network, TDN 1 = 100 Gbps / 40 µs RTT
+// optical network, 180 µs days, 20 µs nights, 6:1 packet:optical ratio,
+// 16-packet VOQs, optimized notifications.
+func DefaultConfig() Config {
+	return Config{
+		HostsPerRack: 16,
+		HostRate:     100 * sim.Gbps,
+		HostDelay:    1 * sim.Microsecond,
+		VOQCap:       16,
+		TDNs: []TDNParams{
+			{Rate: 10 * sim.Gbps, Delay: 49 * sim.Microsecond},  // ~100us RTT
+			{Rate: 100 * sim.Gbps, Delay: 19 * sim.Microsecond}, // ~40us RTT
+		},
+		Schedule: HybridWeek(6, 180*sim.Microsecond, 20*sim.Microsecond),
+		Notify:   OptimizedNotify(),
+	}
+}
+
+// Host is an end host attached to a rack ToR. Transport endpoints register
+// the Recv and NotifyTDN upcalls.
+type Host struct {
+	Rack *Rack
+	ID   int
+	Addr uint32
+
+	// Recv receives every data/ACK frame addressed to this host.
+	Recv func(netem.Frame)
+	// NotifyTDN receives the parsed ICMP TDN-change notification.
+	NotifyTDN func(tdn int, epoch uint32)
+	// NotifyPreChange, if set, receives the retcpdyn advance circuit-up
+	// signal Lead before a PreChange.TDN day begins.
+	NotifyPreChange func(tdn int)
+}
+
+// Send serializes seg and transmits it through the rack's shared ingress
+// NIC toward the ToR. The destination is taken from seg.Dst.
+//
+// All hosts of a rack share one ingress pipe at HostRate, mirroring the
+// Etalon testbed where 16 containers share the emulated machine's data-plane
+// NIC: a synchronized burst from many flows reaches the ToR serialized at
+// fabric rate, not as an instantaneous impulse.
+func (h *Host) Send(seg *packet.Segment) {
+	seg.Src = h.Addr
+	h.Rack.uplink.Send(netem.NewFrame(h.Rack.net.Loop, seg))
+}
+
+// NICQueueLen reports the shared ingress NIC backlog in frames.
+func (h *Host) NICQueueLen() int { return h.Rack.uplink.QueueLen() }
+
+// Rack is a ToR switch plus its attached hosts. Each rack has one VOQ for
+// traffic toward the peer rack (or one per TDN with PinnedVOQs).
+type Rack struct {
+	net   *Network
+	ID    int
+	Hosts []*Host
+
+	uplink   *netem.Pipe // shared host-side ingress NIC
+	voqs     []*netem.VOQ
+	drainers []*netem.Drainer
+}
+
+// VOQ exposes the rack's (first) uplink virtual output queue.
+func (r *Rack) VOQ() *netem.VOQ { return r.voqs[0] }
+
+// VOQs exposes all uplink queues (one per TDN with PinnedVOQs).
+func (r *Rack) VOQs() []*netem.VOQ { return r.voqs }
+
+// QueueLen reports the rack's total uplink occupancy in packets.
+func (r *Rack) QueueLen() int {
+	n := 0
+	for _, v := range r.voqs {
+		n += v.Len()
+	}
+	return n
+}
+
+// Network is the assembled two-rack hybrid RDCN.
+type Network struct {
+	Loop    *sim.Loop
+	Cfg     Config
+	Racks   [2]*Rack
+	epoch   uint32
+	stopAt  sim.Time
+	started bool
+	baseVOQ int
+	// OnTransition, if set, is called at the start of every day with the
+	// new TDN (after drainers are kicked, before notifications are sent).
+	OnTransition func(tdn int)
+}
+
+// HostAddr returns the address of host id in rack r, mirroring the 10.r.0.id
+// addressing of the Etalon testbed.
+func HostAddr(rack, id int) uint32 {
+	return 0x0A<<24 | uint32(rack&0xFF)<<16 | uint32(id&0xFFFF)
+}
+
+// New assembles a network from cfg.
+func New(loop *sim.Loop, cfg Config) (*Network, error) {
+	if cfg.HostsPerRack <= 0 {
+		return nil, fmt.Errorf("rdcn: HostsPerRack must be positive")
+	}
+	if cfg.Schedule == nil {
+		return nil, fmt.Errorf("rdcn: Schedule is required")
+	}
+	if n := cfg.Schedule.NumTDNs(); n > len(cfg.TDNs) {
+		return nil, fmt.Errorf("rdcn: schedule references %d TDNs but only %d configured", n, len(cfg.TDNs))
+	}
+	if len(cfg.TDNs) > packet.MaxTDNs {
+		return nil, fmt.Errorf("rdcn: at most %d TDNs supported by the wire format", packet.MaxTDNs)
+	}
+	n := &Network{Loop: loop, Cfg: cfg, baseVOQ: cfg.VOQCap}
+	if cfg.PinnedVOQs && cfg.Classifier == nil {
+		ntdns := len(cfg.TDNs)
+		n.Cfg.Classifier = func(wire []byte) int { return PortClassifier(wire, ntdns) }
+	}
+	nvoq := 1
+	if cfg.PinnedVOQs {
+		nvoq = len(cfg.TDNs)
+	}
+	for r := 0; r < 2; r++ {
+		rack := &Rack{net: n, ID: r}
+		dst := 1 - r
+		for k := 0; k < nvoq; k++ {
+			voq := netem.NewVOQ(loop, cfg.VOQCap, cfg.MarkThresh)
+			var pf netem.PathFunc
+			if cfg.PinnedVOQs {
+				kk := k
+				pf = func() (netem.Path, bool) {
+					tdn, ok, _ := n.Cfg.Schedule.At(n.Loop.Now())
+					if !ok || tdn != kk {
+						return netem.Path{}, false
+					}
+					p := n.Cfg.TDNs[kk]
+					return netem.Path{Rate: p.Rate, Delay: p.Delay, TDN: kk}, true
+				}
+			} else {
+				pf = n.pathFunc()
+			}
+			d := &netem.Drainer{
+				Loop: loop,
+				Q:    voq,
+				Path: pf,
+				Out:  func(f netem.Frame) { n.deliver(dst, f) },
+			}
+			rack.voqs = append(rack.voqs, voq)
+			rack.drainers = append(rack.drainers, d)
+		}
+		rack.uplink = &netem.Pipe{
+			Loop:  loop,
+			Rate:  cfg.HostRate,
+			Delay: cfg.HostDelay,
+			Out:   func(f netem.Frame) { rack.ingress(f) },
+		}
+		for h := 0; h < cfg.HostsPerRack; h++ {
+			rack.Hosts = append(rack.Hosts, &Host{Rack: rack, ID: h, Addr: HostAddr(r, h)})
+		}
+		n.Racks[r] = rack
+		for _, d := range rack.drainers {
+			d.Attach()
+		}
+	}
+	return n, nil
+}
+
+// PortClassifier pins a frame to a TDN by its TCP destination port modulo
+// ntdns (subflow i of the MPTCP glue uses ports ≡ i).
+func PortClassifier(wire []byte, ntdns int) int {
+	if len(wire) < 24 || ntdns <= 0 {
+		return 0
+	}
+	port := int(wire[22])<<8 | int(wire[23])
+	return port % ntdns
+}
+
+// pathFunc adapts the schedule to the drainer interface.
+func (n *Network) pathFunc() netem.PathFunc {
+	return func() (netem.Path, bool) {
+		tdn, ok, _ := n.Cfg.Schedule.At(n.Loop.Now())
+		if !ok {
+			return netem.Path{}, false
+		}
+		p := n.Cfg.TDNs[tdn]
+		return netem.Path{Rate: p.Rate, Delay: p.Delay, TDN: tdn}, true
+	}
+}
+
+// ingress accepts a frame from a host NIC and places it in the rack's
+// uplink VOQ (selected by the classifier when VOQs are pinned). Overflow is
+// a drop-tail loss, exactly as in the Etalon VOQs.
+func (r *Rack) ingress(f netem.Frame) {
+	idx := 0
+	if r.net.Cfg.PinnedVOQs {
+		idx = r.net.Cfg.Classifier(f.Wire) % len(r.voqs)
+	}
+	r.voqs[idx].Enqueue(f)
+}
+
+// deliver hands a frame that crossed the fabric to the destination host in
+// rack dst, identified by the IPv4 destination address.
+func (n *Network) deliver(dst int, f netem.Frame) {
+	if len(f.Wire) < 20 {
+		return
+	}
+	addr := binary.BigEndian.Uint32(f.Wire[16:20])
+	id := int(addr & 0xFFFF)
+	rack := n.Racks[dst]
+	if int(addr>>16&0xFF) != rack.ID || id >= len(rack.Hosts) {
+		return // misrouted; drop
+	}
+	h := rack.Hosts[id]
+	if h.Recv != nil {
+		h.Recv(f)
+	}
+}
+
+// Start schedules the RDCN control plane (schedule transitions, VOQ
+// resizing, notifications) until the given time. Call once before running
+// the loop.
+func (n *Network) Start(until sim.Time) {
+	if n.started {
+		panic("rdcn: Start called twice")
+	}
+	n.started = true
+	n.stopAt = until
+	n.scheduleTransition(0)
+}
+
+// scheduleTransition arms the control-plane event for the slot boundary at
+// time t (t=0 is the initial day start) and, transitively, all following
+// ones until stopAt.
+func (n *Network) scheduleTransition(t sim.Time) {
+	if t >= n.stopAt {
+		return
+	}
+	n.Loop.At(t, func() {
+		tdn, ok, slotEnd := n.Cfg.Schedule.At(n.Loop.Now())
+		n.epoch++
+		for _, rack := range n.Racks {
+			for _, d := range rack.drainers {
+				d.Kick()
+			}
+		}
+		if ok {
+			if n.OnTransition != nil {
+				n.OnTransition(tdn)
+			}
+			n.notifyAll(tdn, n.epoch)
+			if pc := n.Cfg.PreChange; pc != nil && tdn == pc.TDN {
+				// Ensure the enlarged VOQ (idempotent if the lead-time resize
+				// already happened) and restore the base size at day end.
+				n.setVOQCaps(pc.Cap)
+				n.Loop.At(slotEnd, func() { n.setVOQCaps(n.baseVOQ) })
+			}
+		}
+		n.armPreChange(n.Loop.Now(), slotEnd)
+		n.scheduleTransition(slotEnd)
+	})
+}
+
+// armPreChange schedules the retcpdyn advance actions (VOQ resize + advance
+// circuit-up notification) if the instant "Lead before the next PreChange.TDN
+// day" falls inside the current slot [t, slotEnd). Because a transition event
+// fires at every slot boundary, each upcoming day is armed from exactly one
+// slot even when Lead spans several nights and days.
+func (n *Network) armPreChange(t, slotEnd sim.Time) {
+	pc := n.Cfg.PreChange
+	if pc == nil {
+		return
+	}
+	dayStart, tdn := n.Cfg.Schedule.NextDayStart(t)
+	if tdn != pc.TDN {
+		return
+	}
+	at := dayStart.Add(-pc.Lead)
+	if at < 0 {
+		at = 0
+	}
+	if t == 0 && at <= t {
+		at = t // lead time predates the simulation start
+	} else if at < t || at >= slotEnd {
+		return // a different (earlier or later) slot owns this arming
+	}
+	n.Loop.At(at, func() {
+		n.setVOQCaps(pc.Cap)
+		for _, rack := range n.Racks {
+			for _, h := range rack.Hosts {
+				if h.NotifyPreChange != nil {
+					h.NotifyPreChange(pc.TDN)
+				}
+			}
+		}
+	})
+}
+
+// setVOQCaps resizes every uplink VOQ on both racks.
+func (n *Network) setVOQCaps(cap int) {
+	for _, rack := range n.Racks {
+		for _, v := range rack.voqs {
+			v.SetCap(cap)
+		}
+	}
+}
+
+// notifyAll emits the ICMP TDN-change notification to every host, modelling
+// the configured NotifyProfile. The notification is a real serialized ICMP
+// packet parsed by the host, per Figure 5a.
+func (n *Network) notifyAll(tdn int, epoch uint32) {
+	prof := n.Cfg.Notify
+	for _, rack := range n.Racks {
+		for i, h := range rack.Hosts {
+			h := h
+			d := prof.Gen + sim.Duration(i)*prof.Stagger + prof.Net
+			if prof.Jitter > 0 {
+				d += sim.Duration(n.Loop.Rand().Int63n(int64(prof.Jitter)))
+			}
+			seg := &packet.Segment{
+				Src: HostAddr(rack.ID, 0xFFFF), Dst: h.Addr, TTL: 1,
+				Proto: packet.ProtoICMP,
+				ICMP:  packet.TDNNotification{ActiveTDN: uint8(tdn), Epoch: epoch},
+			}
+			f := netem.NewFrame(n.Loop, seg)
+			n.Loop.After(d, func() {
+				var s packet.Segment
+				if err := packet.Parse(f.Wire, &s); err != nil || h.NotifyTDN == nil {
+					return
+				}
+				h.NotifyTDN(int(s.ICMP.ActiveTDN), s.ICMP.Epoch)
+			})
+		}
+	}
+}
+
+// ActiveTDN reports the TDN active right now (ok=false during a night).
+func (n *Network) ActiveTDN() (int, bool) {
+	tdn, ok, _ := n.Cfg.Schedule.At(n.Loop.Now())
+	return tdn, ok
+}

@@ -1,0 +1,139 @@
+// Package rdcn models the reconfigurable data-center network of the paper:
+// the day/night/week optical schedule (§2.1), the two-rack hybrid topology of
+// the Etalon testbed (§5.1), and the ToR-generated ICMP TDN-change
+// notifications with the §5.4 delivery-latency optimizations.
+package rdcn
+
+import (
+	"fmt"
+
+	"github.com/rdcn-net/tdtcp/internal/sim"
+)
+
+// NightTDN marks a reconfiguration blackout slot: no TDN is active and the
+// ToR uplinks are silent.
+const NightTDN = -1
+
+// Slot is one entry of the cyclic schedule: a TDN (or NightTDN) active for
+// Dur.
+type Slot struct {
+	TDN int
+	Dur sim.Duration
+}
+
+// Schedule is a cyclic ("week", §2.1) sequence of days and nights. The
+// demand-oblivious schedules of RotorNet-style fabrics repeat indefinitely.
+type Schedule struct {
+	Slots []Slot
+	week  sim.Duration
+}
+
+// NewSchedule validates and returns a schedule cycling through slots.
+func NewSchedule(slots []Slot) (*Schedule, error) {
+	if len(slots) == 0 {
+		return nil, fmt.Errorf("rdcn: schedule needs at least one slot")
+	}
+	var week sim.Duration
+	for i, s := range slots {
+		if s.Dur <= 0 {
+			return nil, fmt.Errorf("rdcn: slot %d has non-positive duration", i)
+		}
+		if s.TDN < NightTDN {
+			return nil, fmt.Errorf("rdcn: slot %d has invalid TDN %d", i, s.TDN)
+		}
+		week += s.Dur
+	}
+	return &Schedule{Slots: slots, week: week}, nil
+}
+
+// MustSchedule is NewSchedule that panics on error, for literals in tests
+// and examples.
+func MustSchedule(slots []Slot) *Schedule {
+	s, err := NewSchedule(slots)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// HybridWeek builds the paper's evaluation schedule: packetDays days on the
+// packet TDN (0) followed by one day on the optical TDN (1), every day
+// lasting day and followed by a night of night. With packetDays=6,
+// day=180µs, night=20µs this is the §5.1 configuration (6:1 ratio, 9:1 duty
+// cycle, 1.4ms week).
+func HybridWeek(packetDays int, day, night sim.Duration) *Schedule {
+	var slots []Slot
+	for i := 0; i < packetDays; i++ {
+		slots = append(slots, Slot{TDN: 0, Dur: day}, Slot{TDN: NightTDN, Dur: night})
+	}
+	slots = append(slots, Slot{TDN: 1, Dur: day}, Slot{TDN: NightTDN, Dur: night})
+	return MustSchedule(slots)
+}
+
+// Week returns the duration of one full cycle.
+func (s *Schedule) Week() sim.Duration { return s.week }
+
+// At reports the TDN active at time t. ok is false during a night. slotEnd
+// is the absolute time the current slot finishes.
+func (s *Schedule) At(t sim.Time) (tdn int, ok bool, slotEnd sim.Time) {
+	off := sim.Duration(int64(t) % int64(s.week))
+	base := t.Add(-off)
+	for _, sl := range s.Slots {
+		if off < sl.Dur {
+			return sl.TDN, sl.TDN != NightTDN, base.Add(sl.Dur)
+		}
+		off -= sl.Dur
+		base = base.Add(sl.Dur)
+	}
+	// Unreachable: off < week by construction.
+	panic("rdcn: schedule walk overflow")
+}
+
+// NextDayStart returns the first slot boundary strictly after t at which a
+// day (non-night slot) begins, along with that day's TDN.
+func (s *Schedule) NextDayStart(t sim.Time) (sim.Time, int) {
+	_, _, b := s.At(t)
+	for i := 0; i <= len(s.Slots); i++ {
+		tdn, ok, end := s.At(b)
+		if ok {
+			return b, tdn
+		}
+		b = end
+	}
+	// A schedule of only nights is rejected by NewSchedule... but guard
+	// against all-night schedules constructed directly.
+	panic("rdcn: schedule has no day slots")
+}
+
+// NumTDNs returns the number of distinct TDNs (highest TDN index + 1).
+func (s *Schedule) NumTDNs() int {
+	max := -1
+	for _, sl := range s.Slots {
+		if sl.TDN > max {
+			max = sl.TDN
+		}
+	}
+	return max + 1
+}
+
+// DutyCycle returns the ratio of day time to total time.
+func (s *Schedule) DutyCycle() float64 {
+	var up sim.Duration
+	for _, sl := range s.Slots {
+		if sl.TDN != NightTDN {
+			up += sl.Dur
+		}
+	}
+	return float64(up) / float64(s.week)
+}
+
+// TDNShare returns the fraction of the week during which tdn is active.
+func (s *Schedule) TDNShare(tdn int) float64 {
+	var up sim.Duration
+	for _, sl := range s.Slots {
+		if sl.TDN == tdn {
+			up += sl.Dur
+		}
+	}
+	return float64(up) / float64(s.week)
+}

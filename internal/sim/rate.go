@@ -1,0 +1,48 @@
+package sim
+
+import "fmt"
+
+// Rate is a link bandwidth in bits per second.
+type Rate int64
+
+// Convenient rate units.
+const (
+	BitPerSecond Rate = 1
+	Kbps              = 1000 * BitPerSecond
+	Mbps              = 1000 * Kbps
+	Gbps              = 1000 * Mbps
+)
+
+// TransmitTime returns the serialization delay of a payload of the given
+// size at rate r. A zero or negative rate means "infinitely fast" and
+// returns 0 — used for host-to-ToR links that are never the bottleneck.
+func (r Rate) TransmitTime(bytes int) Duration {
+	if r <= 0 || bytes <= 0 {
+		return 0
+	}
+	bits := int64(bytes) * 8
+	// ns = bits / (bits/s) * 1e9, computed without overflow for any
+	// realistic packet size and rate.
+	return Duration(bits * int64(Second) / int64(r))
+}
+
+// BytesIn returns how many bytes can be serialized in d at rate r.
+func (r Rate) BytesIn(d Duration) int64 {
+	if r <= 0 || d <= 0 {
+		return 0
+	}
+	return int64(r) / 8 * int64(d) / int64(Second)
+}
+
+func (r Rate) String() string {
+	switch {
+	case r >= Gbps && r%Gbps == 0:
+		return fmt.Sprintf("%dGbps", r/Gbps)
+	case r >= Mbps && r%Mbps == 0:
+		return fmt.Sprintf("%dMbps", r/Mbps)
+	case r >= Kbps && r%Kbps == 0:
+		return fmt.Sprintf("%dKbps", r/Kbps)
+	default:
+		return fmt.Sprintf("%dbps", int64(r))
+	}
+}

@@ -1,0 +1,206 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All of the network emulation (links, queues, endpoints) in this repository
+// is driven by a single Loop. Time is virtual and advances only when events
+// fire, so a multi-millisecond experiment over a 100-Gbps fabric runs in
+// a fraction of a second of wall time and is exactly reproducible: two runs
+// with the same seed produce identical event orders and therefore identical
+// traces.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation. It is deliberately not time.Time: simulations start at zero and
+// never involve wall clocks.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Microseconds reports t as a floating-point number of microseconds,
+// convenient for trace output matching the paper's µs-scaled axes.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+func (t Time) String() string {
+	return fmt.Sprintf("%.3fus", t.Microseconds())
+}
+
+// Microseconds reports d as a floating-point number of microseconds.
+func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
+
+func (d Duration) String() string {
+	return fmt.Sprintf("%.3fus", d.Microseconds())
+}
+
+// Timer is a handle to a scheduled event. A Timer may be stopped before it
+// fires; stopping an already-fired or already-stopped timer is a no-op.
+type Timer struct {
+	at      Time
+	seq     uint64
+	fn      func()
+	stopped bool
+	fired   bool
+	index   int // position in the heap, -1 once removed
+}
+
+// Stop cancels the timer. It reports whether the call prevented the timer
+// from firing.
+func (t *Timer) Stop() bool {
+	if t == nil || t.stopped || t.fired {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// Active reports whether the timer is still pending.
+func (t *Timer) Active() bool { return t != nil && !t.stopped && !t.fired }
+
+// When returns the virtual time at which the timer fires (or would have
+// fired, if stopped).
+func (t *Timer) When() Time { return t.at }
+
+// eventHeap orders timers by (time, sequence). The sequence tie-break makes
+// same-instant events fire in scheduling order, which keeps runs
+// deterministic regardless of heap internals.
+type eventHeap []*Timer
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}
+
+// Loop is a discrete-event simulation loop. The zero value is not usable;
+// construct with NewLoop.
+type Loop struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+	fired  uint64
+}
+
+// NewLoop returns a loop positioned at time zero whose random source is
+// seeded with seed.
+func NewLoop(seed int64) *Loop {
+	return &Loop{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (l *Loop) Now() Time { return l.now }
+
+// Rand returns the loop's deterministic random source.
+func (l *Loop) Rand() *rand.Rand { return l.rng }
+
+// Pending returns the number of scheduled (non-stopped) events, counting
+// stopped-but-unpopped timers as well; it is a capacity signal, not an exact
+// live count.
+func (l *Loop) Pending() int { return len(l.events) }
+
+// Fired returns the total number of events executed so far.
+func (l *Loop) Fired() uint64 { return l.fired }
+
+// At schedules fn to run at absolute time at. Scheduling in the past (before
+// Now) panics: it always indicates a logic error in the caller.
+func (l *Loop) At(at Time, fn func()) *Timer {
+	if at < l.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, l.now))
+	}
+	t := &Timer{at: at, seq: l.seq, fn: fn}
+	l.seq++
+	heap.Push(&l.events, t)
+	return t
+}
+
+// After schedules fn to run d after the current time. Negative d is clamped
+// to zero.
+func (l *Loop) After(d Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return l.At(l.now.Add(d), fn)
+}
+
+// Step executes the next pending event, advancing the clock to its time.
+// It reports false when no events remain.
+func (l *Loop) Step() bool {
+	for len(l.events) > 0 {
+		t := heap.Pop(&l.events).(*Timer)
+		if t.stopped {
+			continue
+		}
+		l.now = t.at
+		t.fired = true
+		l.fired++
+		t.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until none remain.
+func (l *Loop) Run() {
+	for l.Step() {
+	}
+}
+
+// RunUntil executes events with time ≤ end and then sets the clock to end.
+// Events scheduled after end remain pending.
+func (l *Loop) RunUntil(end Time) {
+	for len(l.events) > 0 {
+		// Peek at the earliest live event.
+		t := l.events[0]
+		if t.stopped {
+			heap.Pop(&l.events)
+			continue
+		}
+		if t.at > end {
+			break
+		}
+		l.Step()
+	}
+	if l.now < end {
+		l.now = end
+	}
+}

@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLoopOrdering(t *testing.T) {
+	l := NewLoop(1)
+	var order []int
+	l.At(30, func() { order = append(order, 3) })
+	l.At(10, func() { order = append(order, 1) })
+	l.At(20, func() { order = append(order, 2) })
+	l.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+	if l.Now() != 30 {
+		t.Fatalf("clock = %v, want 30", l.Now())
+	}
+}
+
+func TestLoopSameInstantFIFO(t *testing.T) {
+	l := NewLoop(1)
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		l.At(5, func() { order = append(order, i) })
+	}
+	l.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events not FIFO at %d: %v", i, order[:i+1])
+		}
+	}
+}
+
+func TestLoopNestedScheduling(t *testing.T) {
+	l := NewLoop(1)
+	var hits int
+	l.At(10, func() {
+		l.After(5, func() { hits++ })
+		l.After(0, func() { hits++ })
+	})
+	l.Run()
+	if hits != 2 {
+		t.Fatalf("hits = %d, want 2", hits)
+	}
+	if l.Now() != 15 {
+		t.Fatalf("clock = %v, want 15", l.Now())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	l := NewLoop(1)
+	fired := false
+	tm := l.At(10, func() { fired = true })
+	if !tm.Active() {
+		t.Fatal("timer should be active before firing")
+	}
+	if !tm.Stop() {
+		t.Fatal("Stop should report true for a pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	l.Run()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	l := NewLoop(1)
+	tm := l.At(10, func() {})
+	l.Run()
+	if tm.Stop() {
+		t.Fatal("Stop after fire should report false")
+	}
+	if tm.Active() {
+		t.Fatal("fired timer should not be active")
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	l := NewLoop(1)
+	l.At(10, func() {})
+	l.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past should panic")
+		}
+	}()
+	l.At(5, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	l := NewLoop(1)
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		l.At(at, func() { fired = append(fired, at) })
+	}
+	l.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 10 and 20 only", fired)
+	}
+	if l.Now() != 25 {
+		t.Fatalf("clock = %v, want 25", l.Now())
+	}
+	l.RunUntil(100)
+	if len(fired) != 4 {
+		t.Fatalf("fired %v, want all four", fired)
+	}
+	if l.Now() != 100 {
+		t.Fatalf("clock = %v, want 100", l.Now())
+	}
+}
+
+func TestRunUntilSkipsStopped(t *testing.T) {
+	l := NewLoop(1)
+	tm := l.At(10, func() { t.Fatal("stopped timer fired") })
+	tm.Stop()
+	l.RunUntil(50)
+	if l.Now() != 50 {
+		t.Fatalf("clock = %v, want 50", l.Now())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int64 {
+		l := NewLoop(42)
+		var out []int64
+		var tick func()
+		tick = func() {
+			out = append(out, int64(l.Now()), l.Rand().Int63n(1000))
+			if len(out) < 200 {
+				l.After(Duration(1+l.Rand().Int63n(50)), tick)
+			}
+		}
+		l.After(0, tick)
+		l.Run()
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTransmitTime(t *testing.T) {
+	cases := []struct {
+		rate  Rate
+		bytes int
+		want  Duration
+	}{
+		{10 * Gbps, 1250, 1 * Microsecond}, // 10Kb at 10Gbps = 1us
+		{100 * Gbps, 12500, 1 * Microsecond},
+		{1 * Gbps, 125, 1 * Microsecond},
+		{10 * Gbps, 9000, Duration(7200)}, // jumbo frame: 72000 bits / 10G = 7.2us? no: 7200ns
+		{0, 1000, 0},
+		{10 * Gbps, 0, 0},
+	}
+	for _, c := range cases {
+		if got := c.rate.TransmitTime(c.bytes); got != c.want {
+			t.Errorf("TransmitTime(%v, %d) = %v, want %v", c.rate, c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestBytesIn(t *testing.T) {
+	if got := (10 * Gbps).BytesIn(100 * Microsecond); got != 125000 {
+		t.Fatalf("BytesIn = %d, want 125000 (10Gbps * 100us)", got)
+	}
+	if got := (10 * Gbps).BytesIn(-1); got != 0 {
+		t.Fatalf("BytesIn negative duration = %d, want 0", got)
+	}
+}
+
+// Property: TransmitTime is additive-monotone — more bytes never take less
+// time, and the time for a+b bytes is at least the time for a plus for b
+// minus rounding of one nanosecond each.
+func TestTransmitTimeMonotone(t *testing.T) {
+	f := func(a, b uint16) bool {
+		r := 10 * Gbps
+		ta := r.TransmitTime(int(a))
+		tb := r.TransmitTime(int(b))
+		tab := r.TransmitTime(int(a) + int(b))
+		if tab < ta || tab < tb {
+			return false
+		}
+		return tab >= ta+tb-2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BytesIn and TransmitTime are approximate inverses.
+func TestRateRoundTrip(t *testing.T) {
+	f := func(kb uint16) bool {
+		bytes := int(kb)*10 + 64
+		r := 40 * Gbps
+		d := r.TransmitTime(bytes)
+		back := r.BytesIn(d)
+		diff := back - int64(bytes)
+		return diff >= -8 && diff <= 8 // at most one rounding quantum of 5 bytes/ns
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRateString(t *testing.T) {
+	if s := (10 * Gbps).String(); s != "10Gbps" {
+		t.Errorf("String = %q", s)
+	}
+	if s := (500 * Mbps).String(); s != "500Mbps" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	ts := Time(1500)
+	if ts.Add(500) != 2000 {
+		t.Fatal("Add")
+	}
+	if Time(2000).Sub(ts) != 500 {
+		t.Fatal("Sub")
+	}
+	if (100 * Microsecond).Microseconds() != 100 {
+		t.Fatal("Duration.Microseconds")
+	}
+	if Time(100*Microsecond).Microseconds() != 100 {
+		t.Fatal("Time.Microseconds")
+	}
+}

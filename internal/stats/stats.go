@@ -1,0 +1,215 @@
+// Package stats provides the measurement plumbing behind the paper's
+// figures: time series (sequence graphs, VOQ occupancy), CDFs (reordering
+// and retransmission distributions), periodic samplers, per-optical-day
+// bucketing, and throughput computation.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/rdcn-net/tdtcp/internal/sim"
+)
+
+// Series is a time series: T in microseconds, V in arbitrary units.
+type Series struct {
+	Label string
+	T     []float64
+	V     []float64
+}
+
+// Add appends one sample.
+func (s *Series) Add(t sim.Time, v float64) {
+	s.T = append(s.T, t.Microseconds())
+	s.V = append(s.V, v)
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.T) }
+
+// Normalize returns a copy shifted so the first sample sits at (0, 0) — the
+// paper normalizes both axes of its sequence graphs to the plotted window's
+// start.
+func (s *Series) Normalize() *Series {
+	out := &Series{Label: s.Label, T: make([]float64, len(s.T)), V: make([]float64, len(s.V))}
+	if len(s.T) == 0 {
+		return out
+	}
+	t0, v0 := s.T[0], s.V[0]
+	for i := range s.T {
+		out.T[i] = s.T[i] - t0
+		out.V[i] = s.V[i] - v0
+	}
+	return out
+}
+
+// Window returns the sub-series with from ≤ T < to (microseconds).
+func (s *Series) Window(from, to float64) *Series {
+	out := &Series{Label: s.Label}
+	for i := range s.T {
+		if s.T[i] >= from && s.T[i] < to {
+			out.T = append(out.T, s.T[i])
+			out.V = append(out.V, s.V[i])
+		}
+	}
+	return out
+}
+
+// Last returns the final value (0 if empty).
+func (s *Series) Last() float64 {
+	if len(s.V) == 0 {
+		return 0
+	}
+	return s.V[len(s.V)-1]
+}
+
+// Max returns the maximum value (0 if empty).
+func (s *Series) Max() float64 {
+	m := 0.0
+	for _, v := range s.V {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean of V (0 if empty).
+func (s *Series) Mean() float64 {
+	if len(s.V) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.V {
+		sum += v
+	}
+	return sum / float64(len(s.V))
+}
+
+// CSV renders the series as "t_us,value" lines.
+func (s *Series) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", s.Label)
+	for i := range s.T {
+		fmt.Fprintf(&b, "%.3f,%.3f\n", s.T[i], s.V[i])
+	}
+	return b.String()
+}
+
+// Sampler polls a value function on a fixed cadence into a Series.
+type Sampler struct {
+	Series   *Series
+	loop     *sim.Loop
+	interval sim.Duration
+	value    func() float64
+	until    sim.Time
+}
+
+// NewSampler arms a periodic sampler on loop from the current time until
+// until (inclusive of the start point).
+func NewSampler(loop *sim.Loop, label string, interval sim.Duration, until sim.Time, value func() float64) *Sampler {
+	s := &Sampler{Series: &Series{Label: label}, loop: loop, interval: interval, value: value, until: until}
+	s.tick()
+	return s
+}
+
+func (s *Sampler) tick() {
+	if s.loop.Now() > s.until {
+		return
+	}
+	s.Series.Add(s.loop.Now(), s.value())
+	s.loop.After(s.interval, func() { s.tick() })
+}
+
+// CDF summarizes a sample set as an empirical CDF.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds a CDF (the input slice is copied).
+func NewCDF(samples []float64) *CDF {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// N returns the sample count.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// Percentile returns the p-th percentile (p in [0,100]).
+func (c *CDF) Percentile(p float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return c.sorted[0]
+	}
+	if p >= 100 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	rank := p / 100 * float64(len(c.sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return c.sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return c.sorted[lo]*(1-frac) + c.sorted[hi]*frac
+}
+
+// Min and Max return the extremes.
+func (c *CDF) Min() float64 { return c.Percentile(0) }
+
+// Max returns the largest sample.
+func (c *CDF) Max() float64 { return c.Percentile(100) }
+
+// FracAtMost returns the fraction of samples ≤ x.
+func (c *CDF) FracAtMost(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Series renders the CDF as a plottable (value, fraction) series.
+func (c *CDF) Series(label string) *Series {
+	s := &Series{Label: label}
+	n := len(c.sorted)
+	for i, v := range c.sorted {
+		s.T = append(s.T, v)
+		s.V = append(s.V, float64(i+1)/float64(n))
+	}
+	return s
+}
+
+// Buckets accumulates per-interval deltas of a monotone counter: the paper's
+// per-optical-day reordering/retransmission counts (Fig. 10).
+type Buckets struct {
+	last   float64
+	primed bool
+	Deltas []float64
+}
+
+// Close finishes the current bucket at counter value v and starts the next.
+// The first call primes the baseline without recording.
+func (b *Buckets) Close(v float64) {
+	if b.primed {
+		b.Deltas = append(b.Deltas, v-b.last)
+	}
+	b.last = v
+	b.primed = true
+}
+
+// CDF returns the distribution of bucket deltas.
+func (b *Buckets) CDF() *CDF { return NewCDF(b.Deltas) }
+
+// ThroughputGbps converts bytes over a duration into Gbps.
+func ThroughputGbps(bytes int64, d sim.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / (float64(d) / float64(sim.Second)) / 1e9
+}

@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/rdcn-net/tdtcp/internal/sim"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	s := &Series{Label: "x"}
+	s.Add(sim.Time(10*sim.Microsecond), 5)
+	s.Add(sim.Time(20*sim.Microsecond), 9)
+	if s.Len() != 2 || s.Last() != 9 || s.Max() != 9 {
+		t.Fatalf("series basics: %+v", s)
+	}
+	if s.Mean() != 7 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	n := s.Normalize()
+	if n.T[0] != 0 || n.V[0] != 0 || n.T[1] != 10 || n.V[1] != 4 {
+		t.Fatalf("normalize: %+v", n)
+	}
+	w := s.Window(15, 25)
+	if w.Len() != 1 || w.V[0] != 9 {
+		t.Fatalf("window: %+v", w)
+	}
+	if !strings.Contains(s.CSV(), "10.000,5.000") {
+		t.Fatalf("csv: %s", s.CSV())
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	s := &Series{}
+	if s.Last() != 0 || s.Max() != 0 || s.Mean() != 0 {
+		t.Fatal("empty series accessors")
+	}
+	if n := s.Normalize(); n.Len() != 0 {
+		t.Fatal("normalize empty")
+	}
+}
+
+func TestSampler(t *testing.T) {
+	loop := sim.NewLoop(1)
+	v := 0.0
+	loop.At(sim.Time(25*sim.Microsecond), func() { v = 3 })
+	sampler := NewSampler(loop, "test", 10*sim.Microsecond, sim.Time(50*sim.Microsecond), func() float64 { return v })
+	loop.RunUntil(sim.Time(100 * sim.Microsecond))
+	// Samples at 0,10,20,30,40,50.
+	if sampler.Series.Len() != 6 {
+		t.Fatalf("samples = %d: %+v", sampler.Series.Len(), sampler.Series)
+	}
+	if sampler.Series.V[2] != 0 || sampler.Series.V[3] != 3 {
+		t.Fatalf("sampled values wrong: %+v", sampler.Series.V)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{5, 1, 3, 2, 4})
+	if c.N() != 5 || c.Min() != 1 || c.Max() != 5 {
+		t.Fatalf("cdf basics")
+	}
+	if got := c.Percentile(50); got != 3 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := c.Percentile(100); got != 5 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := c.FracAtMost(3); got != 0.6 {
+		t.Fatalf("FracAtMost(3) = %v", got)
+	}
+	if got := c.FracAtMost(0); got != 0 {
+		t.Fatalf("FracAtMost(0) = %v", got)
+	}
+	s := c.Series("cdf")
+	if s.Len() != 5 || s.V[4] != 1.0 {
+		t.Fatalf("cdf series: %+v", s)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if !math.IsNaN(c.Percentile(50)) || !math.IsNaN(c.FracAtMost(1)) {
+		t.Fatal("empty CDF should be NaN")
+	}
+}
+
+func TestCDFPercentileProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		samples := make([]float64, len(raw))
+		for i, r := range raw {
+			samples[i] = float64(r)
+		}
+		c := NewCDF(samples)
+		sorted := append([]float64(nil), samples...)
+		sort.Float64s(sorted)
+		// Percentiles are monotone and bounded by min/max.
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 7 {
+			v := c.Percentile(p)
+			if v < prev || v < sorted[0] || v > sorted[len(sorted)-1] {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuckets(t *testing.T) {
+	var b Buckets
+	b.Close(10) // primes
+	b.Close(15)
+	b.Close(15)
+	b.Close(40)
+	want := []float64{5, 0, 25}
+	if len(b.Deltas) != 3 {
+		t.Fatalf("deltas = %v", b.Deltas)
+	}
+	for i := range want {
+		if b.Deltas[i] != want[i] {
+			t.Fatalf("deltas = %v, want %v", b.Deltas, want)
+		}
+	}
+	if b.CDF().Percentile(100) != 25 {
+		t.Fatal("bucket cdf")
+	}
+}
+
+func TestThroughputGbps(t *testing.T) {
+	// 125 MB in 100 ms = 10 Gbps.
+	if got := ThroughputGbps(125_000_000, 100*sim.Millisecond); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("throughput = %v", got)
+	}
+	if ThroughputGbps(1, 0) != 0 {
+		t.Fatal("zero duration")
+	}
+}

@@ -1,0 +1,442 @@
+package tcp
+
+import (
+	"github.com/rdcn-net/tdtcp/internal/cc"
+	"github.com/rdcn-net/tdtcp/internal/packet"
+	"github.com/rdcn-net/tdtcp/internal/sim"
+)
+
+// Input feeds a parsed segment from the network into the connection.
+func (c *Conn) Input(s *packet.Segment) {
+	c.Stats.SegsRcvd++
+	h := &s.TCP
+	switch c.state {
+	case stListen:
+		if h.Flags&packet.FlagSYN != 0 && h.Flags&packet.FlagACK == 0 {
+			c.handleSYN(s)
+		}
+		return
+	case stSynSent:
+		if h.Flags&packet.FlagSYN != 0 && h.Flags&packet.FlagACK != 0 {
+			c.handleSYNACK(s)
+		}
+		return
+	case stSynRcvd:
+		if h.Flags&packet.FlagACK != 0 && h.Ack == c.iss+1 {
+			c.state = stEstablished
+			c.completeHandshakeAck(s)
+		}
+		return
+	case stClosed, stDone:
+		return
+	}
+
+	// Established (or closing) path.
+	if h.Flags&packet.FlagSYN != 0 && h.Flags&packet.FlagACK != 0 {
+		// Duplicate SYN-ACK: our handshake ACK was lost; re-ack.
+		c.sendAck(false)
+		return
+	}
+	if h.Flags&packet.FlagACK != 0 {
+		c.processAck(s)
+	}
+	if h.PayloadLen > 0 || h.Flags&packet.FlagFIN != 0 {
+		c.processData(s)
+	}
+}
+
+func (c *Conn) handleSYN(s *packet.Segment) {
+	h := &s.TCP
+	c.RemoteAddr, c.RemotePort = s.Src, h.SrcPort
+	c.irs = h.Seq
+	c.rcvNxt = h.Seq + 1
+	c.peerTD = h.TDCapable
+	c.peerTDNs = int(h.NumTDNs)
+	c.tdEnabled = c.negotiateTD()
+	c.iss = c.Loop.Rand().Uint32()
+	c.sndUna, c.sndNxt = c.iss, c.iss
+	c.highestSacked = c.iss
+	c.peerWnd = h.Window
+	c.state = stSynRcvd
+	c.sendSYN(true)
+}
+
+func (c *Conn) handleSYNACK(s *packet.Segment) {
+	h := &s.TCP
+	if h.Ack != c.iss+1 {
+		return
+	}
+	c.irs = h.Seq
+	c.rcvNxt = h.Seq + 1
+	c.peerTD = h.TDCapable
+	c.peerTDNs = int(h.NumTDNs)
+	c.tdEnabled = c.negotiateTD()
+	c.peerWnd = h.Window
+	c.completeHandshakeAck(s)
+	c.state = stEstablished
+	c.sendAck(false)
+	c.trySend()
+}
+
+// negotiateTD applies §4.2: both ends must support TDTCP and agree on the
+// number of TDNs.
+func (c *Conn) negotiateTD() bool {
+	return c.peerTD && c.cfg.NumTDNs > 1 && c.peerTDNs == c.cfg.NumTDNs
+}
+
+// completeHandshakeAck retires the SYN segment (tracked under TDN 0 per
+// Appendix A.2) and takes the handshake RTT sample.
+func (c *Conn) completeHandshakeAck(s *packet.Segment) {
+	now := c.Loop.Now()
+	c.rtx.popAcked(c.iss+1, func(seg *TxSeg) {
+		st := c.states[seg.TDN]
+		st.PacketsOut--
+		if !seg.EverRetrans {
+			st.ObserveRTT(now.Sub(seg.SentAt), c.cfg.MinRTO, c.cfg.MaxRTO)
+		}
+	})
+	c.sndUna = c.iss + 1
+	c.backoff = 0
+	c.armTimer()
+}
+
+// ackTDNOf extracts the ACK TDN tag from a segment (NoTDN when absent).
+func ackTDNOf(h *packet.TCPHeader) uint8 {
+	if h.TDPresent && h.TDFlags&packet.TDFlagACK != 0 {
+		return h.AckTDN
+	}
+	return packet.NoTDN
+}
+
+// processAck is the sender-side ACK machine: SACK/D-SACK processing,
+// cumulative advance, RTT sampling, loss detection, congestion-state
+// transitions, and window growth.
+func (c *Conn) processAck(s *packet.Segment) {
+	h := &s.TCP
+	now := c.Loop.Now()
+	ack := h.Ack
+	if seqGT(ack, c.sndNxt) {
+		return // acks data never sent
+	}
+	c.peerWnd = h.Window
+	if c.totalPacketsOut() == 0 {
+		// §4.3 "all TDNs": no data outstanding on any TDN means the ACK
+		// is stale; only window updates are taken.
+		return
+	}
+	ackTDN := ackTDNOf(h)
+
+	delivered := make([]int, len(c.states)) // newly delivered per TDN state
+	newlySacked := 0
+	var rttCand *TxSeg // freshest newly-delivered, never-retransmitted segment
+
+	// --- SACK / D-SACK ---------------------------------------------------
+	dsacked := false
+	for i, blk := range h.SACK {
+		if blk.Start == blk.End {
+			continue
+		}
+		isDSACK := i == 0 && (seqLEQ(blk.End, ack) ||
+			(len(h.SACK) > 1 && seqGEQ(blk.Start, h.SACK[1].Start) && seqLEQ(blk.End, h.SACK[1].End)))
+		if isDSACK {
+			dsacked = true
+			continue
+		}
+		c.rtx.forEach(func(seg *TxSeg) bool {
+			if seqGEQ(seg.Seq, blk.End) {
+				return true // later blocks may still match; keep walking
+			}
+			if seqLT(seg.Seq, blk.Start) || seqGT(seg.End(), blk.End) {
+				return true
+			}
+			if !seg.Sacked {
+				st := c.states[seg.TDN]
+				seg.Sacked = true
+				st.SackedOut++
+				if seg.Lost {
+					seg.Lost = false
+					st.LostOut--
+				}
+				if seg.Retrans {
+					seg.Retrans = false
+					st.RetransOut--
+				}
+				newlySacked++
+				delivered[seg.TDN]++
+				c.rackAdvance(seg)
+				c.highestSacked = seqMax(c.highestSacked, seg.End())
+				if !seg.EverRetrans && (rttCand == nil || seg.SentAt > rttCand.SentAt) {
+					cand := *seg
+					rttCand = &cand // sample at SACK time (Linux sack_rtt_us)
+				}
+			}
+			return true
+		})
+	}
+	if dsacked {
+		c.onDSACK(now)
+	}
+
+	// --- cumulative advance ----------------------------------------------
+	advanced := seqGT(ack, c.sndUna)
+	if advanced {
+		c.rtx.popAcked(ack, func(seg *TxSeg) {
+			st := c.states[seg.TDN]
+			st.PacketsOut--
+			if seg.Sacked {
+				// Delivered (and RTT-sampled) when it was SACKed; its ACK
+				// time now reflects hole repair, not path latency.
+				st.SackedOut--
+			} else {
+				delivered[seg.TDN]++
+				c.rackAdvance(seg)
+				if !seg.EverRetrans && (rttCand == nil || seg.SentAt > rttCand.SentAt) {
+					rttCand = seg
+				}
+			}
+			if seg.Lost {
+				st.LostOut--
+			}
+			if seg.Retrans {
+				st.RetransOut--
+			}
+			c.Stats.BytesAcked += int64(seg.Len)
+		})
+		c.sndUna = ack
+		c.backoff = 0
+		c.tlpInFlight = false
+		if c.state == stFinWait && c.sndUna == c.sndNxt && c.rtx.empty() {
+			c.state = stDone
+		}
+	} else if ack == c.sndUna && h.PayloadLen == 0 && newlySacked == 0 {
+		// Classic duplicate ACK.
+		if head := c.rtx.headSeg(); head != nil {
+			st := c.states[head.TDN]
+			st.DupAcks++
+			if st.DupAcks >= c.cfg.DupThresh && !head.Sacked && !head.Lost {
+				if c.policy.FilterLoss(head, ackTDN) {
+					c.Stats.FilteredMarks++
+				} else {
+					c.markLost(head, now)
+				}
+			}
+		}
+	}
+
+	// --- RTT sampling (Karn + §4.4 TDN matching) ---------------------------
+	if rttCand != nil {
+		if idx, ok := c.policy.RTTTarget(rttCand.TDN, ackTDN); ok {
+			c.states[idx].ObserveRTT(now.Sub(rttCand.SentAt), c.cfg.MinRTO, c.cfg.MaxRTO)
+			c.Stats.RTTSamples++
+		} else {
+			c.Stats.RTTSamplesDropped++
+		}
+	}
+
+	// --- reordering instrumentation (Fig. 10) ------------------------------
+	// A reordering event opens when an ACK first exposes a sequence hole
+	// below the highest SACKed sequence; the affected packets are the hole's
+	// occupants (the segments that would be spuriously retransmitted if the
+	// window permits). The episode closes when the hole is repaired.
+	if newlySacked > 0 || c.gapOpen {
+		gap := 0
+		c.rtx.forEach(func(seg *TxSeg) bool {
+			if seqGEQ(seg.Seq, c.highestSacked) {
+				return false
+			}
+			if !seg.Sacked && !seg.Lost {
+				gap++
+			}
+			return true
+		})
+		switch {
+		case gap > 0 && newlySacked > 0:
+			if !c.gapOpen {
+				c.gapOpen = true
+				c.gapMax = 0
+				c.Stats.ReorderEvents++
+			}
+			if gap > c.gapMax {
+				c.Stats.ReorderPackets += uint64(gap - c.gapMax)
+				c.gapMax = gap
+			}
+		case gap == 0:
+			c.gapOpen = false
+		}
+	}
+
+	// --- loss detection -----------------------------------------------------
+	c.detectLosses(ackTDN, now)
+
+	// --- congestion-state transitions --------------------------------------
+	for _, st := range c.states {
+		switch st.CA {
+		case CARecovery, CALoss:
+			if advanced && seqGEQ(c.sndUna, st.RecoveryPoint) {
+				st.CA = CAOpen
+				st.DupAcks = 0
+				st.undoPossible = false
+				st.CC.OnRecoveryExit(now)
+			}
+		case CAOpen:
+			if st.SackedOut > 0 {
+				st.CA = CADisorder
+			}
+		case CADisorder:
+			if st.SackedOut == 0 && advanced {
+				st.CA = CAOpen
+				st.DupAcks = 0
+			}
+		}
+	}
+
+	// --- PRR delivery credit -------------------------------------------------
+	for tdn, n := range delivered {
+		if n > 0 {
+			c.states[tdn].prrDelivered += n
+			c.states[tdn].updatePRR(n)
+		}
+	}
+
+	// --- window growth ------------------------------------------------------
+	ece := h.Flags&packet.FlagECE != 0
+	for tdn, n := range delivered {
+		if n == 0 {
+			continue
+		}
+		st := c.states[tdn]
+		if st.CA == CARecovery {
+			continue // PRR governs fast recovery; growth resumes on exit
+		}
+		ev := cc.AckEvent{
+			Now:      now,
+			Acked:    n,
+			InFlight: st.InFlight(),
+			SRTT:     st.SRTT,
+		}
+		if ece {
+			ev.ECEMarked = n
+		}
+		if rttCand != nil && rttCand.TDN == uint8(tdn) {
+			ev.RTT = now.Sub(rttCand.SentAt)
+		}
+		st.CC.OnAck(ev)
+	}
+
+	c.trySend()
+}
+
+// markLost marks a segment lost and drives its TDN's state machine into
+// Recovery (Figure 4: only the TDN owning the loss enters Recovery).
+func (c *Conn) markLost(seg *TxSeg, now sim.Time) {
+	if seg.Sacked || seg.Lost {
+		return
+	}
+	st := c.states[seg.TDN]
+	seg.Lost = true
+	st.LostOut++
+	if seg.Retrans {
+		seg.Retrans = false
+		st.RetransOut--
+	}
+	c.Stats.LossMarks++
+	if st.CA == CAOpen || st.CA == CADisorder {
+		st.CA = CARecovery
+		st.RecoveryPoint = c.sndNxt
+		st.undoPossible = true
+		st.undoRetrans = 0
+		st.enterRecoveryPRR()
+		st.CC.OnEnterRecovery(now, st.InFlight())
+	}
+}
+
+// detectLosses applies the SACK-count (dupthresh) and RACK time rules to
+// every un-SACKed segment below the highest SACKed sequence.
+//
+// The dupthresh rule is subject to the policy's cross-TDN reordering filter
+// (§3.4): a hole whose segments rode a different TDN than the exposing ACK
+// is most likely cross-TDN reordering, not loss. The RACK rule stays active
+// even across TDNs — §3.4 explicitly leaves true cross-TDN tail losses to
+// RACK-TLP — but with a reorder window widened to cover the cross-TDN ACK
+// delay (½RTT_own + ½RTT_slowest) instead of the same-path srtt/4.
+func (c *Conn) detectLosses(ackTDN uint8, now sim.Time) {
+	if seqLEQ(c.highestSacked, c.sndUna) {
+		return
+	}
+	thresh := uint32(c.cfg.DupThresh * c.cfg.MSS)
+	activeTDN := uint8(c.policy.Active())
+	var slowest *PathState
+	for _, st := range c.states {
+		if st.Samples > 0 && (slowest == nil || st.SRTT > slowest.SRTT) {
+			slowest = st
+		}
+	}
+	c.rtx.forEach(func(seg *TxSeg) bool {
+		if seqGEQ(seg.Seq, c.highestSacked) {
+			return false
+		}
+		if seg.Sacked || seg.Lost {
+			return true
+		}
+		// The dupthresh rule applies only to first transmissions: a segment
+		// whose retransmission is still in flight is reclaimed by the RACK
+		// timer below (on the retransmission's own send time) or by the
+		// RTO, never by sequence counting — re-marking it on every ACK
+		// would retransmit it once per round trip forever.
+		if !seg.Retrans && c.highestSacked-seg.End() >= thresh {
+			if !c.policy.FilterLoss(seg, ackTDN) {
+				c.markLost(seg, now)
+				return true
+			}
+			c.Stats.FilteredMarks++
+		}
+		if c.cfg.RACK && c.rackXmit > 0 {
+			own := c.states[seg.TDN]
+			var reoWnd sim.Duration
+			if seg.TDN == activeTDN || slowest == nil {
+				reoWnd = own.SRTT / 4
+			} else {
+				reoWnd = own.SRTT/2 + slowest.SRTT/2 + 4*slowest.RTTVar
+			}
+			if seg.SentAt.Add(reoWnd) < c.rackXmit {
+				c.markLost(seg, now)
+			}
+		}
+		return true
+	})
+}
+
+// rackAdvance records the transmit time of the most recently sent segment
+// known to be delivered (RFC 8985 §6.2), skipping retransmitted segments.
+func (c *Conn) rackAdvance(seg *TxSeg) {
+	if seg.EverRetrans {
+		return
+	}
+	if seg.SentAt > c.rackXmit || (seg.SentAt == c.rackXmit && seqGT(seg.End(), c.rackEndSeq)) {
+		c.rackXmit = seg.SentAt
+		c.rackEndSeq = seg.End()
+	}
+}
+
+// onDSACK processes a duplicate-SACK report: one retransmission is proven
+// spurious; when every retransmission of a recovery episode is proven
+// spurious, the congestion-window reduction is undone (Linux's D-SACK undo).
+func (c *Conn) onDSACK(now sim.Time) {
+	for _, st := range c.states {
+		if st.undoRetrans > 0 {
+			st.undoRetrans--
+			// Undo only when every retransmission of the episode has been
+			// proven spurious AND nothing is still presumed lost: a comb of
+			// genuine holes interleaved with spurious marks must not bounce
+			// the window back up mid-repair.
+			if st.undoRetrans == 0 && st.undoPossible && st.CA == CARecovery && st.LostOut == 0 {
+				st.CC.Undo()
+				st.CA = CAOpen
+				st.DupAcks = 0
+				st.undoPossible = false
+				c.Stats.Undos++
+			}
+			return
+		}
+	}
+}

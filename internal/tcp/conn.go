@@ -1,0 +1,786 @@
+package tcp
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/rdcn-net/tdtcp/internal/cc"
+	"github.com/rdcn-net/tdtcp/internal/packet"
+	"github.com/rdcn-net/tdtcp/internal/sim"
+)
+
+// Config parameterizes a connection. Zero values select data-center
+// defaults matching the paper's testbed.
+type Config struct {
+	// MSS is the maximum payload per segment. Default 8960 (9000-byte
+	// jumbo frames, §5.1, minus 40 header bytes).
+	MSS int
+	// RcvBuf is the receive buffer (advertised window ceiling) in bytes.
+	// Default 4 MiB — large enough that single-path flows are never
+	// flow-control limited, as in the paper's testbed.
+	RcvBuf int
+	// CC constructs the congestion-control algorithm, one instance per
+	// path state. Default: CUBIC.
+	CC cc.Factory
+	// CCPerState, when non-nil, supplies a distinct factory per path state
+	// (§3.5: "TDTCP could use multiple, different CCAs within a single
+	// flow"). Entries beyond its length fall back to CC.
+	CCPerState []cc.Factory
+	// Policy manages path states. Default: NewSinglePath().
+	Policy Policy
+	// NumTDNs is the TDN count advertised in the TD_CAPABLE handshake
+	// option. 0 or 1 disables TDTCP options on the wire.
+	NumTDNs int
+	// ECN enables ECT marking on data and ECE echo processing (DCTCP).
+	ECN bool
+	// DupThresh is the classic fast-retransmit duplicate threshold
+	// (default 3).
+	DupThresh int
+	// RACK enables time-based loss detection; TLP enables tail-loss
+	// probes. Both default on (RFC 8985), as in Linux 5.8.
+	RACK, TLP bool
+	// DisableRACK/DisableTLP turn the defaults off.
+	DisableRACK, DisableTLP bool
+	// MinRTO, MaxRTO, InitialRTO bound the retransmission timer. The
+	// defaults (1 ms, 100 ms, 2 ms) reflect a data-center tuned stack; the
+	// Internet defaults would dwarf the microsecond schedule.
+	MinRTO, MaxRTO, InitialRTO sim.Duration
+	// Pacing, when >0, spreads a window of segments over the estimated
+	// RTT at the given gain instead of bursting (the §5.2 remedy for
+	// TDTCP's initial burst).
+	Pacing float64
+}
+
+func (cfg *Config) fillDefaults() {
+	if cfg.MSS == 0 {
+		cfg.MSS = 8960
+	}
+	if cfg.RcvBuf == 0 {
+		cfg.RcvBuf = 4 << 20
+	}
+	if cfg.CC == nil {
+		cfg.CC = func() cc.Algorithm { return cc.NewCubic() }
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = NewSinglePath()
+	}
+	if cfg.DupThresh == 0 {
+		cfg.DupThresh = 3
+	}
+	cfg.RACK = !cfg.DisableRACK
+	cfg.TLP = !cfg.DisableTLP
+	if cfg.MinRTO == 0 {
+		cfg.MinRTO = 1 * sim.Millisecond
+	}
+	if cfg.MaxRTO == 0 {
+		cfg.MaxRTO = 100 * sim.Millisecond
+	}
+	if cfg.InitialRTO == 0 {
+		cfg.InitialRTO = 2 * sim.Millisecond
+	}
+}
+
+// connState is the connection lifecycle state (a deliberately small subset
+// of the full TCP state machine; the evaluation uses long-lived flows).
+type connState uint8
+
+const (
+	stClosed connState = iota
+	stListen
+	stSynSent
+	stSynRcvd
+	stEstablished
+	stFinWait   // our FIN sent, awaiting ACK
+	stCloseWait // peer FIN received
+	stDone
+)
+
+// Stats aggregates per-connection instrumentation counters.
+type Stats struct {
+	SegsSent, SegsRcvd    uint64
+	BytesSent, BytesAcked int64
+
+	Retransmits     uint64 // segments retransmitted (all causes)
+	FastRetransmits uint64
+	RTOFires        uint64
+	TLPProbes       uint64
+
+	// ReorderEvents counts ACKs that exposed a sequence hole below the
+	// highest SACKed sequence; ReorderPackets counts the segments sitting
+	// in such holes when first exposed (Fig. 10a's events / packets).
+	ReorderEvents  uint64
+	ReorderPackets uint64
+	// LossMarks counts segments marked lost by the detectors;
+	// FilteredMarks counts candidates suppressed by the TDTCP cross-TDN
+	// filter (§3.4).
+	LossMarks     uint64
+	FilteredMarks uint64
+
+	// Receiver side.
+	BytesDelivered int64  // cumulative in-order payload
+	DupSegsRcvd    uint64 // spurious retransmissions observed (ground truth)
+	DSACKsSent     uint64
+
+	Undos uint64 // spurious-recovery undos (D-SACK driven)
+
+	RTTSamples        uint64
+	RTTSamplesDropped uint64 // type-3 mixed-TDN samples discarded (§4.4)
+}
+
+// Conn is one endpoint of a simulated TCP connection. A Conn both sends
+// (bulk data from a virtual application) and receives (delivering in-order
+// bytes to a sink and generating ACKs).
+type Conn struct {
+	Loop *sim.Loop
+	// Out transmits a segment toward the peer (typically rdcn.Host.Send).
+	Out func(*packet.Segment)
+
+	cfg    Config
+	policy Policy
+	states []*PathState
+
+	LocalAddr, RemoteAddr uint32
+	LocalPort, RemotePort uint16
+
+	state     connState
+	tdEnabled bool
+
+	// Sender.
+	iss, sndUna, sndNxt uint32
+	rtx                 rtxQueue
+	backlog             int64 // bytes the app still wants to send; <0 = unbounded
+	finQueued           bool
+	peerWnd             uint32
+	highestSacked       uint32
+	lastAckSeen         uint32
+
+	// RACK state (RFC 8985).
+	rackXmit   sim.Time
+	rackEndSeq uint32
+
+	// Reordering-episode tracking (Fig. 10 instrumentation).
+	gapOpen bool
+	gapMax  int
+
+	// Timer: a single retransmission timer that is either a TLP probe
+	// timer or an RTO, Linux-style.
+	timer       *sim.Timer
+	timerIsTLP  bool
+	backoff     uint
+	tlpInFlight bool
+
+	// Pacing.
+	paceNext  sim.Time
+	paceTimer *sim.Timer
+	// lastTxAt anchors the TLP probe timer.
+	lastTxAt sim.Time
+
+	// Receiver.
+	irs      uint32
+	rcvNxt   uint32
+	ranges   []packet.SACKBlock // out-of-order received, sorted, disjoint
+	mruBlock []uint32           // recently updated range starts, MRU first
+	dsack    *packet.SACKBlock
+	peerTD   bool
+	peerTDNs int
+
+	// Epoch of the latest TDN notification applied (stale ones dropped).
+	notifyEpoch uint32
+
+	Stats Stats
+
+	// OnDelivered, if set, is called whenever in-order delivery advances:
+	// the receiver-side sequence progress of the paper's figures.
+	OnDelivered func(now sim.Time, total int64)
+	// OnStateSwitch, if set, observes active-path-state switches (TDTCP).
+	OnStateSwitch func(now sim.Time, from, to int)
+	// OnSendBlocked, if set, is called when the sender wants to transmit
+	// but is blocked (diagnostics).
+	OnSendBlocked func(reason string)
+	// TxSegmentHook, if set, is invoked on every outgoing data segment just
+	// before serialization, with the retransmission-queue entry and the
+	// header (MPTCP attaches its DSS mapping here).
+	TxSegmentHook func(seg *TxSeg, h *packet.TCPHeader)
+	// RxDataHook, if set, observes every arriving data segment's header
+	// before receiver processing (MPTCP extracts the DSS mapping here).
+	RxDataHook func(h *packet.TCPHeader)
+}
+
+// NewConn constructs a connection. out transmits serialized segments toward
+// the peer.
+func NewConn(loop *sim.Loop, cfg Config, out func(*packet.Segment)) *Conn {
+	cfg.fillDefaults()
+	c := &Conn{Loop: loop, Out: out, cfg: cfg, policy: cfg.Policy, state: stClosed}
+	n := c.policy.NumStates()
+	if n < 1 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		mk := cfg.CC
+		if i < len(cfg.CCPerState) && cfg.CCPerState[i] != nil {
+			mk = cfg.CCPerState[i]
+		}
+		st := &PathState{TDN: uint8(i), CC: mk(), RTO: cfg.InitialRTO}
+		c.states = append(c.states, st)
+	}
+	c.policy.Attach(c)
+	return c
+}
+
+// States exposes the path states (read-mostly; policies mutate them).
+func (c *Conn) States() []*PathState { return c.states }
+
+// ActiveState returns the state governing new transmissions.
+func (c *Conn) ActiveState() *PathState { return c.states[c.policy.Active()] }
+
+// Config returns the effective configuration.
+func (c *Conn) Config() Config { return c.cfg }
+
+// SndUna and SndNxt expose sender cursors (for policies and tests).
+func (c *Conn) SndUna() uint32 { return c.sndUna }
+
+// SndNxt returns the next sequence number to be sent.
+func (c *Conn) SndNxt() uint32 { return c.sndNxt }
+
+// RcvNxt returns the receiver's next expected sequence number.
+func (c *Conn) RcvNxt() uint32 { return c.rcvNxt }
+
+// RelSeq translates an absolute data sequence number into a 0-based stream
+// offset (the SYN consumes one sequence number).
+func (c *Conn) RelSeq(seq uint32) uint32 { return seq - c.iss - 1 }
+
+// AbsSeq is the inverse of RelSeq.
+func (c *Conn) AbsSeq(off uint32) uint32 { return off + c.iss + 1 }
+
+// Established reports whether the handshake has completed.
+func (c *Conn) Established() bool { return c.state >= stEstablished && c.state != stDone }
+
+// TDEnabled reports whether the TD_CAPABLE handshake negotiated TDTCP
+// options on this connection.
+func (c *Conn) TDEnabled() bool { return c.tdEnabled }
+
+// totalPacketsOut is the §4.3 "all TDNs" sum used to validate ACKs.
+func (c *Conn) totalPacketsOut() int {
+	n := 0
+	for _, st := range c.states {
+		n += st.PacketsOut
+	}
+	return n
+}
+
+// Listen places the connection in passive-open state.
+func (c *Conn) Listen() {
+	if c.state != stClosed {
+		panic("tcp: Listen on non-closed conn")
+	}
+	c.state = stListen
+}
+
+// Connect performs an active open and queues bytes of application data
+// (bytes < 0 streams indefinitely).
+func (c *Conn) Connect(bytes int64) {
+	if c.state != stClosed {
+		panic("tcp: Connect on non-closed conn")
+	}
+	c.backlog = bytes
+	c.iss = c.Loop.Rand().Uint32()
+	c.sndUna, c.sndNxt = c.iss, c.iss
+	c.highestSacked = c.iss
+	c.state = stSynSent
+	c.sendSYN(false)
+}
+
+// QueueBytes adds application data to an established or connecting flow.
+func (c *Conn) QueueBytes(bytes int64) {
+	if c.backlog < 0 {
+		return
+	}
+	c.backlog += bytes
+	c.trySend()
+}
+
+// Backlog returns unqueued application bytes remaining (<0 = unbounded).
+func (c *Conn) Backlog() int64 { return c.backlog }
+
+// Close queues a FIN after any remaining data. Calling Close before the
+// handshake completes defers the FIN until after the data drains.
+func (c *Conn) Close() {
+	switch c.state {
+	case stSynSent, stSynRcvd, stEstablished, stCloseWait:
+		c.finQueued = true
+		c.trySend()
+	}
+}
+
+// Notify delivers a TDN-change notification (the parsed ICMP of Fig. 5a) to
+// the connection's policy. Stale epochs are discarded.
+func (c *Conn) Notify(tdn int, epoch uint32) {
+	if epoch != 0 && epoch <= c.notifyEpoch {
+		return
+	}
+	c.notifyEpoch = epoch
+	c.policy.OnNotify(tdn, epoch)
+	// A path switch may have opened the window: try to transmit.
+	c.trySend()
+}
+
+// KickRecovery restarts a stalled recovery: when the active state sits in
+// Recovery/Loss with an empty pipe and lost segments, PRR has no delivery
+// credit and no ACK clock, so nothing would move until the RTO. Sending one
+// lost segment is plain packet conservation. MPTCP's scheduler calls this on
+// the subflow it activates.
+func (c *Conn) KickRecovery() {
+	st := c.ActiveState()
+	if (st.CA != CARecovery && st.CA != CALoss) || st.InFlight() > 0 || st.LostOut == 0 {
+		return
+	}
+	var victim *TxSeg
+	c.rtx.forEach(func(seg *TxSeg) bool {
+		if seg.Lost && !seg.Sacked {
+			victim = seg
+			return false
+		}
+		return true
+	})
+	if victim != nil {
+		c.Stats.FastRetransmits++
+		c.transmitSeg(victim, true)
+		c.armTimer()
+	}
+}
+
+// CircuitUp/CircuitDown forward explicit circuit signals to circuit-aware
+// congestion control (reTCP).
+func (c *Conn) CircuitUp() {
+	for _, st := range c.states {
+		if ca, ok := st.CC.(cc.CircuitAware); ok {
+			ca.OnCircuitUp(c.Loop.Now())
+		}
+	}
+	c.trySend()
+}
+
+// CircuitDown signals circuit teardown to circuit-aware CC.
+func (c *Conn) CircuitDown() {
+	for _, st := range c.states {
+		if ca, ok := st.CC.(cc.CircuitAware); ok {
+			ca.OnCircuitDown(c.Loop.Now())
+		}
+	}
+}
+
+// --- segment construction ------------------------------------------------
+
+func (c *Conn) newSegment(flags uint8) *packet.Segment {
+	s := &packet.Segment{
+		Src: c.LocalAddr, Dst: c.RemoteAddr, TTL: 64, Proto: packet.ProtoTCP,
+		TCP: packet.TCPHeader{
+			SrcPort: c.LocalPort, DstPort: c.RemotePort,
+			Flags:  flags,
+			Window: uint32(c.rcvWindow()),
+			Ack:    c.rcvNxt,
+		},
+	}
+	if c.cfg.ECN && flags&packet.FlagSYN == 0 {
+		s.ECN = packet.ECNECT0
+	}
+	return s
+}
+
+func (c *Conn) rcvWindow() int {
+	held := 0
+	for _, r := range c.ranges {
+		held += int(r.End - r.Start)
+	}
+	w := c.cfg.RcvBuf - held
+	if w < 0 {
+		w = 0
+	}
+	return w
+}
+
+func (c *Conn) sendSYN(ack bool) {
+	flags := uint8(packet.FlagSYN)
+	seq := c.iss
+	if ack {
+		flags |= packet.FlagACK
+	}
+	s := c.newSegment(flags)
+	s.TCP.Seq = seq
+	s.TCP.SACKPermitted = true
+	if c.cfg.NumTDNs > 1 {
+		s.TCP.TDCapable = true
+		s.TCP.NumTDNs = uint8(c.cfg.NumTDNs)
+	}
+	if c.sndNxt == c.iss {
+		// First transmission: the SYN occupies one sequence number and,
+		// per Appendix A.2, is always tracked under TDN 0.
+		c.sndNxt = c.iss + 1
+		seg := &TxSeg{Seq: seq, Len: 1, TDN: 0, SentAt: c.Loop.Now(), FirstSentAt: c.Loop.Now()}
+		c.rtx.push(seg)
+		c.states[0].PacketsOut++
+	}
+	c.Stats.SegsSent++
+	c.Out(s)
+	c.armTimer()
+}
+
+// sendData transmits (or retransmits) the given range as one segment.
+func (c *Conn) transmitSeg(seg *TxSeg, isRetrans bool) {
+	now := c.Loop.Now()
+	dataTDN := c.policy.DataTDN()
+	if isRetrans {
+		st := c.states[seg.TDN]
+		st.undoRetrans++ // D-SACK undo bookkeeping on the recovering state
+		// The retransmission moves the segment to the current TDN: its
+		// pipe accounting follows (§4.3 "any TDN" scheduling, with the
+		// copy in flight belonging to the TDN that carries it).
+		st.PacketsOut--
+		if seg.Lost {
+			st.LostOut--
+			seg.Lost = false
+		}
+		if seg.Retrans {
+			st.RetransOut--
+		}
+		nst := c.states[dataTDN]
+		nst.PacketsOut++
+		nst.RetransOut++
+		seg.Retrans = true
+		seg.EverRetrans = true
+		seg.Retransmits++
+		c.Stats.Retransmits++
+	}
+	seg.TDN = dataTDN
+	seg.SentAt = now
+	c.lastTxAt = now
+
+	s := c.newSegment(packet.FlagACK | packet.FlagPSH)
+	s.TCP.Seq = seg.Seq
+	s.TCP.PayloadLen = seg.Len
+	c.attachTDOption(s, true)
+	if c.TxSegmentHook != nil {
+		c.TxSegmentHook(seg, &s.TCP)
+	}
+	c.Stats.SegsSent++
+	c.Stats.BytesSent += int64(seg.Len)
+	c.Out(s)
+}
+
+// attachTDOption adds the TD_DATA_ACK option when negotiated. Data segments
+// carry both the data TDN and (piggybacked ACK) the ack TDN.
+func (c *Conn) attachTDOption(s *packet.Segment, hasData bool) {
+	if !c.tdEnabled {
+		return
+	}
+	s.TCP.TDPresent = true
+	s.TCP.TDFlags = packet.TDFlagACK
+	s.TCP.AckTDN = c.policy.AckTDN()
+	s.TCP.DataTDN = packet.NoTDN
+	if hasData {
+		s.TCP.TDFlags |= packet.TDFlagData
+		s.TCP.DataTDN = c.policy.DataTDN()
+	}
+}
+
+// --- transmit path ---------------------------------------------------------
+
+// trySend drives the output engine: retransmissions first (any-TDN rule),
+// then new data, gated by the active state's congestion window and the
+// peer's receive window.
+func (c *Conn) trySend() {
+	if c.state != stEstablished && c.state != stCloseWait && c.state != stFinWait {
+		return
+	}
+	active := c.ActiveState()
+	activeTDN := uint8(c.policy.Active())
+	// cwnd-based budget protects the pipe; PRR additionally throttles the
+	// active TDN's own recovery (cross-TDN repairs are "retransmitted at
+	// the earliest opportunity", §4.3, and bypass PRR).
+	pipeBudget := func() int {
+		return int(active.Cwnd()) - active.InFlight()
+	}
+	budget := func() int {
+		b := pipeBudget()
+		if prr := active.prrBudget(); prr < b {
+			b = prr
+		}
+		return b
+	}
+
+	// Retransmissions: schedule when any TDN has lost segments (§4.3
+	// "any TDN": logical OR over states).
+	anyLost := false
+	for _, st := range c.states {
+		if st.LostOut > 0 && (st.CA == CARecovery || st.CA == CALoss) {
+			anyLost = true
+			break
+		}
+	}
+	if anyLost {
+		c.rtx.forEach(func(seg *TxSeg) bool {
+			if pipeBudget() <= 0 {
+				return false
+			}
+			if seg.Lost && !seg.Sacked {
+				sameTDN := seg.TDN == activeTDN
+				if sameTDN && budget() <= 0 {
+					return true // PRR-throttled; later same-TDN segs too, but
+					// cross-TDN repairs behind them may still go
+				}
+				if !c.paceGate() {
+					return false
+				}
+				c.Stats.FastRetransmits++
+				if sameTDN {
+					active.prrSpend()
+				}
+				c.transmitSeg(seg, true)
+			}
+			return true
+		})
+	}
+
+	// New data.
+	for budget() > 0 {
+		if !c.sendNewSegment() {
+			break
+		}
+	}
+	c.armTimer()
+}
+
+// sendNewSegment emits one new MSS (or smaller) segment if application data
+// and windows allow; reports whether a segment was sent.
+func (c *Conn) sendNewSegment() bool {
+	if c.backlog == 0 {
+		c.maybeSendFIN()
+		return false
+	}
+	inFlightBytes := c.sndNxt - c.sndUna
+	if c.peerWnd > 0 && inFlightBytes+uint32(c.cfg.MSS) > c.peerWnd {
+		if c.OnSendBlocked != nil {
+			c.OnSendBlocked("rwnd")
+		}
+		return false
+	}
+	if !c.paceGate() {
+		return false
+	}
+	n := c.cfg.MSS
+	if c.backlog > 0 && int64(n) > c.backlog {
+		n = int(c.backlog)
+	}
+	now := c.Loop.Now()
+	seg := &TxSeg{Seq: c.sndNxt, Len: n, SentAt: now, FirstSentAt: now}
+	c.sndNxt += uint32(n)
+	if c.backlog > 0 {
+		c.backlog -= int64(n)
+	}
+	c.rtx.push(seg)
+	st := c.states[c.policy.DataTDN()]
+	st.PacketsOut++
+	st.prrSpend()
+	c.transmitSeg(seg, false)
+	return true
+}
+
+func (c *Conn) maybeSendFIN() {
+	if !c.finQueued || c.state == stFinWait {
+		return
+	}
+	now := c.Loop.Now()
+	seg := &TxSeg{Seq: c.sndNxt, Len: 1, TDN: c.policy.DataTDN(), SentAt: now, FirstSentAt: now}
+	c.sndNxt++
+	c.rtx.push(seg)
+	c.states[seg.TDN].PacketsOut++
+	s := c.newSegment(packet.FlagFIN | packet.FlagACK)
+	s.TCP.Seq = seg.Seq
+	c.attachTDOption(s, false)
+	c.state = stFinWait
+	c.Stats.SegsSent++
+	c.Out(s)
+	c.armTimer()
+}
+
+// paceGate enforces optional packet pacing: returns false when the next
+// transmission slot has not arrived yet (and schedules a resume).
+func (c *Conn) paceGate() bool {
+	if c.cfg.Pacing <= 0 {
+		return true
+	}
+	now := c.Loop.Now()
+	if now < c.paceNext {
+		// One pending pace wake-up per connection: trySend probes the gate
+		// repeatedly (retransmissions and new data), and scheduling a wake
+		// per probe would snowball.
+		if c.paceTimer == nil || !c.paceTimer.Active() {
+			c.paceTimer = c.Loop.At(c.paceNext, func() { c.trySend() })
+		}
+		return false
+	}
+	st := c.ActiveState()
+	if st.SRTT > 0 && st.Cwnd() > 0 {
+		gap := sim.Duration(float64(st.SRTT) / (st.Cwnd() * c.cfg.Pacing))
+		c.paceNext = now.Add(gap)
+	}
+	return true
+}
+
+// --- timers ---------------------------------------------------------------
+
+// armTimer (re)arms the retransmission timer: a TLP probe timer while the
+// active path is healthy (RFC 8985 §7.2), otherwise a conventional RTO for
+// the oldest outstanding segment via the policy (§4.4).
+//
+// Deadlines are anchored to transmission times (head.SentAt for the RTO,
+// the most recent transmission for the TLP probe), NOT to the current time:
+// armTimer runs on every ACK and notification, and anchoring at "now" would
+// let a steady stream of TDN-change notifications postpone the RTO forever.
+func (c *Conn) armTimer() {
+	head := c.rtx.headSeg()
+	if head == nil {
+		if c.timer != nil {
+			c.timer.Stop()
+			c.timer = nil
+		}
+		return
+	}
+	// TLP arms while the active path is healthy and nothing is marked lost
+	// anywhere; a recovery on an inactive TDN must not suppress tail probes
+	// for the path that is actually carrying traffic.
+	act := c.ActiveState()
+	healthy := act.CA == CAOpen || act.CA == CADisorder
+	for _, st := range c.states {
+		if st.LostOut > 0 {
+			healthy = false
+			break
+		}
+	}
+	useTLP := c.cfg.TLP && healthy && !c.tlpInFlight && c.state >= stEstablished
+	var deadline sim.Time
+	if useTLP {
+		srtt := c.ActiveState().SRTT
+		if srtt == 0 {
+			srtt = c.cfg.InitialRTO / 2
+		}
+		d := 2 * srtt
+		if c.totalPacketsOut() == 1 {
+			d += srtt / 2
+		}
+		deadline = c.lastTxAt.Add(d)
+	} else {
+		b := c.backoff
+		if b > 16 {
+			b = 16 // exponential backoff saturates well past MaxRTO
+		}
+		d := c.policy.SegmentRTO(head.TDN) << b
+		if d <= 0 || d > c.cfg.MaxRTO {
+			d = c.cfg.MaxRTO
+		}
+		deadline = head.SentAt.Add(d)
+	}
+	if deadline <= c.Loop.Now() {
+		deadline = c.Loop.Now().Add(sim.Microsecond)
+	}
+	if c.timer != nil {
+		if c.timer.Active() && c.timerIsTLP == useTLP && c.timer.When() == deadline {
+			return // identical timer already armed
+		}
+		c.timer.Stop()
+	}
+	c.timerIsTLP = useTLP
+	c.timer = c.Loop.At(deadline, c.onTimer)
+}
+
+func (c *Conn) onTimer() {
+	if c.timerIsTLP {
+		c.fireTLP()
+		return
+	}
+	c.fireRTO()
+}
+
+// fireTLP sends a tail-loss probe: new data when available, otherwise the
+// highest-sequence outstanding segment (RFC 8985 §7.3).
+func (c *Conn) fireTLP() {
+	c.tlpInFlight = true
+	c.Stats.TLPProbes++
+	if c.backlog != 0 && c.sendNewSegment() {
+		c.armTimer()
+		return
+	}
+	if tail := c.rtx.tailSeg(); tail != nil && !tail.Sacked {
+		c.transmitSeg(tail, true)
+	}
+	c.armTimer()
+}
+
+// fireRTO handles a retransmission timeout: every outstanding un-SACKed
+// segment is marked lost, the head state enters Loss, and the head segment
+// is retransmitted with exponential backoff.
+func (c *Conn) fireRTO() {
+	head := c.rtx.headSeg()
+	if head == nil {
+		return
+	}
+	c.Stats.RTOFires++
+	if c.state == stSynSent || c.state == stSynRcvd {
+		// Handshake retransmission.
+		c.backoff++
+		c.sendSYN(c.state == stSynRcvd)
+		return
+	}
+	now := c.Loop.Now()
+	// Mark losses and move every affected state to Loss.
+	touched := map[uint8]bool{}
+	c.rtx.forEach(func(seg *TxSeg) bool {
+		if !seg.Sacked && !seg.Lost {
+			st := c.states[seg.TDN]
+			st.LostOut++
+			seg.Lost = true
+			if seg.Retrans {
+				st.RetransOut--
+				seg.Retrans = false
+			}
+			touched[seg.TDN] = true
+		}
+		return true
+	})
+	for tdn := range touched {
+		st := c.states[tdn]
+		if st.CA != CALoss {
+			st.CA = CALoss
+			st.RecoveryPoint = c.sndNxt
+			st.undoPossible = false
+			st.enterRecoveryPRR()
+			st.CC.OnRTO(now, st.InFlight())
+		}
+	}
+	if c.backoff < 16 {
+		c.backoff++
+	}
+	// Retransmit the oldest lost segment immediately (the head itself may
+	// already be SACKed).
+	var victim *TxSeg
+	c.rtx.forEach(func(seg *TxSeg) bool {
+		if seg.Lost && !seg.Sacked {
+			victim = seg
+			return false
+		}
+		return true
+	})
+	if victim != nil {
+		c.transmitSeg(victim, true)
+	}
+	c.armTimer()
+}
+
+func (c *Conn) String() string {
+	return fmt.Sprintf("conn(%s una=%d nxt=%d states=%d active=%d)",
+		[]string{"closed", "listen", "synsent", "synrcvd", "estab", "finwait", "closewait", "done"}[c.state],
+		c.sndUna-c.iss, c.sndNxt-c.iss, len(c.states), c.policy.Active())
+}
+
+// cwndOf is a test helper exposing a state's cwnd rounded down.
+func cwndOf(st *PathState) int { return int(math.Floor(st.Cwnd())) }

@@ -1,0 +1,62 @@
+// Package workload provides the flowgrind-like traffic model of §5.1 (16
+// synchronized long-lived bulk flows) and the analytic reference curves the
+// paper plots against: "optimal" (an idealized TCP using the full rate of
+// whichever TDN is active, idle during nights) and "packet only" (the packet
+// rate continuously, with no reconfiguration blackouts).
+package workload
+
+import (
+	"github.com/rdcn-net/tdtcp/internal/rdcn"
+	"github.com/rdcn-net/tdtcp/internal/sim"
+	"github.com/rdcn-net/tdtcp/internal/stats"
+)
+
+// OptimalBytes returns the bytes an idealized TCP delivers by time t: the
+// active TDN's full bottleneck rate during each day, nothing during nights
+// (§2.2's "optimal" curve).
+func OptimalBytes(sch *rdcn.Schedule, tdns []rdcn.TDNParams, t sim.Time) int64 {
+	var total int64
+	var cur sim.Time
+	for cur < t {
+		tdn, ok, slotEnd := sch.At(cur)
+		end := slotEnd
+		if end > t {
+			end = t
+		}
+		if ok {
+			total += tdns[tdn].Rate.BytesIn(end.Sub(cur))
+		}
+		cur = end
+	}
+	return total
+}
+
+// PacketOnlyBytes returns the bytes delivered by an idealized TCP that uses
+// only the packet network: a constant rate with no blackout periods.
+func PacketOnlyBytes(rate sim.Rate, t sim.Time) int64 {
+	return rate.BytesIn(sim.Duration(t))
+}
+
+// OptimalSeries samples OptimalBytes on [from, to] at the given step.
+func OptimalSeries(sch *rdcn.Schedule, tdns []rdcn.TDNParams, from, to sim.Time, step sim.Duration) *stats.Series {
+	s := &stats.Series{Label: "optimal"}
+	for t := from; t <= to; t = t.Add(step) {
+		s.Add(t, float64(OptimalBytes(sch, tdns, t)))
+	}
+	return s
+}
+
+// PacketOnlySeries samples PacketOnlyBytes on [from, to] at the given step.
+func PacketOnlySeries(rate sim.Rate, from, to sim.Time, step sim.Duration) *stats.Series {
+	s := &stats.Series{Label: "packet only"}
+	for t := from; t <= to; t = t.Add(step) {
+		s.Add(t, float64(PacketOnlyBytes(rate, t)))
+	}
+	return s
+}
+
+// OptimalGbps returns the long-run average rate of the optimal curve.
+func OptimalGbps(sch *rdcn.Schedule, tdns []rdcn.TDNParams) float64 {
+	week := sim.Time(sch.Week())
+	return stats.ThroughputGbps(OptimalBytes(sch, tdns, week), sch.Week())
+}

@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/rdcn-net/tdtcp/internal/rdcn"
+	"github.com/rdcn-net/tdtcp/internal/sim"
+)
+
+func params() (*rdcn.Schedule, []rdcn.TDNParams) {
+	return rdcn.HybridWeek(6, 180*sim.Microsecond, 20*sim.Microsecond),
+		[]rdcn.TDNParams{
+			{Rate: 10 * sim.Gbps, Delay: 49 * sim.Microsecond},
+			{Rate: 100 * sim.Gbps, Delay: 19 * sim.Microsecond},
+		}
+}
+
+func TestOptimalBytesOneWeek(t *testing.T) {
+	sch, tdns := params()
+	week := sim.Time(sch.Week())
+	got := OptimalBytes(sch, tdns, week)
+	// 6 packet days at 10 Gbps * 180us + 1 optical day at 100 Gbps * 180us.
+	want := int64(6*10e9/8*180e-6 + 100e9/8*180e-6)
+	if math.Abs(float64(got-want)) > 100 {
+		t.Fatalf("optimal bytes = %d, want %d", got, want)
+	}
+}
+
+func TestOptimalBytesMidDay(t *testing.T) {
+	sch, tdns := params()
+	// 90us into the first (packet) day: half a day at 10 Gbps.
+	got := OptimalBytes(sch, tdns, sim.Time(90*sim.Microsecond))
+	want := int64(10e9 / 8 * 90e-6)
+	if math.Abs(float64(got-want)) > 100 {
+		t.Fatalf("mid-day bytes = %d, want %d", got, want)
+	}
+	// Night adds nothing: value at 200us equals value at 180us.
+	if OptimalBytes(sch, tdns, sim.Time(200*sim.Microsecond)) != OptimalBytes(sch, tdns, sim.Time(180*sim.Microsecond)) {
+		t.Fatal("night contributed bytes")
+	}
+}
+
+func TestPacketOnlyContinuous(t *testing.T) {
+	got := PacketOnlyBytes(10*sim.Gbps, sim.Time(1400*sim.Microsecond))
+	want := int64(10e9 / 8 * 1400e-6)
+	if got != want {
+		t.Fatalf("packet-only = %d, want %d", got, want)
+	}
+}
+
+// Property: optimal is monotone and bounded by the fastest TDN's line rate.
+func TestOptimalMonotoneBounded(t *testing.T) {
+	sch, tdns := params()
+	f := func(a, b uint16) bool {
+		t1 := sim.Time(a) * sim.Time(sim.Microsecond)
+		t2 := sim.Time(b) * sim.Time(sim.Microsecond)
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		b1 := OptimalBytes(sch, tdns, t1)
+		b2 := OptimalBytes(sch, tdns, t2)
+		if b2 < b1 {
+			return false
+		}
+		cap := (100 * sim.Gbps).BytesIn(sim.Duration(t2)) + 1
+		return b2 <= cap
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimalSeries(t *testing.T) {
+	sch, tdns := params()
+	s := OptimalSeries(sch, tdns, 0, sim.Time(1400*sim.Microsecond), 100*sim.Microsecond)
+	if s.Len() != 15 {
+		t.Fatalf("series len = %d", s.Len())
+	}
+	for i := 1; i < s.Len(); i++ {
+		if s.V[i] < s.V[i-1] {
+			t.Fatal("optimal series not monotone")
+		}
+	}
+	p := PacketOnlySeries(10*sim.Gbps, 0, sim.Time(1400*sim.Microsecond), 100*sim.Microsecond)
+	// Optimal ends above packet-only (extra optical capacity).
+	if s.Last() <= p.Last() {
+		t.Fatalf("optimal %v not above packet-only %v", s.Last(), p.Last())
+	}
+}
+
+func TestOptimalGbps(t *testing.T) {
+	sch, tdns := params()
+	got := OptimalGbps(sch, tdns)
+	// (6*10 + 1*100) * 180/200 / 7 = 160/7 * 0.9 = 20.57 Gbps.
+	want := (6.0*10 + 100) * 0.9 / 7
+	if math.Abs(got-want) > 0.05 {
+		t.Fatalf("optimal Gbps = %v, want %v", got, want)
+	}
+}
