@@ -10,6 +10,7 @@ package tdtcp
 // cmd/tdsim for full-scale reproductions.
 
 import (
+	"io"
 	"testing"
 
 	"github.com/rdcn-net/tdtcp/internal/core"
@@ -217,7 +218,10 @@ func BenchmarkEventLoop(b *testing.B) {
 }
 
 // BenchmarkSimulatedSecond measures wall time per simulated optical week of
-// the full 16-flow TDTCP experiment (events, transport, wire codec).
+// the full 16-flow TDTCP experiment (events, transport, wire codec). This is
+// also the tracing-disabled baseline for BenchmarkSimulatedWeekTraced: with
+// no tracer attached every instrumentation site reduces to a nil check, so
+// the two should differ only by the enabled tracer's encoding cost.
 func BenchmarkSimulatedWeek(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		loop := NewLoop(int64(i + 1))
@@ -236,6 +240,77 @@ func BenchmarkSimulatedWeek(b *testing.B) {
 		end := Time(cfg.Schedule.Week())
 		net.Start(end)
 		loop.RunUntil(end)
+	}
+}
+
+// BenchmarkSimulatedWeekTraced is BenchmarkSimulatedWeek with a full-mask
+// JSONL tracer attached (writing to io.Discard), measuring the enabled-path
+// tracing overhead on the end-to-end experiment.
+func BenchmarkSimulatedWeekTraced(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		loop := NewLoop(int64(i + 1))
+		tr := NewTracer(io.Discard, TraceAll)
+		loop.SetTracer(tr)
+		cfg := DefaultNetworkConfig()
+		net, err := NewNetwork(loop, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		net.SetTracer(tr)
+		for f := 0; f < cfg.HostsPerRack; f++ {
+			fl, err := BuildFlow(loop, net, f, TDTCP, FlowOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			fl.SetTracer(tr, f)
+			fl.Start(-1)
+		}
+		end := Time(cfg.Schedule.Week())
+		net.Start(end)
+		loop.RunUntil(end)
+		if err := tr.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTracerDisabled measures the per-event-site cost with tracing off:
+// a nil *Tracer receiver, where Enabled is a nil check plus a mask test.
+// This is the overhead every instrumentation point pays in production runs.
+func BenchmarkTracerDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tr.Enabled(TraceTCP) {
+			tr.Emit(TraceTCP, int64(i), "retransmit", 1, 0, 1.0, 2.0, "")
+		}
+	}
+}
+
+// BenchmarkTracerRing measures the enabled emit path into the in-memory ring
+// (no encoding).
+func BenchmarkTracerRing(b *testing.B) {
+	tr := NewRingTracer(1024, TraceAll)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tr.Enabled(TraceTCP) {
+			tr.Emit(TraceTCP, int64(i), "retransmit", 1, 0, 1.0, 2.0, "")
+		}
+	}
+}
+
+// BenchmarkTracerJSONL measures the enabled emit path including JSONL
+// encoding, streaming to io.Discard.
+func BenchmarkTracerJSONL(b *testing.B) {
+	tr := NewTracer(io.Discard, TraceAll)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tr.Enabled(TraceTCP) {
+			tr.Emit(TraceTCP, int64(i), "retransmit", 1, 0, 1.0, 2.0, "")
+		}
+	}
+	if err := tr.Flush(); err != nil {
+		b.Fatal(err)
 	}
 }
 

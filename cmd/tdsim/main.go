@@ -6,13 +6,19 @@
 //	tdsim -fig all                  # reproduce every figure
 //	tdsim -fig fig10 -csv out/      # also dump plottable CSV series
 //	tdsim -run tdtcp -weeks 20      # single-variant run with counters
+//	tdsim -run tdtcp -trace out.jsonl -metrics out.json
+//	                                # + JSONL event trace and metrics JSON
 //
 // Figures: fig2 fig7 fig8 fig9 fig10 fig11 fig13 fig14 headline ablation.
+//
+// Traces are post-processed with the tdtrace command (summary, filtering,
+// Chrome trace-viewer export).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -32,6 +38,10 @@ func main() {
 		seed   = flag.Int64("seed", 1, "simulation seed")
 		quick  = flag.Bool("quick", false, "shrink runs for a fast smoke pass")
 		csvDir = flag.String("csv", "", "directory to write plottable CSV series into")
+
+		traceOut  = flag.String("trace", "", "write a JSONL event trace to this file (-run only; '-' = stdout)")
+		traceCats = flag.String("tracecats", "tcp,cc,tdn,voq,rdcn", "trace categories (comma-separated; 'all' adds the chatty sim loop)")
+		metricsFn = flag.String("metrics", "", "write run metrics as JSON to this file (-run only; '-' = stdout)")
 	)
 	flag.Parse()
 
@@ -44,7 +54,7 @@ func main() {
 		if m == 0 {
 			m = 20
 		}
-		if err := runOne(tdtcp.Variant(*runVar), *flows, w, m, *seed); err != nil {
+		if err := runOne(tdtcp.Variant(*runVar), *flows, w, m, *seed, *traceOut, *traceCats, *metricsFn); err != nil {
 			fatal(err)
 		}
 	case *figID != "":
@@ -80,12 +90,63 @@ func main() {
 	}
 }
 
-func runOne(v tdtcp.Variant, flows, warmup, weeks int, seed int64) error {
-	res, err := tdtcp.Run(tdtcp.RunConfig{
+// outFile opens path for writing ("-" = stdout). closeFn is a no-op for
+// stdout.
+func outFile(path string) (w io.Writer, closeFn func() error, err error) {
+	if path == "-" {
+		return os.Stdout, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+func runOne(v tdtcp.Variant, flows, warmup, weeks int, seed int64, traceOut, traceCats, metricsFn string) error {
+	cfg := tdtcp.RunConfig{
 		Variant: v, Flows: flows, WarmupWeeks: warmup, MeasureWeeks: weeks, Seed: seed,
-	})
+	}
+	var closeTrace func() error
+	if traceOut != "" {
+		mask, err := tdtcp.ParseTraceCategories(traceCats)
+		if err != nil {
+			return err
+		}
+		w, closeFn, err := outFile(traceOut)
+		if err != nil {
+			return err
+		}
+		closeTrace = closeFn
+		cfg.Tracer = tdtcp.NewTracer(w, mask)
+	}
+	if metricsFn != "" {
+		cfg.Metrics = tdtcp.NewMetricsRegistry()
+	}
+	res, err := tdtcp.Run(cfg)
 	if err != nil {
 		return err
+	}
+	if cfg.Tracer != nil {
+		if err := cfg.Tracer.Flush(); err != nil {
+			return err
+		}
+		if err := closeTrace(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "tdsim: %d trace events -> %s\n", cfg.Tracer.Count(), traceOut)
+	}
+	if cfg.Metrics != nil {
+		w, closeFn, err := outFile(metricsFn)
+		if err != nil {
+			return err
+		}
+		if err := cfg.Metrics.WriteJSON(w); err != nil {
+			return err
+		}
+		if err := closeFn(); err != nil {
+			return err
+		}
 	}
 	fmt.Printf("variant        %s\n", res.Variant)
 	fmt.Printf("goodput        %.2f Gbps (optimal %.2f, packet-only %.2f)\n",

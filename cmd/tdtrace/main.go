@@ -1,0 +1,415 @@
+// Command tdtrace post-processes JSONL event traces produced by
+// tdsim -trace (or any trace.Tracer):
+//
+//	tdtrace -summary out.jsonl              # per-category/flow/TDN rollups
+//	tdtrace -chrome out.jsonl -o out.json   # Chrome trace-viewer export
+//	tdtrace -filter -cat voq,rdcn out.jsonl # select events, emit JSONL
+//	tdtrace -filter -flow 3 -from 2ms -to 4ms out.jsonl
+//
+// Exactly one of -summary, -chrome, -filter must be chosen. The input is a
+// file path or "-" for stdin; filtered output and Chrome JSON go to -o
+// (default stdout). Chrome exports load in chrome://tracing or
+// https://ui.perfetto.dev.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/rdcn-net/tdtcp/internal/trace"
+)
+
+func main() {
+	var (
+		doSummary = flag.Bool("summary", false, "print per-category, per-flow and per-TDN rollups")
+		doChrome  = flag.Bool("chrome", false, "convert to Chrome trace-viewer JSON")
+		doFilter  = flag.Bool("filter", false, "select matching events and re-emit JSONL")
+		out       = flag.String("o", "-", "output file ('-' = stdout)")
+		topN      = flag.Int("top", 5, "top-N droppers/retransmitters in the summary")
+
+		fCats = flag.String("cat", "", "filter: categories (comma-separated, e.g. 'voq,rdcn')")
+		fName = flag.String("name", "", "filter: event name (exact match)")
+		fFlow = flag.Int("flow", -2, "filter: flow id (-1 = unlabeled network events)")
+		fTDN  = flag.Int("tdn", -2, "filter: TDN label")
+		fFrom = flag.String("from", "", "filter: start of time window (e.g. '2ms', '180us', '1500000' ns)")
+		fTo   = flag.String("to", "", "filter: end of time window (exclusive)")
+	)
+	flag.Parse()
+	// Go's flag package stops at the first positional argument; accept
+	// "tdtrace -chrome out.jsonl -o out.json" by re-parsing what follows
+	// the input path.
+	input := flag.Arg(0)
+	if flag.NArg() > 1 {
+		if err := flag.CommandLine.Parse(flag.Args()[1:]); err != nil {
+			os.Exit(2)
+		}
+		if flag.NArg() != 0 {
+			flag.Usage()
+			os.Exit(2)
+		}
+	}
+
+	modes := 0
+	for _, m := range []bool{*doSummary, *doChrome, *doFilter} {
+		if m {
+			modes++
+		}
+	}
+	if modes != 1 || input == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	in, closeIn, err := openIn(input)
+	if err != nil {
+		fatal(err)
+	}
+	defer closeIn()
+
+	switch {
+	case *doChrome:
+		w, closeOut, err := openOut(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.Chrome(in, w); err != nil {
+			fatal(err)
+		}
+		if err := closeOut(); err != nil {
+			fatal(err)
+		}
+	case *doSummary:
+		if err := summarize(in, os.Stdout, *topN); err != nil {
+			fatal(err)
+		}
+	case *doFilter:
+		flt, err := buildFilter(*fCats, *fName, *fFlow, *fTDN, *fFrom, *fTo)
+		if err != nil {
+			fatal(err)
+		}
+		w, closeOut, err := openOut(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := filterEvents(in, w, flt); err != nil {
+			fatal(err)
+		}
+		if err := closeOut(); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func openIn(path string) (io.Reader, func() error, error) {
+	if path == "-" {
+		return os.Stdin, func() error { return nil }, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+func openOut(path string) (io.Writer, func() error, error) {
+	if path == "-" {
+		w := bufio.NewWriter(os.Stdout)
+		return w, w.Flush, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := bufio.NewWriter(f)
+	return w, func() error {
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}, nil
+}
+
+// parseTime parses a virtual timestamp: a bare integer is nanoseconds;
+// ns/us/ms/s suffixes are accepted.
+func parseTime(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "ns"):
+		s = s[:len(s)-2]
+	case strings.HasSuffix(s, "us"):
+		s, mult = s[:len(s)-2], 1e3
+	case strings.HasSuffix(s, "ms"):
+		s, mult = s[:len(s)-2], 1e6
+	case strings.HasSuffix(s, "s"):
+		s, mult = s[:len(s)-1], 1e9
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad time %q: %v", s, err)
+	}
+	return int64(v * float64(mult)), nil
+}
+
+type filter struct {
+	cats      map[string]bool // nil = all
+	name      string
+	flow, tdn int // -2 = any
+	from, to  int64
+	haveFrom  bool
+	haveTo    bool
+}
+
+func buildFilter(cats, name string, flow, tdn int, from, to string) (*filter, error) {
+	f := &filter{name: name, flow: flow, tdn: tdn}
+	if cats != "" {
+		mask, err := trace.ParseCategories(cats)
+		if err != nil {
+			return nil, err
+		}
+		f.cats = map[string]bool{}
+		for _, c := range []trace.Category{trace.CatSim, trace.CatTCP, trace.CatCC,
+			trace.CatTDN, trace.CatVOQ, trace.CatRDCN} {
+			if mask&c != 0 {
+				f.cats[c.String()] = true
+			}
+		}
+	}
+	var err error
+	if from != "" {
+		if f.from, err = parseTime(from); err != nil {
+			return nil, err
+		}
+		f.haveFrom = true
+	}
+	if to != "" {
+		if f.to, err = parseTime(to); err != nil {
+			return nil, err
+		}
+		f.haveTo = true
+	}
+	return f, nil
+}
+
+func (f *filter) match(ev *trace.Event) bool {
+	if f.cats != nil && !f.cats[ev.Cat] {
+		return false
+	}
+	if f.name != "" && ev.Name != f.name {
+		return false
+	}
+	if f.flow != -2 && ev.Flow != f.flow {
+		return false
+	}
+	if f.tdn != -2 && ev.TDN != f.tdn {
+		return false
+	}
+	if f.haveFrom && ev.TS < f.from {
+		return false
+	}
+	if f.haveTo && ev.TS >= f.to {
+		return false
+	}
+	return true
+}
+
+// forEachEvent streams JSONL lines through fn; malformed lines abort with a
+// line-numbered error.
+func forEachEvent(r io.Reader, fn func(line []byte, ev *trace.Event) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var ev trace.Event
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if err := trace.ParseLine(line, &ev); err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if err := fn(line, &ev); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+func filterEvents(r io.Reader, w io.Writer, flt *filter) error {
+	return forEachEvent(r, func(line []byte, ev *trace.Event) error {
+		if !flt.match(ev) {
+			return nil
+		}
+		if _, err := w.Write(line); err != nil {
+			return err
+		}
+		_, err := w.Write([]byte{'\n'})
+		return err
+	})
+}
+
+// --- summary ---------------------------------------------------------------
+
+type flowStat struct {
+	events, retrans, rtoFires, tlps, sacks, caChanges, ccMD, switches int
+}
+
+type tdnStat struct {
+	events, voqDrops, voqMarks, switches int
+	days                                 int
+}
+
+func summarize(r io.Reader, w io.Writer, topN int) error {
+	var (
+		total     int
+		firstTS   int64
+		lastTS    int64
+		byCatName = map[string]int{}
+		flows     = map[int]*flowStat{}
+		tdns      = map[int]*tdnStat{}
+		droppers  = map[string]int{}
+	)
+	err := forEachEvent(r, func(_ []byte, ev *trace.Event) error {
+		if total == 0 {
+			firstTS = ev.TS
+		}
+		total++
+		lastTS = ev.TS
+		byCatName[ev.Cat+"/"+ev.Name]++
+
+		if ev.Flow >= 0 {
+			fs := flows[ev.Flow]
+			if fs == nil {
+				fs = &flowStat{}
+				flows[ev.Flow] = fs
+			}
+			fs.events++
+			switch ev.Name {
+			case "retransmit":
+				fs.retrans++
+			case "rto_fire":
+				fs.rtoFires++
+			case "tlp":
+				fs.tlps++
+			case "sack":
+				fs.sacks++
+			case "ca_state":
+				fs.caChanges++
+			case "md", "rto":
+				fs.ccMD++
+			case "tdn_switch":
+				fs.switches++
+			}
+		}
+		if ev.TDN >= 0 {
+			ts := tdns[ev.TDN]
+			if ts == nil {
+				ts = &tdnStat{}
+				tdns[ev.TDN] = ts
+			}
+			ts.events++
+			switch ev.Name {
+			case "voq_drop":
+				ts.voqDrops++
+			case "voq_mark":
+				ts.voqMarks++
+			case "tdn_switch":
+				ts.switches++
+			case "day":
+				ts.days++
+			}
+		}
+		if ev.Name == "voq_drop" && ev.S != "" {
+			droppers[ev.S]++
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if total == 0 {
+		fmt.Fprintln(w, "no events")
+		return nil
+	}
+
+	fmt.Fprintf(w, "events   %d over %.3f ms of virtual time [%d ns .. %d ns]\n",
+		total, float64(lastTS-firstTS)/1e6, firstTS, lastTS)
+
+	fmt.Fprintln(w, "\nby category/name")
+	for _, k := range sortedKeys(byCatName) {
+		fmt.Fprintf(w, "  %-24s %d\n", k, byCatName[k])
+	}
+
+	if len(flows) > 0 {
+		fmt.Fprintln(w, "\nper flow            events  retrans  rto  tlp   sack  ca-chg  cc-md  tdn-sw")
+		for _, id := range sortedIntKeys(flows) {
+			fs := flows[id]
+			fmt.Fprintf(w, "  flow %-4d       %8d %8d %4d %4d %6d %7d %6d %7d\n",
+				id, fs.events, fs.retrans, fs.rtoFires, fs.tlps, fs.sacks, fs.caChanges, fs.ccMD, fs.switches)
+		}
+	}
+
+	if len(tdns) > 0 {
+		fmt.Fprintln(w, "\nper TDN             events    drops  marks   days  switches")
+		for _, id := range sortedIntKeys(tdns) {
+			ts := tdns[id]
+			fmt.Fprintf(w, "  tdn %-4d        %8d %8d %6d %6d %9d\n",
+				id, ts.events, ts.voqDrops, ts.voqMarks, ts.days, ts.switches)
+		}
+	}
+
+	if len(droppers) > 0 {
+		type kv struct {
+			k string
+			v int
+		}
+		var top []kv
+		for k, v := range droppers {
+			top = append(top, kv{k, v})
+		}
+		sort.Slice(top, func(i, j int) bool {
+			if top[i].v != top[j].v {
+				return top[i].v > top[j].v
+			}
+			return top[i].k < top[j].k
+		})
+		if len(top) > topN {
+			top = top[:topN]
+		}
+		fmt.Fprintf(w, "\ntop %d droppers (VOQ)\n", len(top))
+		for _, e := range top {
+			fmt.Fprintf(w, "  %-12s %d drops\n", e.k, e.v)
+		}
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]int) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func sortedIntKeys[V any](m map[int]V) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tdtrace:", err)
+	os.Exit(1)
+}

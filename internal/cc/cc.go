@@ -75,6 +75,13 @@ type CircuitAware interface {
 	OnCircuitDown(now sim.Time)
 }
 
+// TraceFunc observes one congestion-control decision. The first two values
+// are the post-decision cwnd and ssthresh for window events ("grow", "md",
+// "rto", "exit", "undo"); algorithm-specific events document their own
+// payloads ("alpha": DCTCP's mark-fraction estimate and window fraction;
+// "circuit_up"/"circuit_down": reTCP's post-ramp and pre-ramp windows).
+type TraceFunc func(event string, a, b float64)
+
 // Factory builds a fresh algorithm instance. The transport uses one factory
 // call per path state.
 type Factory func() Algorithm
@@ -103,6 +110,20 @@ type common struct {
 	// prior values stored at the most recent decrease, for Undo.
 	priorCwnd     float64
 	priorSsthresh float64
+
+	trace TraceFunc
+}
+
+// SetTrace attaches a decision observer (nil detaches). Every algorithm in
+// this package embeds common, so the transport can wire tracing through a
+// plain type assertion without the Algorithm interface growing a method.
+func (c *common) SetTrace(fn TraceFunc) { c.trace = fn }
+
+// emitCwnd reports a window decision to the observer, if any.
+func (c *common) emitCwnd(event string) {
+	if c.trace != nil {
+		c.trace(event, c.cwnd, c.ssthresh)
+	}
 }
 
 func newCommon() common {
@@ -132,6 +153,7 @@ func (c *common) Undo() {
 	if c.priorCwnd > 0 {
 		c.cwnd = math.Max(c.cwnd, c.priorCwnd)
 		c.ssthresh = math.Max(c.ssthresh, c.priorSsthresh)
+		c.emitCwnd("undo")
 	}
 }
 
@@ -146,20 +168,26 @@ func NewReno() *Reno { return &Reno{newCommon()} }
 
 func (r *Reno) Name() string { return "reno" }
 
-func (r *Reno) OnAck(ev AckEvent) { r.renoGrow(ev.Acked) }
+func (r *Reno) OnAck(ev AckEvent) {
+	r.renoGrow(ev.Acked)
+	r.emitCwnd("grow")
+}
 
 func (r *Reno) OnEnterRecovery(now sim.Time, inFlight int) {
 	r.saveForUndo()
 	r.ssthresh = clampMin(float64(inFlight) / 2)
 	r.cwnd = r.ssthresh
+	r.emitCwnd("md")
 }
 
 func (r *Reno) OnRTO(now sim.Time, inFlight int) {
 	r.saveForUndo()
 	r.ssthresh = clampMin(float64(inFlight) / 2)
 	r.cwnd = 1
+	r.emitCwnd("rto")
 }
 
 func (r *Reno) OnRecoveryExit(now sim.Time) {
 	r.cwnd = math.Max(r.cwnd, r.ssthresh)
+	r.emitCwnd("exit")
 }

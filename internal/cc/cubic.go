@@ -43,6 +43,7 @@ func (cu *Cubic) OnAck(ev AckEvent) {
 		}
 		cu.congestionAvoidance(ev)
 	}
+	cu.emitCwnd("grow")
 }
 
 func (cu *Cubic) congestionAvoidance(ev AckEvent) {
@@ -91,6 +92,7 @@ func (cu *Cubic) OnEnterRecovery(now sim.Time, inFlight int) {
 	cu.ssthresh = clampMin(w * cu.beta)
 	cu.cwnd = cu.ssthresh
 	cu.resetEpoch()
+	cu.emitCwnd("md")
 }
 
 func (cu *Cubic) OnRTO(now sim.Time, inFlight int) {
@@ -99,10 +101,12 @@ func (cu *Cubic) OnRTO(now sim.Time, inFlight int) {
 	cu.ssthresh = clampMin(cu.cwnd * cu.beta)
 	cu.cwnd = 1
 	cu.resetEpoch()
+	cu.emitCwnd("rto")
 }
 
 func (cu *Cubic) OnRecoveryExit(now sim.Time) {
 	cu.cwnd = math.Max(cu.cwnd, cu.ssthresh)
+	cu.emitCwnd("exit")
 }
 
 func (cu *Cubic) Undo() {

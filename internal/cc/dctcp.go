@@ -51,13 +51,19 @@ func (d *DCTCP) OnAck(ev AckEvent) {
 			frac = float64(d.windowMarked) / float64(d.windowAcked)
 		}
 		d.alpha = (1-d.g)*d.alpha + d.g*frac
+		if d.trace != nil {
+			d.trace("alpha", d.alpha, frac)
+		}
 		if d.windowMarked > 0 {
 			d.saveForUndo()
 			d.cwnd = clampMin(d.cwnd * (1 - d.alpha/2))
 			d.ssthresh = d.cwnd
+			d.emitCwnd("md")
 		}
 		d.windowAcked, d.windowMarked = 0, 0
 		d.windowEnd = int(math.Max(d.cwnd, 1))
+	} else {
+		d.emitCwnd("grow")
 	}
 }
 
@@ -67,6 +73,7 @@ func (d *DCTCP) OnEnterRecovery(now sim.Time, inFlight int) {
 	// conventional).
 	d.ssthresh = clampMin(float64(inFlight) / 2)
 	d.cwnd = d.ssthresh
+	d.emitCwnd("md")
 }
 
 func (d *DCTCP) OnRTO(now sim.Time, inFlight int) {
@@ -74,8 +81,10 @@ func (d *DCTCP) OnRTO(now sim.Time, inFlight int) {
 	d.ssthresh = clampMin(float64(inFlight) / 2)
 	d.cwnd = 1
 	d.alpha = 1
+	d.emitCwnd("rto")
 }
 
 func (d *DCTCP) OnRecoveryExit(now sim.Time) {
 	d.cwnd = math.Max(d.cwnd, d.ssthresh)
+	d.emitCwnd("exit")
 }

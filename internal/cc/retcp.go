@@ -44,13 +44,17 @@ func (r *ReTCP) Name() string { return "retcp" }
 // RampCount reports how many circuit-up ramps have been applied (for tests).
 func (r *ReTCP) RampCount() int { return r.rampCount }
 
-func (r *ReTCP) OnAck(ev AckEvent) { r.renoGrow(ev.Acked) }
+func (r *ReTCP) OnAck(ev AckEvent) {
+	r.renoGrow(ev.Acked)
+	r.emitCwnd("grow")
+}
 
 func (r *ReTCP) OnEnterRecovery(now sim.Time, inFlight int) {
 	r.saveForUndo()
 	r.ssthresh = clampMin(float64(inFlight) / 2)
 	r.cwnd = r.ssthresh
 	r.ramped = false
+	r.emitCwnd("md")
 }
 
 func (r *ReTCP) OnRTO(now sim.Time, inFlight int) {
@@ -58,10 +62,12 @@ func (r *ReTCP) OnRTO(now sim.Time, inFlight int) {
 	r.ssthresh = clampMin(float64(inFlight) / 2)
 	r.cwnd = 1
 	r.ramped = false
+	r.emitCwnd("rto")
 }
 
 func (r *ReTCP) OnRecoveryExit(now sim.Time) {
 	r.cwnd = math.Max(r.cwnd, r.ssthresh)
+	r.emitCwnd("exit")
 }
 
 // OnCircuitUp applies the multiplicative ramp. Repeated notifications while
@@ -75,6 +81,9 @@ func (r *ReTCP) OnCircuitUp(now sim.Time) {
 	r.rampedAt = now
 	r.preRamp = r.cwnd
 	r.cwnd *= r.alpha
+	if r.trace != nil {
+		r.trace("circuit_up", r.cwnd, r.preRamp)
+	}
 }
 
 // OnCircuitDown restores the pre-ramp window, keeping any additive growth
@@ -85,4 +94,7 @@ func (r *ReTCP) OnCircuitDown(now sim.Time) {
 	}
 	r.ramped = false
 	r.cwnd = math.Max(r.preRamp, r.cwnd/r.alpha)
+	if r.trace != nil {
+		r.trace("circuit_down", r.cwnd, r.preRamp)
+	}
 }

@@ -27,6 +27,7 @@ import (
 	"github.com/rdcn-net/tdtcp/internal/packet"
 	"github.com/rdcn-net/tdtcp/internal/sim"
 	"github.com/rdcn-net/tdtcp/internal/tcp"
+	"github.com/rdcn-net/tdtcp/internal/trace"
 )
 
 // Options toggles individual TDTCP mechanisms, primarily for the ablation
@@ -120,6 +121,10 @@ func (p *TDTCP) OnNotify(tdn int, epoch uint32) {
 	p.changePtr = p.c.SndNxt()
 	p.haveChange = true
 	p.lastSwitchAt = p.c.Loop.Now()
+	if tr := p.c.Tracer; tr.Enabled(trace.CatTDN) {
+		tr.Emit(trace.CatTDN, int64(p.c.Loop.Now()), "tdn_switch",
+			p.c.FlowID, tdn, float64(from), float64(p.c.RelSeq(p.changePtr)), "")
+	}
 	if p.c.OnStateSwitch != nil {
 		p.c.OnStateSwitch(p.c.Loop.Now(), from, tdn)
 	}

@@ -8,6 +8,7 @@ import (
 	"github.com/rdcn-net/tdtcp/internal/sim"
 	"github.com/rdcn-net/tdtcp/internal/stats"
 	"github.com/rdcn-net/tdtcp/internal/tcp"
+	"github.com/rdcn-net/tdtcp/internal/trace"
 	"github.com/rdcn-net/tdtcp/internal/workload"
 )
 
@@ -72,6 +73,17 @@ type RunConfig struct {
 	// the variant is DCTCP, otherwise 0.
 	MarkThresh int
 	Flow       FlowOptions
+
+	// Tracer, when non-nil, is wired through every layer of the run: the
+	// event loop (CatSim), sender connections and their CC instances
+	// (CatTCP/CatCC/CatTDN), the rack VOQs (CatVOQ) and the RDCN control
+	// plane (CatRDCN). With the same Seed, two traced runs produce
+	// byte-identical event streams.
+	Tracer *trace.Tracer
+	// Metrics, when non-nil, is populated with run-level counters and
+	// gauges before Run returns (see the "Observability" section of
+	// DESIGN.md for the key taxonomy).
+	Metrics *trace.Registry
 }
 
 func (cfg *RunConfig) fillDefaults() {
@@ -147,6 +159,8 @@ func Run(cfg RunConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	loop.SetTracer(cfg.Tracer)
+	net.SetTracer(cfg.Tracer)
 
 	flows := make([]*Flow, cfg.Flows)
 	for i := range flows {
@@ -154,6 +168,7 @@ func Run(cfg RunConfig) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		f.SetTracer(cfg.Tracer, i)
 		flows[i] = f
 	}
 
@@ -228,5 +243,68 @@ func Run(cfg RunConfig) (*Result, error) {
 	// labels for clarity.
 	res.Seq.Label = string(cfg.Variant)
 	res.VOQ.Label = string(cfg.Variant)
+	populateMetrics(cfg, res, loop, net, flows)
 	return res, nil
+}
+
+// populateMetrics fills cfg.Metrics (when set) with the run's counters and
+// gauges. Keys are stable, so Registry.WriteJSON output is byte-comparable
+// across runs of the same configuration.
+func populateMetrics(cfg RunConfig, res *Result, loop *sim.Loop, net *rdcn.Network, flows []*Flow) {
+	m := cfg.Metrics
+	if m == nil {
+		return
+	}
+	m.Set("run.goodput_gbps", res.GoodputGbps)
+	m.Set("run.optimal_gbps", res.OptimalGbps)
+	m.Set("run.packetonly_gbps", res.PacketOnlyGbps)
+
+	s, r := res.Sender, res.Receiver
+	m.Add("tcp.segs_sent", int64(s.SegsSent))
+	m.Add("tcp.segs_rcvd", int64(s.SegsRcvd))
+	m.Add("tcp.bytes_sent", s.BytesSent)
+	m.Add("tcp.bytes_acked", s.BytesAcked)
+	m.Add("tcp.retransmits", int64(s.Retransmits))
+	m.Add("tcp.fast_retransmits", int64(s.FastRetransmits))
+	m.Add("tcp.rto_fires", int64(s.RTOFires))
+	m.Add("tcp.tlp_probes", int64(s.TLPProbes))
+	m.Add("tcp.reorder_events", int64(s.ReorderEvents))
+	m.Add("tcp.reorder_packets", int64(s.ReorderPackets))
+	m.Add("tcp.loss_marks", int64(s.LossMarks))
+	m.Add("tcp.loss_filtered", int64(s.FilteredMarks))
+	m.Add("tcp.undos", int64(s.Undos))
+	m.Add("tcp.rtt_samples", int64(s.RTTSamples))
+	m.Add("tcp.rtt_samples_dropped", int64(s.RTTSamplesDropped))
+	m.Add("tcp.bytes_delivered", r.BytesDelivered)
+	m.Add("tcp.dup_segs_rcvd", int64(r.DupSegsRcvd))
+	m.Add("tcp.dsacks_sent", int64(r.DSACKsSent))
+	m.Add("tdtcp.switches", int64(res.TDTCPSwitches))
+
+	for i, f := range flows {
+		m.Add(fmt.Sprintf("flow.%02d.bytes_delivered", i), f.Delivered())
+	}
+	for _, rack := range net.Racks {
+		var enq, deq, drops, marks uint64
+		for _, v := range rack.VOQs() {
+			e, d, dr, mk := v.Stats()
+			enq += e
+			deq += d
+			drops += dr
+			marks += mk
+		}
+		prefix := fmt.Sprintf("voq.r%d.", rack.ID)
+		m.Add(prefix+"enq", int64(enq))
+		m.Add(prefix+"deq", int64(deq))
+		m.Add(prefix+"drops", int64(drops))
+		m.Add(prefix+"marks", int64(marks))
+	}
+
+	m.Add("sim.events_fired", int64(loop.Fired()))
+	// Live (not Pending) so stopped-but-unpopped timers don't inflate the
+	// reported queue depth.
+	m.Set("sim.live_timers", float64(loop.Live()))
+	m.Set("sim.virtual_seconds", float64(loop.Now())/1e9)
+	if cfg.Tracer != nil {
+		m.Add("trace.events", int64(cfg.Tracer.Count()))
+	}
 }

@@ -15,6 +15,7 @@ import (
 	"github.com/rdcn-net/tdtcp/internal/rdcn"
 	"github.com/rdcn-net/tdtcp/internal/sim"
 	"github.com/rdcn-net/tdtcp/internal/tcp"
+	"github.com/rdcn-net/tdtcp/internal/trace"
 )
 
 // Variant names a transport under test, matching the paper's figure legends.
@@ -58,6 +59,20 @@ func (f *Flow) Start(bytes int64) {
 		return
 	}
 	f.Snd.Connect(bytes)
+}
+
+// SetTracer labels the flow's sender-side connection(s) with the given
+// tracer and flow id (MPTCP subflows all share the flow id, distinguished by
+// their TDN labels). Receivers are left unwired: sender-side events already
+// describe the full data path, and the paper's figures are sender-centric.
+func (f *Flow) SetTracer(tr *trace.Tracer, id int) {
+	if f.MSnd != nil {
+		for _, sub := range f.MSnd.Subflows() {
+			sub.SetTracer(tr, id)
+		}
+		return
+	}
+	f.Snd.SetTracer(tr, id)
 }
 
 // SenderStats sums sender-side counters (over subflows for MPTCP).

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/rdcn-net/tdtcp/internal/trace"
+)
+
+// tracedRun executes a short TDTCP run with a full-category tracer and
+// returns the JSONL bytes and the populated registry.
+func tracedRun(t *testing.T, seed int64) ([]byte, *trace.Registry) {
+	t.Helper()
+	var buf bytes.Buffer
+	tr := trace.New(&buf, trace.CatAll)
+	reg := trace.NewRegistry()
+	_, err := Run(RunConfig{
+		Variant:      TDTCP,
+		Flows:        2,
+		WarmupWeeks:  1,
+		MeasureWeeks: 1,
+		Seed:         seed,
+		Tracer:       tr,
+		Metrics:      reg,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	return buf.Bytes(), reg
+}
+
+func TestTracedRunEmitsAllLayers(t *testing.T) {
+	out, reg := tracedRun(t, 7)
+	if len(out) == 0 {
+		t.Fatal("traced run produced no events")
+	}
+	// Every layer must be represented in a TDTCP run over a hybrid week.
+	for _, want := range []string{
+		`"name":"tdn_switch"`, // core policy
+		`"name":"day"`,        // rdcn schedule
+		`"name":"night"`,
+		`"name":"notify"`,
+		`"name":"voq_enq"`, // netem VOQ
+		`"name":"voq_deq"`,
+		`"name":"grow"`, // cc decisions
+		`"name":"fire"`, // sim loop
+	} {
+		if !bytes.Contains(out, []byte(want)) {
+			t.Errorf("trace missing %s", want)
+		}
+	}
+	// Every line must round-trip through the parser.
+	var ev trace.Event
+	for i, line := range strings.Split(strings.TrimRight(string(out), "\n"), "\n") {
+		if err := trace.ParseLine([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d unparseable: %v", i+1, err)
+		}
+	}
+	if reg.Counter("tcp.segs_sent") == 0 {
+		t.Error("metrics: tcp.segs_sent = 0")
+	}
+	if reg.Counter("tdtcp.switches") == 0 {
+		t.Error("metrics: tdtcp.switches = 0")
+	}
+	if reg.Counter("trace.events") == 0 {
+		t.Error("metrics: trace.events = 0")
+	}
+}
+
+func TestTracedRunIsDeterministic(t *testing.T) {
+	a, regA := tracedRun(t, 42)
+	b, regB := tracedRun(t, 42)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed produced different traces (%d vs %d bytes)", len(a), len(b))
+	}
+	var ja, jb bytes.Buffer
+	if err := regA.WriteJSON(&ja); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if err := regB.WriteJSON(&jb); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if !bytes.Equal(ja.Bytes(), jb.Bytes()) {
+		t.Fatal("same seed produced different metrics JSON")
+	}
+}
+
+func TestUntracedRunUnaffected(t *testing.T) {
+	// A nil tracer and nil registry must not change behaviour: compare
+	// goodput against a traced run of the same seed.
+	res1, err := Run(RunConfig{Variant: TDTCP, Flows: 2, WarmupWeeks: 1, MeasureWeeks: 1, Seed: 9})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var buf bytes.Buffer
+	res2, err := Run(RunConfig{Variant: TDTCP, Flows: 2, WarmupWeeks: 1, MeasureWeeks: 1, Seed: 9,
+		Tracer: trace.New(&buf, trace.CatAll), Metrics: trace.NewRegistry()})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res1.GoodputGbps != res2.GoodputGbps {
+		t.Fatalf("tracing changed the simulation: %v vs %v Gbps", res1.GoodputGbps, res2.GoodputGbps)
+	}
+}

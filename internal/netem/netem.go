@@ -11,6 +11,7 @@ import (
 
 	"github.com/rdcn-net/tdtcp/internal/packet"
 	"github.com/rdcn-net/tdtcp/internal/sim"
+	"github.com/rdcn-net/tdtcp/internal/trace"
 )
 
 // Frame is a serialized packet in flight through the emulated network.
@@ -118,13 +119,27 @@ type VOQ struct {
 	// drainer uses it to wake up.
 	OnEnqueue func()
 
+	// Tracer, when non-nil, receives CatVOQ events (enqueue/dequeue/drop/
+	// mark/resize); Label names this queue ("r0q1" = rack 0 → rack 1) and
+	// TDN tags events with the destination rack's logical TDN (-1 = none).
+	Tracer *trace.Tracer
+	Label  string
+	TDN    int
+
 	enq, deq, drops, marks uint64
 }
 
 // NewVOQ returns a VOQ with the given packet capacity and ECN mark
 // threshold (0 disables marking).
 func NewVOQ(loop *sim.Loop, capacity, markThresh int) *VOQ {
-	return &VOQ{Loop: loop, cap: capacity, markThresh: markThresh}
+	return &VOQ{Loop: loop, cap: capacity, markThresh: markThresh, TDN: -1}
+}
+
+// emit reports a CatVOQ event labeled with the queue's name and TDN.
+func (v *VOQ) emit(name string, a, b float64) {
+	if v.Tracer.Enabled(trace.CatVOQ) {
+		v.Tracer.Emit(trace.CatVOQ, int64(v.Loop.Now()), name, -1, v.TDN, a, b, v.Label)
+	}
 }
 
 // Len reports current occupancy in packets.
@@ -135,7 +150,12 @@ func (v *VOQ) Cap() int { return v.cap }
 
 // SetCap resizes the queue at runtime. Shrinking below the current
 // occupancy does not drop queued frames; it only refuses new ones.
-func (v *VOQ) SetCap(n int) { v.cap = n }
+func (v *VOQ) SetCap(n int) {
+	if n != v.cap {
+		v.emit("voq_resize", float64(n), float64(v.cap))
+	}
+	v.cap = n
+}
 
 // Stats reports cumulative enqueue, dequeue, drop and ECN-mark counts.
 func (v *VOQ) Stats() (enq, deq, drops, marks uint64) {
@@ -147,15 +167,18 @@ func (v *VOQ) Stats() (enq, deq, drops, marks uint64) {
 func (v *VOQ) Enqueue(f Frame) bool {
 	if v.Len() >= v.cap {
 		v.drops++
+		v.emit("voq_drop", float64(v.Len()), float64(v.drops))
 		v.sample()
 		return false
 	}
 	if v.markThresh > 0 && v.Len() >= v.markThresh {
 		f.MarkCE()
 		v.marks++
+		v.emit("voq_mark", float64(v.Len()), float64(v.marks))
 	}
 	v.q = append(v.q, f)
 	v.enq++
+	v.emit("voq_enq", float64(v.Len()), float64(v.cap))
 	v.sample()
 	if v.OnEnqueue != nil {
 		v.OnEnqueue()
@@ -176,6 +199,7 @@ func (v *VOQ) Dequeue() (Frame, bool) {
 		v.head = 0
 	}
 	v.deq++
+	v.emit("voq_deq", float64(v.Len()), float64(v.cap))
 	v.sample()
 	return f, true
 }

@@ -7,6 +7,7 @@ import (
 	"github.com/rdcn-net/tdtcp/internal/netem"
 	"github.com/rdcn-net/tdtcp/internal/packet"
 	"github.com/rdcn-net/tdtcp/internal/sim"
+	"github.com/rdcn-net/tdtcp/internal/trace"
 )
 
 // TDNParams describes one time-division network: its bottleneck rate and
@@ -164,9 +165,36 @@ type Network struct {
 	stopAt  sim.Time
 	started bool
 	baseVOQ int
+	tracer  *trace.Tracer
 	// OnTransition, if set, is called at the start of every day with the
 	// new TDN (after drainers are kicked, before notifications are sent).
 	OnTransition func(tdn int)
+}
+
+// SetTracer attaches a tracer to the network's control plane (CatRDCN
+// events: day/night transitions, notification fan-out, VOQ recapping) and to
+// every rack VOQ (CatVOQ events, labeled "r<rack>q<idx>"; pinned VOQs are
+// additionally tagged with their TDN). Pass nil to detach.
+func (n *Network) SetTracer(t *trace.Tracer) {
+	n.tracer = t
+	for _, rack := range n.Racks {
+		for k, v := range rack.voqs {
+			v.Tracer = t
+			v.Label = fmt.Sprintf("r%dq%d", rack.ID, k)
+			if n.Cfg.PinnedVOQs {
+				v.TDN = k
+			} else {
+				v.TDN = -1
+			}
+		}
+	}
+}
+
+// emit reports a CatRDCN control-plane event.
+func (n *Network) emit(name string, tdn int, a, b float64) {
+	if n.tracer.Enabled(trace.CatRDCN) {
+		n.tracer.Emit(trace.CatRDCN, int64(n.Loop.Now()), name, -1, tdn, a, b, "")
+	}
 }
 
 // HostAddr returns the address of host id in rack r, mirroring the 10.r.0.id
@@ -314,7 +342,8 @@ func (n *Network) scheduleTransition(t sim.Time) {
 		return
 	}
 	n.Loop.At(t, func() {
-		tdn, ok, slotEnd := n.Cfg.Schedule.At(n.Loop.Now())
+		now := n.Loop.Now()
+		tdn, ok, slotEnd := n.Cfg.Schedule.At(now)
 		n.epoch++
 		for _, rack := range n.Racks {
 			for _, d := range rack.drainers {
@@ -322,6 +351,7 @@ func (n *Network) scheduleTransition(t sim.Time) {
 			}
 		}
 		if ok {
+			n.emit("day", tdn, float64(n.epoch), float64(slotEnd.Sub(now)))
 			if n.OnTransition != nil {
 				n.OnTransition(tdn)
 			}
@@ -332,8 +362,10 @@ func (n *Network) scheduleTransition(t sim.Time) {
 				n.setVOQCaps(pc.Cap)
 				n.Loop.At(slotEnd, func() { n.setVOQCaps(n.baseVOQ) })
 			}
+		} else {
+			n.emit("night", -1, float64(n.epoch), float64(slotEnd.Sub(now)))
 		}
-		n.armPreChange(n.Loop.Now(), slotEnd)
+		n.armPreChange(now, slotEnd)
 		n.scheduleTransition(slotEnd)
 	})
 }
@@ -362,6 +394,7 @@ func (n *Network) armPreChange(t, slotEnd sim.Time) {
 		return // a different (earlier or later) slot owns this arming
 	}
 	n.Loop.At(at, func() {
+		n.emit("prechange", pc.TDN, float64(pc.Cap), float64(pc.Lead))
 		n.setVOQCaps(pc.Cap)
 		for _, rack := range n.Racks {
 			for _, h := range rack.Hosts {
@@ -375,6 +408,7 @@ func (n *Network) armPreChange(t, slotEnd sim.Time) {
 
 // setVOQCaps resizes every uplink VOQ on both racks.
 func (n *Network) setVOQCaps(cap int) {
+	n.emit("voq_caps", -1, float64(cap), float64(n.baseVOQ))
 	for _, rack := range n.Racks {
 		for _, v := range rack.voqs {
 			v.SetCap(cap)
@@ -387,6 +421,7 @@ func (n *Network) setVOQCaps(cap int) {
 // packet parsed by the host, per Figure 5a.
 func (n *Network) notifyAll(tdn int, epoch uint32) {
 	prof := n.Cfg.Notify
+	n.emit("notify", tdn, float64(epoch), float64(2*len(n.Racks[0].Hosts)))
 	for _, rack := range n.Racks {
 		for i, h := range rack.Hosts {
 			h := h

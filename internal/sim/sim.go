@@ -12,6 +12,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+
+	"github.com/rdcn-net/tdtcp/internal/trace"
 )
 
 // Time is a point in virtual time, in nanoseconds since the start of the
@@ -119,6 +121,7 @@ type Loop struct {
 	seq    uint64
 	rng    *rand.Rand
 	fired  uint64
+	tracer *trace.Tracer
 }
 
 // NewLoop returns a loop positioned at time zero whose random source is
@@ -133,10 +136,35 @@ func (l *Loop) Now() Time { return l.now }
 // Rand returns the loop's deterministic random source.
 func (l *Loop) Rand() *rand.Rand { return l.rng }
 
-// Pending returns the number of scheduled (non-stopped) events, counting
-// stopped-but-unpopped timers as well; it is a capacity signal, not an exact
-// live count.
+// SetTracer attaches a structured event tracer. With the CatSim category
+// enabled the loop emits a "fire" event (payload: pending-queue depth) for
+// every executed event — cheap but voluminous; leave CatSim masked off
+// unless debugging scheduler behaviour.
+func (l *Loop) SetTracer(t *trace.Tracer) { l.tracer = t }
+
+// Tracer returns the attached tracer (nil when tracing is disabled).
+func (l *Loop) Tracer() *trace.Tracer { return l.tracer }
+
+// Pending returns the number of scheduled events still in the queue. The
+// count includes stopped-but-unpopped timers (a stopped timer stays queued
+// until its firing time passes), so it is a capacity signal, not an exact
+// live count; use Live for the exact number of events that will fire.
 func (l *Loop) Pending() int { return len(l.events) }
+
+// Live returns the number of scheduled events that are still going to fire,
+// compacting stopped-but-unpopped timers out of the queue as a side effect.
+// It is O(n) in the worst case, amortized by the compaction: use it for
+// periodic queue-depth metrics, not per-event bookkeeping.
+func (l *Loop) Live() int {
+	for i := 0; i < len(l.events); {
+		if l.events[i].stopped {
+			heap.Remove(&l.events, i)
+		} else {
+			i++
+		}
+	}
+	return len(l.events)
+}
 
 // Fired returns the total number of events executed so far.
 func (l *Loop) Fired() uint64 { return l.fired }
@@ -173,6 +201,10 @@ func (l *Loop) Step() bool {
 		l.now = t.at
 		t.fired = true
 		l.fired++
+		if l.tracer.Enabled(trace.CatSim) {
+			l.tracer.Emit(trace.CatSim, int64(l.now), "fire", -1, -1,
+				float64(len(l.events)), float64(l.fired), "")
+		}
 		t.fn()
 		return true
 	}

@@ -3,6 +3,8 @@ package sim
 import (
 	"testing"
 	"testing/quick"
+
+	"github.com/rdcn-net/tdtcp/internal/trace"
 )
 
 func TestLoopOrdering(t *testing.T) {
@@ -238,5 +240,61 @@ func TestTimeHelpers(t *testing.T) {
 	}
 	if Time(100*Microsecond).Microseconds() != 100 {
 		t.Fatal("Time.Microseconds")
+	}
+}
+
+func TestLiveCompactsStoppedTimers(t *testing.T) {
+	l := NewLoop(1)
+	var keep []*Timer
+	for i := 0; i < 10; i++ {
+		keep = append(keep, l.At(Time(100+i), func() {}))
+	}
+	for i := 0; i < 6; i++ {
+		keep[i].Stop()
+	}
+	// Pending still counts the stopped-but-unpopped entries; Live compacts
+	// them away and reports only runnable timers.
+	if p := l.Pending(); p != 10 {
+		t.Fatalf("Pending = %d, want 10", p)
+	}
+	if live := l.Live(); live != 4 {
+		t.Fatalf("Live = %d, want 4", live)
+	}
+	// After compaction Pending agrees with Live.
+	if p := l.Pending(); p != 4 {
+		t.Fatalf("Pending after Live = %d, want 4", p)
+	}
+	// The surviving timers still fire in order.
+	fired := 0
+	l.At(99, func() { fired++ })
+	l.Run()
+	if fired != 1 || l.Now() != 109 {
+		t.Fatalf("fired=%d now=%v", fired, l.Now())
+	}
+	if l.Live() != 0 {
+		t.Fatalf("Live after drain = %d", l.Live())
+	}
+}
+
+func TestLoopTracerEmitsFireEvents(t *testing.T) {
+	l := NewLoop(1)
+	// A nil tracer must be safe (the default); then attach a ring tracer
+	// and count fire events.
+	l.SetTracer(nil)
+	l.After(1, func() {})
+	l.Run()
+
+	tr := trace.NewRing(8, trace.CatSim)
+	l.SetTracer(tr)
+	l.After(1, func() {})
+	l.After(2, func() {})
+	l.Run()
+	if got := len(tr.Events()); got != 2 {
+		t.Fatalf("fire events = %d, want 2", got)
+	}
+	for _, ev := range tr.Events() {
+		if ev.Cat != "sim" || ev.Name != "fire" {
+			t.Fatalf("unexpected event %+v", ev)
+		}
 	}
 }

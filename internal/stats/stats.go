@@ -65,11 +65,30 @@ func (s *Series) Last() float64 {
 	return s.V[len(s.V)-1]
 }
 
-// Max returns the maximum value (0 if empty).
+// Max returns the maximum value (0 if empty). The maximum is taken over the
+// samples alone — an all-negative series reports its true (negative) max,
+// not 0.
 func (s *Series) Max() float64 {
-	m := 0.0
-	for _, v := range s.V {
+	if len(s.V) == 0 {
+		return 0
+	}
+	m := s.V[0]
+	for _, v := range s.V[1:] {
 		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum value (0 if empty).
+func (s *Series) Min() float64 {
+	if len(s.V) == 0 {
+		return 0
+	}
+	m := s.V[0]
+	for _, v := range s.V[1:] {
+		if v < m {
 			m = v
 		}
 	}
@@ -105,6 +124,8 @@ type Sampler struct {
 	interval sim.Duration
 	value    func() float64
 	until    sim.Time
+	timer    *sim.Timer
+	stopped  bool
 }
 
 // NewSampler arms a periodic sampler on loop from the current time until
@@ -115,12 +136,28 @@ func NewSampler(loop *sim.Loop, label string, interval sim.Duration, until sim.T
 	return s
 }
 
+// Stop cancels the sampler before its window ends; the collected series is
+// kept. Stopping an already-finished sampler is a no-op.
+func (s *Sampler) Stop() {
+	s.stopped = true
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+}
+
 func (s *Sampler) tick() {
-	if s.loop.Now() > s.until {
+	s.timer = nil
+	if s.stopped || s.loop.Now() > s.until {
 		return
 	}
 	s.Series.Add(s.loop.Now(), s.value())
-	s.loop.After(s.interval, func() { s.tick() })
+	// Reschedule only while the next tick still lands inside the window —
+	// the final past-the-end wake-up would sample nothing anyway, and not
+	// arming it keeps the loop's timer queue clean after the window closes.
+	if s.loop.Now().Add(s.interval) <= s.until {
+		s.timer = s.loop.After(s.interval, s.tick)
+	}
 }
 
 // CDF summarizes a sample set as an empirical CDF.

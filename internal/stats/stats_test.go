@@ -136,6 +136,91 @@ func TestBuckets(t *testing.T) {
 	}
 }
 
+func TestSeriesMaxMinAllNegative(t *testing.T) {
+	s := &Series{}
+	s.Add(sim.Time(1*sim.Microsecond), -7)
+	s.Add(sim.Time(2*sim.Microsecond), -3)
+	s.Add(sim.Time(3*sim.Microsecond), -12)
+	// Max must come from the samples, not a 0 seed.
+	if got := s.Max(); got != -3 {
+		t.Fatalf("Max of all-negative series = %v, want -3", got)
+	}
+	if got := s.Min(); got != -12 {
+		t.Fatalf("Min = %v, want -12", got)
+	}
+	if (&Series{}).Min() != 0 {
+		t.Fatal("empty Min should be 0")
+	}
+}
+
+func TestSamplerStop(t *testing.T) {
+	loop := sim.NewLoop(1)
+	sampler := NewSampler(loop, "test", 10*sim.Microsecond, sim.Time(100*sim.Microsecond), func() float64 { return 1 })
+	loop.At(sim.Time(35*sim.Microsecond), func() { sampler.Stop() })
+	loop.RunUntil(sim.Time(200 * sim.Microsecond))
+	// Samples at 0,10,20,30; the 40 µs tick is cancelled.
+	if sampler.Series.Len() != 4 {
+		t.Fatalf("samples after Stop = %d: %+v", sampler.Series.Len(), sampler.Series.T)
+	}
+	sampler.Stop() // idempotent after finishing
+}
+
+func TestSamplerStopsReschedulingAtWindowEnd(t *testing.T) {
+	loop := sim.NewLoop(1)
+	NewSampler(loop, "test", 10*sim.Microsecond, sim.Time(50*sim.Microsecond), func() float64 { return 0 })
+	loop.RunUntil(sim.Time(50 * sim.Microsecond))
+	// The 50 µs tick is the last in-window one; no 60 µs timer may remain.
+	if live := loop.Live(); live != 0 {
+		t.Fatalf("%d timers still live after the sampling window", live)
+	}
+}
+
+func TestCDFSingleSample(t *testing.T) {
+	c := NewCDF([]float64{7})
+	for _, p := range []float64{0, 25, 50, 99.9, 100} {
+		if got := c.Percentile(p); got != 7 {
+			t.Fatalf("Percentile(%v) = %v, want 7", p, got)
+		}
+	}
+	if got := c.FracAtMost(6.999); got != 0 {
+		t.Fatalf("FracAtMost below = %v", got)
+	}
+	if got := c.FracAtMost(7); got != 1 {
+		t.Fatalf("FracAtMost at = %v", got)
+	}
+}
+
+func TestCDFDuplicates(t *testing.T) {
+	c := NewCDF([]float64{2, 2, 2, 2, 8})
+	if got := c.Percentile(50); got != 2 {
+		t.Fatalf("p50 = %v, want 2", got)
+	}
+	if got := c.FracAtMost(2); got != 0.8 {
+		t.Fatalf("FracAtMost(2) = %v, want 0.8", got)
+	}
+	if got := c.FracAtMost(1.999); got != 0 {
+		t.Fatalf("FracAtMost(1.999) = %v, want 0", got)
+	}
+	if got := c.FracAtMost(8); got != 1 {
+		t.Fatalf("FracAtMost(8) = %v, want 1", got)
+	}
+}
+
+func TestBucketsPriming(t *testing.T) {
+	var b Buckets
+	b.Close(100) // primes the baseline only
+	if len(b.Deltas) != 0 {
+		t.Fatalf("priming recorded a delta: %v", b.Deltas)
+	}
+	if b.CDF().N() != 0 {
+		t.Fatal("primed-only Buckets should yield an empty CDF")
+	}
+	b.Close(100)
+	if len(b.Deltas) != 1 || b.Deltas[0] != 0 {
+		t.Fatalf("after second close: %v", b.Deltas)
+	}
+}
+
 func TestThroughputGbps(t *testing.T) {
 	// 125 MB in 100 ms = 10 Gbps.
 	if got := ThroughputGbps(125_000_000, 100*sim.Millisecond); math.Abs(got-10) > 1e-9 {

@@ -108,6 +108,14 @@ func ackTDNOf(h *packet.TCPHeader) uint8 {
 	return packet.NoTDN
 }
 
+// tdnLabel converts a wire TDN tag to a trace label (-1 when untagged).
+func tdnLabel(tdn uint8) int {
+	if tdn == packet.NoTDN {
+		return -1
+	}
+	return int(tdn)
+}
+
 // processAck is the sender-side ACK machine: SACK/D-SACK processing,
 // cumulative advance, RTT sampling, loss detection, congestion-state
 // transitions, and window growth.
@@ -173,7 +181,11 @@ func (c *Conn) processAck(s *packet.Segment) {
 			return true
 		})
 	}
+	if newlySacked > 0 {
+		c.emit("sack", tdnLabel(ackTDN), float64(newlySacked), float64(c.RelSeq(c.highestSacked)), "")
+	}
 	if dsacked {
+		c.emit("dsack", tdnLabel(ackTDN), float64(c.RelSeq(ack)), 0, "")
 		c.onDSACK(now)
 	}
 
@@ -216,6 +228,7 @@ func (c *Conn) processAck(s *packet.Segment) {
 			if st.DupAcks >= c.cfg.DupThresh && !head.Sacked && !head.Lost {
 				if c.policy.FilterLoss(head, ackTDN) {
 					c.Stats.FilteredMarks++
+					c.emit("loss_filtered", int(head.TDN), float64(c.RelSeq(head.Seq)), float64(tdnLabel(ackTDN)), "")
 				} else {
 					c.markLost(head, now)
 				}
@@ -230,6 +243,7 @@ func (c *Conn) processAck(s *packet.Segment) {
 			c.Stats.RTTSamples++
 		} else {
 			c.Stats.RTTSamplesDropped++
+			c.emit("rtt_drop", int(rttCand.TDN), float64(now.Sub(rttCand.SentAt)), float64(tdnLabel(ackTDN)), "")
 		}
 	}
 
@@ -255,6 +269,7 @@ func (c *Conn) processAck(s *packet.Segment) {
 				c.gapOpen = true
 				c.gapMax = 0
 				c.Stats.ReorderEvents++
+				c.emit("reorder", tdnLabel(ackTDN), float64(gap), float64(c.Stats.ReorderEvents), "")
 			}
 			if gap > c.gapMax {
 				c.Stats.ReorderPackets += uint64(gap - c.gapMax)
@@ -270,6 +285,7 @@ func (c *Conn) processAck(s *packet.Segment) {
 
 	// --- congestion-state transitions --------------------------------------
 	for _, st := range c.states {
+		from := st.CA
 		switch st.CA {
 		case CARecovery, CALoss:
 			if advanced && seqGEQ(c.sndUna, st.RecoveryPoint) {
@@ -288,6 +304,7 @@ func (c *Conn) processAck(s *packet.Segment) {
 				st.DupAcks = 0
 			}
 		}
+		c.emitCA(st, from)
 	}
 
 	// --- PRR delivery credit -------------------------------------------------
@@ -340,13 +357,16 @@ func (c *Conn) markLost(seg *TxSeg, now sim.Time) {
 		st.RetransOut--
 	}
 	c.Stats.LossMarks++
+	c.emit("loss_mark", int(seg.TDN), float64(c.RelSeq(seg.Seq)), float64(st.LostOut), "")
 	if st.CA == CAOpen || st.CA == CADisorder {
+		from := st.CA
 		st.CA = CARecovery
 		st.RecoveryPoint = c.sndNxt
 		st.undoPossible = true
 		st.undoRetrans = 0
 		st.enterRecoveryPRR()
 		st.CC.OnEnterRecovery(now, st.InFlight())
+		c.emitCA(st, from)
 	}
 }
 
@@ -389,6 +409,7 @@ func (c *Conn) detectLosses(ackTDN uint8, now sim.Time) {
 				return true
 			}
 			c.Stats.FilteredMarks++
+			c.emit("loss_filtered", int(seg.TDN), float64(c.RelSeq(seg.Seq)), float64(tdnLabel(ackTDN)), "")
 		}
 		if c.cfg.RACK && c.rackXmit > 0 {
 			own := c.states[seg.TDN]

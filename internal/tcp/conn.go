@@ -7,6 +7,7 @@ import (
 	"github.com/rdcn-net/tdtcp/internal/cc"
 	"github.com/rdcn-net/tdtcp/internal/packet"
 	"github.com/rdcn-net/tdtcp/internal/sim"
+	"github.com/rdcn-net/tdtcp/internal/trace"
 )
 
 // Config parameterizes a connection. Zero values select data-center
@@ -204,13 +205,20 @@ type Conn struct {
 	// RxDataHook, if set, observes every arriving data segment's header
 	// before receiver processing (MPTCP extracts the DSS mapping here).
 	RxDataHook func(h *packet.TCPHeader)
+
+	// Tracer, when non-nil, receives structured data-path events (CatTCP)
+	// and congestion-control decisions (CatCC). Wire it with SetTracer so
+	// the CC instances are hooked too; FlowID labels every event.
+	Tracer *trace.Tracer
+	// FlowID labels this connection's trace events (-1 = unlabeled).
+	FlowID int
 }
 
 // NewConn constructs a connection. out transmits serialized segments toward
 // the peer.
 func NewConn(loop *sim.Loop, cfg Config, out func(*packet.Segment)) *Conn {
 	cfg.fillDefaults()
-	c := &Conn{Loop: loop, Out: out, cfg: cfg, policy: cfg.Policy, state: stClosed}
+	c := &Conn{Loop: loop, Out: out, cfg: cfg, policy: cfg.Policy, state: stClosed, FlowID: -1}
 	n := c.policy.NumStates()
 	if n < 1 {
 		n = 1
@@ -225,6 +233,47 @@ func NewConn(loop *sim.Loop, cfg Config, out func(*packet.Segment)) *Conn {
 	}
 	c.policy.Attach(c)
 	return c
+}
+
+// SetTracer attaches a tracer and flow label to the connection and hooks
+// every path state's congestion-control instance so CC decisions surface as
+// CatCC events. Pass nil to detach. Safe to call before or after the
+// handshake; CC events carry the state's TDN and the algorithm name.
+func (c *Conn) SetTracer(tr *trace.Tracer, flow int) {
+	c.Tracer = tr
+	c.FlowID = flow
+	for i, st := range c.states {
+		hook, ok := st.CC.(interface{ SetTrace(cc.TraceFunc) })
+		if !ok {
+			continue
+		}
+		if tr == nil {
+			hook.SetTrace(nil)
+			continue
+		}
+		tdn, name := i, st.CC.Name()
+		hook.SetTrace(func(event string, a, b float64) {
+			if tr.Enabled(trace.CatCC) {
+				tr.Emit(trace.CatCC, int64(c.Loop.Now()), event, flow, tdn, a, b, name)
+			}
+		})
+	}
+}
+
+// emit reports a CatTCP data-path event; a no-op unless a tracer is attached
+// with the category enabled (nil-check plus branch).
+func (c *Conn) emit(name string, tdn int, a, b float64, s string) {
+	if c.Tracer.Enabled(trace.CatTCP) {
+		c.Tracer.Emit(trace.CatTCP, int64(c.Loop.Now()), name, c.FlowID, tdn, a, b, s)
+	}
+}
+
+// emitCA reports a congestion-avoidance state transition on one path state.
+func (c *Conn) emitCA(st *PathState, from CAState) {
+	if c.Tracer.Enabled(trace.CatTCP) && from != st.CA {
+		c.Tracer.Emit(trace.CatTCP, int64(c.Loop.Now()), "ca_state",
+			c.FlowID, int(st.TDN), float64(from), float64(st.CA), st.CA.String())
+	}
 }
 
 // States exposes the path states (read-mostly; policies mutate them).
@@ -450,6 +499,7 @@ func (c *Conn) transmitSeg(seg *TxSeg, isRetrans bool) {
 		seg.EverRetrans = true
 		seg.Retransmits++
 		c.Stats.Retransmits++
+		c.emit("retransmit", int(dataTDN), float64(c.RelSeq(seg.Seq)), float64(seg.Retransmits), "")
 	}
 	seg.TDN = dataTDN
 	seg.SentAt = now
@@ -706,6 +756,7 @@ func (c *Conn) onTimer() {
 func (c *Conn) fireTLP() {
 	c.tlpInFlight = true
 	c.Stats.TLPProbes++
+	c.emit("tlp", c.policy.Active(), float64(c.totalPacketsOut()), 0, "")
 	if c.backlog != 0 && c.sendNewSegment() {
 		c.armTimer()
 		return
@@ -732,8 +783,12 @@ func (c *Conn) fireRTO() {
 		return
 	}
 	now := c.Loop.Now()
-	// Mark losses and move every affected state to Loss.
-	touched := map[uint8]bool{}
+	c.emit("rto_fire", int(head.TDN), float64(c.backoff), float64(c.totalPacketsOut()), "")
+	// Mark losses and move every affected state to Loss. touched is indexed
+	// by TDN (not a map) so the Loss transitions below happen in state order
+	// — map iteration would make the event sequence, and thus any attached
+	// trace, nondeterministic across runs.
+	touched := make([]bool, len(c.states))
 	c.rtx.forEach(func(seg *TxSeg) bool {
 		if !seg.Sacked && !seg.Lost {
 			st := c.states[seg.TDN]
@@ -747,14 +802,19 @@ func (c *Conn) fireRTO() {
 		}
 		return true
 	})
-	for tdn := range touched {
+	for tdn, hit := range touched {
+		if !hit {
+			continue
+		}
 		st := c.states[tdn]
 		if st.CA != CALoss {
+			from := st.CA
 			st.CA = CALoss
 			st.RecoveryPoint = c.sndNxt
 			st.undoPossible = false
 			st.enterRecoveryPRR()
 			st.CC.OnRTO(now, st.InFlight())
+			c.emitCA(st, from)
 		}
 	}
 	if c.backoff < 16 {

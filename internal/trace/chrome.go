@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-viewer export: converts a JSONL event stream into the JSON
+// Object Format of the Trace Event specification, loadable in
+// chrome://tracing and Perfetto. The mapping:
+//
+//   - rdcn "day"/"night" events become complete ("X") slices on the
+//     network-process schedule track, so the optical week is visible as a
+//     banded timeline.
+//   - cc events and voq_enq/voq_deq become counter ("C") tracks — cwnd and
+//     ssthresh per flow/TDN, occupancy per queue — rendered as the familiar
+//     sawtooth graphs.
+//   - everything else becomes a thread-scoped instant ("i") event with its
+//     payload in args.
+//
+// Each flow maps to one process (pid = flow+1; pid 0 is the network) and
+// each category to one thread within it, with metadata records naming both.
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// catTID maps a category name to a stable thread id within its process.
+func catTID(cat string) int {
+	for i, name := range catNames {
+		if name == cat {
+			return i + 1
+		}
+	}
+	return numCategories + 1
+}
+
+// Chrome reads a JSONL trace from r and writes Chrome trace-viewer JSON to
+// w. The input must be one JSON event per line (the Tracer's streaming
+// format or Dump output); malformed lines are reported as errors, not
+// skipped, so a truncated trace is caught rather than silently shortened.
+func Chrome(r io.Reader, w io.Writer) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ns","traceEvents":[`); err != nil {
+		return err
+	}
+
+	var (
+		ev      Event
+		lineNo  int
+		wrote   bool
+		pids    = map[int]bool{}
+		threads = map[[2]int]string{} // (pid, tid) -> category name
+	)
+	emit := func(ce chromeEvent) error {
+		b, err := json.Marshal(ce)
+		if err != nil {
+			return err
+		}
+		if wrote {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		wrote = true
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+		_, err = bw.Write(b)
+		return err
+	}
+
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if err := ParseLine(line, &ev); err != nil {
+			return fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		pid := 0
+		if ev.Flow >= 0 {
+			pid = ev.Flow + 1
+		}
+		tid := catTID(ev.Cat)
+		pids[pid] = true
+		threads[[2]int{pid, tid}] = ev.Cat
+		ts := float64(ev.TS) / 1e3 // ns -> us
+
+		var ce chromeEvent
+		switch {
+		case ev.Cat == "rdcn" && (ev.Name == "day" || ev.Name == "night"):
+			// B carries the slot duration in nanoseconds.
+			ce = chromeEvent{Name: ev.Name, Cat: ev.Cat, Ph: "X", TS: ts, Dur: ev.B / 1e3,
+				PID: pid, TID: tid, Args: map[string]any{"tdn": ev.TDN}}
+			if ce.Dur <= 0 {
+				ce.Dur = 0.001
+			}
+		case ev.Cat == "cc":
+			ce = chromeEvent{Name: fmt.Sprintf("cwnd f%d/tdn%d", ev.Flow, ev.TDN),
+				Cat: ev.Cat, Ph: "C", TS: ts, PID: pid, TID: tid,
+				Args: map[string]any{"cwnd": ev.A, "ssthresh": ev.B}}
+		case ev.Name == "voq_enq" || ev.Name == "voq_deq":
+			ce = chromeEvent{Name: "occupancy " + ev.S, Cat: ev.Cat, Ph: "C", TS: ts,
+				PID: pid, TID: tid, Args: map[string]any{"packets": ev.A}}
+		default:
+			args := map[string]any{"a": ev.A, "b": ev.B}
+			if ev.S != "" {
+				args["s"] = ev.S
+			}
+			if ev.TDN >= 0 {
+				args["tdn"] = ev.TDN
+			}
+			ce = chromeEvent{Name: ev.Name, Cat: ev.Cat, Ph: "i", TS: ts,
+				PID: pid, TID: tid, S: "t", Args: args}
+		}
+		if err := emit(ce); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	// Metadata: stable ordering (pids ascending, tids ascending).
+	var pidList []int
+	for pid := range pids {
+		pidList = append(pidList, pid)
+	}
+	sort.Ints(pidList)
+	for _, pid := range pidList {
+		name := "network"
+		if pid > 0 {
+			name = fmt.Sprintf("flow %d", pid-1)
+		}
+		if err := emit(chromeEvent{Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": name}}); err != nil {
+			return err
+		}
+		for tid := 1; tid <= numCategories+1; tid++ {
+			cat, ok := threads[[2]int{pid, tid}]
+			if !ok {
+				continue
+			}
+			if err := emit(chromeEvent{Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+				Args: map[string]any{"name": cat}}); err != nil {
+				return err
+			}
+		}
+	}
+
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Registry is a flat metrics registry: named monotone counters and
+// point-in-time gauges, populated by the layers of a run and exported as a
+// machine-readable JSON summary. Keys are dotted paths
+// ("total.sender.retransmits", "voq.r0q0.drops", "sim.events_fired").
+//
+// A nil *Registry is the disabled registry: every method on it is a no-op,
+// so instrumentation sites never need their own nil checks. Registry is
+// safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	gauges   map[string]float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: map[string]int64{}, gauges: map[string]float64{}}
+}
+
+// Add increments counter name by delta.
+func (r *Registry) Add(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// Set records gauge name at value v.
+func (r *Registry) Set(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// Counter reads a counter (0 when absent or on a nil registry).
+func (r *Registry) Counter(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// Gauge reads a gauge (0 when absent or on a nil registry).
+func (r *Registry) Gauge(name string) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gauges[name]
+}
+
+// WriteJSON renders the registry as a two-section JSON object with keys in
+// sorted order, so the output is byte-stable across runs:
+//
+//	{"counters":{...},"gauges":{...}}
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := w.Write([]byte("{\"counters\":{},\"gauges\":{}}\n"))
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	b := make([]byte, 0, 4096)
+	b = append(b, `{"counters":{`...)
+	ckeys := make([]string, 0, len(r.counters))
+	for k := range r.counters {
+		ckeys = append(ckeys, k)
+	}
+	sort.Strings(ckeys)
+	for i, k := range ckeys {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendQuote(b, k)
+		b = append(b, ':')
+		b = strconv.AppendInt(b, r.counters[k], 10)
+	}
+	b = append(b, `},"gauges":{`...)
+	gkeys := make([]string, 0, len(r.gauges))
+	for k := range r.gauges {
+		gkeys = append(gkeys, k)
+	}
+	sort.Strings(gkeys)
+	for i, k := range gkeys {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendQuote(b, k)
+		b = append(b, ':')
+		b = appendFloat(b, r.gauges[k])
+	}
+	b = append(b, "}}\n"...)
+	_, err := w.Write(b)
+	return err
+}

@@ -1,0 +1,309 @@
+// Package trace is the unified observability layer of the repository: a
+// deterministic structured event tracer plus a metrics registry, wired
+// through every layer of the stack (simulation loop, TCP data path,
+// congestion control, TDTCP policy, VOQs, RDCN control plane).
+//
+// The paper's entire evaluation methodology rests on instrumentation —
+// kernel tracepoints, tcpdump captures, a modified Wireshark dissector —
+// and this package plays that role for the reproduction: every event
+// carries a virtual timestamp and flow/TDN labels, streams to an io.Writer
+// as JSONL (one JSON object per line) or into a fixed-size ring buffer,
+// and converts to Chrome trace-viewer JSON (chrome://tracing, Perfetto)
+// for visual inspection of a whole RDCN week.
+//
+// # Determinism
+//
+// Timestamps are virtual (sim.Time nanoseconds), the encoder never walks a
+// Go map, and floats render via strconv with the shortest round-trippable
+// form, so two runs with the same seed produce byte-identical traces.
+//
+// # Overhead when disabled
+//
+// A disabled tracer is a nil *Tracer. Every method is nil-receiver safe:
+// Enabled on a nil tracer is a single nil-check-and-branch, so
+// instrumentation left in the hot path costs one predictable branch per
+// site. Call sites that must build arguments (strings, conversions) gate on
+// Enabled first.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Category is a bitmask selecting which layers of the stack emit events.
+type Category uint32
+
+// Event categories, one per instrumented layer.
+const (
+	// CatSim traces simulator event firing and pending-queue depth.
+	CatSim Category = 1 << iota
+	// CatTCP traces the TCP data path: CA-state transitions, retransmits,
+	// RTO/TLP fires, SACK/D-SACK arrivals, reordering episodes.
+	CatTCP
+	// CatCC traces per-variant congestion-control decisions (cwnd moves).
+	CatCC
+	// CatTDN traces TDTCP policy activity: per-TDN state freeze/resume and
+	// change-pointer moves.
+	CatTDN
+	// CatVOQ traces ToR virtual output queues: enqueue, dequeue, drop,
+	// ECN mark, resize.
+	CatVOQ
+	// CatRDCN traces the RDCN control plane: day/night/week transitions and
+	// TDN-change notifications.
+	CatRDCN
+
+	numCategories = 6
+)
+
+// CatAll enables every category.
+const CatAll Category = 1<<numCategories - 1
+
+var catNames = [numCategories]string{"sim", "tcp", "cc", "tdn", "voq", "rdcn"}
+
+// String renders a single-bit category as its short name; multi-bit masks
+// render as a comma-separated list.
+func (c Category) String() string {
+	var parts []string
+	for i := 0; i < numCategories; i++ {
+		if c&(1<<i) != 0 {
+			parts = append(parts, catNames[i])
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseCategories parses a comma-separated category list ("tcp,cc,voq").
+// "all" selects every category; the empty string selects none.
+func ParseCategories(s string) (Category, error) {
+	var mask Category
+	if s == "" {
+		return 0, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "all" {
+			mask = CatAll
+			continue
+		}
+		found := false
+		for i, name := range catNames {
+			if part == name {
+				mask |= 1 << i
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("trace: unknown category %q (have %s, or 'all')", part, CatAll)
+		}
+	}
+	return mask, nil
+}
+
+// Event is one structured trace record. The numeric payloads A and B carry
+// per-name semantics (documented in the event taxonomy in DESIGN.md): for
+// "cwnd" decisions A is the congestion window and B the slow-start
+// threshold, for "voq_*" events A is the post-operation occupancy, and so
+// on. Flow is -1 for network-level events; TDN is -1 when no TDN applies.
+type Event struct {
+	TS   int64   `json:"ts"` // virtual time, nanoseconds since sim start
+	Cat  string  `json:"cat"`
+	Name string  `json:"name"`
+	Flow int     `json:"flow"`
+	TDN  int     `json:"tdn"`
+	A    float64 `json:"a"`
+	B    float64 `json:"b"`
+	S    string  `json:"s,omitempty"`
+}
+
+// ParseLine decodes one JSONL trace line into an Event.
+func ParseLine(line []byte, ev *Event) error {
+	ev.S = ""
+	return json.Unmarshal(line, ev)
+}
+
+// Tracer collects events. Construct with New (streaming JSONL) or NewRing
+// (in-memory ring buffer); a nil *Tracer is the disabled tracer and every
+// method on it is safe to call. Tracer is safe for concurrent use: the
+// simulation itself is single-goroutine, but analysis tools and tests may
+// emit from several goroutines at once.
+type Tracer struct {
+	mask Category
+
+	mu    sync.Mutex
+	w     *bufio.Writer
+	buf   []byte // encode scratch, reused under mu
+	ring  []Event
+	next  int // ring cursor
+	wrap  bool
+	count uint64
+	err   error
+}
+
+// New returns a tracer streaming JSONL to w, emitting only categories in
+// mask. Writes are buffered; call Flush before reading the destination.
+func New(w io.Writer, mask Category) *Tracer {
+	return &Tracer{mask: mask, w: bufio.NewWriterSize(w, 1<<16), buf: make([]byte, 0, 256)}
+}
+
+// NewRing returns a tracer that keeps the most recent n events in memory
+// (a flight recorder for post-mortem debugging). Dump serializes them.
+func NewRing(n int, mask Category) *Tracer {
+	if n < 1 {
+		n = 1
+	}
+	return &Tracer{mask: mask, ring: make([]Event, 0, n)}
+}
+
+// Enabled reports whether events in category c are being recorded. This is
+// the hot-path gate: on a nil (disabled) tracer it is a nil check and a
+// branch, nothing more.
+func (t *Tracer) Enabled(c Category) bool {
+	return t != nil && t.mask&c != 0
+}
+
+// Count returns the number of events accepted so far.
+func (t *Tracer) Count() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count
+}
+
+// Err returns the first write error encountered, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Emit records one event. Events in categories outside the tracer's mask
+// (and all events on a nil tracer) are discarded. ts is virtual time in
+// nanoseconds; flow/tdn label the event (-1 = not applicable); a and b are
+// per-name numeric payloads and s an optional string payload.
+func (t *Tracer) Emit(c Category, ts int64, name string, flow, tdn int, a, b float64, s string) {
+	if t == nil || t.mask&c == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.count++
+	if t.ring != nil || t.w == nil {
+		ev := Event{TS: ts, Cat: c.String(), Name: name, Flow: flow, TDN: tdn, A: a, B: b, S: s}
+		if len(t.ring) < cap(t.ring) {
+			t.ring = append(t.ring, ev)
+		} else {
+			t.ring[t.next] = ev
+			t.next++
+			t.wrap = true
+			if t.next == cap(t.ring) {
+				t.next = 0
+			}
+		}
+		return
+	}
+	t.buf = appendEvent(t.buf[:0], c, ts, name, flow, tdn, a, b, s)
+	if _, err := t.w.Write(t.buf); err != nil && t.err == nil {
+		t.err = err
+	}
+}
+
+// appendEvent encodes one event as a JSONL line. Hand-rolled (no maps, no
+// reflection) so output is deterministic and allocation-free after warmup.
+// Non-finite floats serialize as -1: JSON has no Inf/NaN, and the only
+// non-finite value in practice is the "no threshold yet" +Inf ssthresh.
+func appendEvent(b []byte, c Category, ts int64, name string, flow, tdn int, a, bb float64, s string) []byte {
+	b = append(b, `{"ts":`...)
+	b = strconv.AppendInt(b, ts, 10)
+	b = append(b, `,"cat":"`...)
+	b = append(b, c.String()...)
+	b = append(b, `","name":`...)
+	b = strconv.AppendQuote(b, name)
+	b = append(b, `,"flow":`...)
+	b = strconv.AppendInt(b, int64(flow), 10)
+	b = append(b, `,"tdn":`...)
+	b = strconv.AppendInt(b, int64(tdn), 10)
+	b = append(b, `,"a":`...)
+	b = appendFloat(b, a)
+	b = append(b, `,"b":`...)
+	b = appendFloat(b, bb)
+	if s != "" {
+		b = append(b, `,"s":`...)
+		b = strconv.AppendQuote(b, s)
+	}
+	b = append(b, "}\n"...)
+	return b
+}
+
+func appendFloat(b []byte, v float64) []byte {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return append(b, "-1"...)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// Events returns the ring buffer's contents in emission order. It returns
+// nil for streaming and nil tracers.
+func (t *Tracer) Events() []Event {
+	if t == nil || t.ring == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.ring))
+	if t.wrap {
+		out = append(out, t.ring[t.next:]...)
+		out = append(out, t.ring[:t.next]...)
+	} else {
+		out = append(out, t.ring...)
+	}
+	return out
+}
+
+// Dump writes the ring buffer's contents as JSONL to w. On a streaming
+// tracer it is equivalent to Flush.
+func (t *Tracer) Dump(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	if t.ring == nil {
+		return t.Flush()
+	}
+	var buf []byte
+	for _, ev := range t.Events() {
+		mask, _ := ParseCategories(ev.Cat)
+		buf = appendEvent(buf[:0], mask, ev.TS, ev.Name, ev.Flow, ev.TDN, ev.A, ev.B, ev.S)
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush drains buffered output to the underlying writer.
+func (t *Tracer) Flush() error {
+	if t == nil || t.w == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.w.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}

@@ -1,0 +1,251 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled(CatTCP) {
+		t.Fatal("nil tracer reports enabled")
+	}
+	tr.Emit(CatTCP, 1, "x", 0, 0, 1, 2, "s") // must not panic
+	if tr.Count() != 0 || tr.Err() != nil || tr.Flush() != nil {
+		t.Fatal("nil tracer not inert")
+	}
+	if tr.Events() != nil {
+		t.Fatal("nil tracer has events")
+	}
+	if err := tr.Dump(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCategoryMask(t *testing.T) {
+	tr := NewRing(8, CatTCP|CatVOQ)
+	tr.Emit(CatTCP, 1, "a", 0, 0, 0, 0, "")
+	tr.Emit(CatCC, 2, "b", 0, 0, 0, 0, "") // masked out
+	tr.Emit(CatVOQ, 3, "c", 0, 0, 0, 0, "")
+	if got := tr.Count(); got != 2 {
+		t.Fatalf("Count = %d, want 2", got)
+	}
+	evs := tr.Events()
+	if len(evs) != 2 || evs[0].Name != "a" || evs[1].Name != "c" {
+		t.Fatalf("unexpected events %+v", evs)
+	}
+}
+
+func TestParseCategories(t *testing.T) {
+	m, err := ParseCategories("tcp,cc, voq")
+	if err != nil || m != CatTCP|CatCC|CatVOQ {
+		t.Fatalf("ParseCategories = %v, %v", m, err)
+	}
+	if m, err = ParseCategories("all"); err != nil || m != CatAll {
+		t.Fatalf("all = %v, %v", m, err)
+	}
+	if m, err = ParseCategories(""); err != nil || m != 0 {
+		t.Fatalf("empty = %v, %v", m, err)
+	}
+	if _, err = ParseCategories("bogus"); err == nil {
+		t.Fatal("bogus category accepted")
+	}
+	if got := (CatTCP | CatTDN).String(); got != "tcp,tdn" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf, CatAll)
+	tr.Emit(CatTCP, 1234, "ca_state", 3, 1, 42.5, math.Inf(1), `open>"recovery"`)
+	tr.Emit(CatRDCN, 5678, "day", -1, 0, 2, 180000, "")
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var ev Event
+	if err := ParseLine([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("line 0 invalid: %v", err)
+	}
+	if ev.TS != 1234 || ev.Cat != "tcp" || ev.Name != "ca_state" || ev.Flow != 3 ||
+		ev.TDN != 1 || ev.A != 42.5 || ev.B != -1 || ev.S != `open>"recovery"` {
+		t.Fatalf("round trip mismatch: %+v", ev)
+	}
+	if err := ParseLine([]byte(lines[1]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.S != "" {
+		t.Fatalf("S not reset between parses: %q", ev.S)
+	}
+}
+
+func TestDeterministicBytes(t *testing.T) {
+	run := func() []byte {
+		var buf bytes.Buffer
+		tr := New(&buf, CatAll)
+		for i := 0; i < 100; i++ {
+			tr.Emit(CatVOQ, int64(i), "voq_enq", i%4, i%2, float64(i)*0.1, 16, "r0q0")
+		}
+		tr.Flush()
+		return buf.Bytes()
+	}
+	if !bytes.Equal(run(), run()) {
+		t.Fatal("identical emission sequences produced different bytes")
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	tr := NewRing(4, CatAll)
+	for i := 0; i < 10; i++ {
+		tr.Emit(CatSim, int64(i), "fire", -1, -1, 0, 0, "")
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.TS != int64(6+i) {
+			t.Fatalf("ring order wrong: %+v", evs)
+		}
+	}
+	if tr.Count() != 10 {
+		t.Fatalf("Count = %d, want 10", tr.Count())
+	}
+	var buf bytes.Buffer
+	if err := tr.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(buf.Bytes(), []byte("\n")); n != 4 {
+		t.Fatalf("Dump wrote %d lines, want 4", n)
+	}
+}
+
+// TestConcurrentEmit exercises the tracer's concurrent writer path; run
+// under -race (ci.sh does).
+func TestConcurrentEmit(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf, CatAll)
+	const goroutines, each = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				tr.Emit(CatTCP, int64(i), "ev", g, -1, float64(i), 0, "concurrent")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimRight(buf.Bytes(), "\n"), []byte("\n"))
+	if len(lines) != goroutines*each {
+		t.Fatalf("got %d lines, want %d", len(lines), goroutines*each)
+	}
+	var ev Event
+	for i, line := range lines {
+		if err := ParseLine(line, &ev); err != nil {
+			t.Fatalf("line %d corrupt (%v): %s", i, err, line)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	var nilReg *Registry
+	nilReg.Add("x", 1)
+	nilReg.Set("y", 2)
+	if nilReg.Counter("x") != 0 || nilReg.Gauge("y") != 0 {
+		t.Fatal("nil registry not inert")
+	}
+	var buf bytes.Buffer
+	if err := nilReg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("nil registry JSON invalid: %s", buf.Bytes())
+	}
+
+	r := NewRegistry()
+	r.Add("b.count", 2)
+	r.Add("a.count", 1)
+	r.Add("b.count", 3)
+	r.Set("z.gauge", 1.5)
+	r.Set("m.gauge", math.Inf(1))
+	if r.Counter("b.count") != 5 {
+		t.Fatalf("counter = %d", r.Counter("b.count"))
+	}
+	buf.Reset()
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("invalid JSON: %s", out)
+	}
+	if strings.Index(out, `"a.count"`) > strings.Index(out, `"b.count"`) {
+		t.Fatalf("keys not sorted: %s", out)
+	}
+	var parsed struct {
+		Counters map[string]int64   `json:"counters"`
+		Gauges   map[string]float64 `json:"gauges"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Counters["a.count"] != 1 || parsed.Gauges["m.gauge"] != -1 {
+		t.Fatalf("parsed mismatch: %+v", parsed)
+	}
+}
+
+func TestChromeExport(t *testing.T) {
+	var jsonl bytes.Buffer
+	tr := New(&jsonl, CatAll)
+	tr.Emit(CatRDCN, 0, "day", -1, 0, 1, 180000, "")
+	tr.Emit(CatCC, 1000, "grow", 2, 1, 12, 40, "cubic")
+	tr.Emit(CatVOQ, 2000, "voq_enq", -1, 0, 7, 16, "r0q0")
+	tr.Emit(CatTCP, 3000, "retransmit", 2, 1, 8960, 1, "")
+	tr.Flush()
+
+	var out bytes.Buffer
+	if err := Chrome(&jsonl, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(out.Bytes()) {
+		t.Fatalf("chrome output not valid JSON:\n%s", out.String())
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	phases := map[string]int{}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		phases[ev["ph"].(string)]++
+		names[ev["name"].(string)] = true
+	}
+	if phases["X"] != 1 || phases["C"] != 2 || phases["i"] != 1 || phases["M"] == 0 {
+		t.Fatalf("phase mix wrong: %v", phases)
+	}
+	if !names["day"] || !names["cwnd f2/tdn1"] || !names["occupancy r0q0"] || !names["retransmit"] {
+		t.Fatalf("names missing: %v", names)
+	}
+}
+
+func TestChromeRejectsCorruptLine(t *testing.T) {
+	in := strings.NewReader("{\"ts\":1,\"cat\":\"tcp\",\"name\":\"x\",\"flow\":0,\"tdn\":0,\"a\":0,\"b\":0}\nnot json\n")
+	if err := Chrome(in, &bytes.Buffer{}); err == nil {
+		t.Fatal("corrupt line accepted")
+	}
+}

@@ -26,6 +26,8 @@
 package tdtcp
 
 import (
+	"io"
+
 	"github.com/rdcn-net/tdtcp/internal/cc"
 	"github.com/rdcn-net/tdtcp/internal/core"
 	"github.com/rdcn-net/tdtcp/internal/experiments"
@@ -35,6 +37,7 @@ import (
 	"github.com/rdcn-net/tdtcp/internal/sim"
 	"github.com/rdcn-net/tdtcp/internal/stats"
 	"github.com/rdcn-net/tdtcp/internal/tcp"
+	"github.com/rdcn-net/tdtcp/internal/trace"
 	"github.com/rdcn-net/tdtcp/internal/workload"
 )
 
@@ -252,6 +255,46 @@ func Ablation(o FigureOptions) (*Figure, error) { return experiments.Ablation(o)
 
 // Figures maps figure IDs ("fig2" … "headline", "ablation") to runners.
 var Figures = experiments.Figures
+
+// Observability (see DESIGN.md "Observability").
+type (
+	// Tracer is the structured event tracer; a nil *Tracer is a valid,
+	// zero-overhead disabled tracer.
+	Tracer = trace.Tracer
+	// TraceEvent is one traced event (JSONL line).
+	TraceEvent = trace.Event
+	// TraceCategory is the event-category bitmask.
+	TraceCategory = trace.Category
+	// MetricsRegistry collects named counters and gauges.
+	MetricsRegistry = trace.Registry
+)
+
+// Trace categories, one bit per subsystem.
+const (
+	TraceSim  = trace.CatSim
+	TraceTCP  = trace.CatTCP
+	TraceCC   = trace.CatCC
+	TraceTDN  = trace.CatTDN
+	TraceVOQ  = trace.CatVOQ
+	TraceRDCN = trace.CatRDCN
+	TraceAll  = trace.CatAll
+)
+
+// NewTracer returns a tracer streaming JSONL events to w.
+func NewTracer(w io.Writer, mask TraceCategory) *Tracer { return trace.New(w, mask) }
+
+// NewRingTracer returns a tracer retaining the last n events in memory.
+func NewRingTracer(n int, mask TraceCategory) *Tracer { return trace.NewRing(n, mask) }
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return trace.NewRegistry() }
+
+// ParseTraceCategories parses a comma-separated category list ("tcp,cc" or
+// "all") into a mask.
+func ParseTraceCategories(s string) (TraceCategory, error) { return trace.ParseCategories(s) }
+
+// ChromeTrace converts JSONL trace events (r) to Chrome trace-viewer JSON (w).
+func ChromeTrace(r io.Reader, w io.Writer) error { return trace.Chrome(r, w) }
 
 // Analytic references (§2.2).
 func OptimalBytes(sch *Schedule, tdns []TDNParams, t Time) int64 {
