@@ -6,3 +6,9 @@ set -eux
 go vet ./...
 go build ./...
 go test -race ./...
+
+# Fuzz smoke: a few seconds of each native fuzz target. Regression corpus
+# entries under testdata/fuzz always run as part of `go test` above; this
+# additionally exercises fresh random inputs.
+go test -fuzz=FuzzConnDeliver -fuzztime=5s ./internal/tcp/
+go test -fuzz=FuzzScheduleParse -fuzztime=5s ./internal/rdcn/

@@ -40,8 +40,13 @@ func main() {
 		csvDir = flag.String("csv", "", "directory to write plottable CSV series into")
 
 		traceOut  = flag.String("trace", "", "write a JSONL event trace to this file (-run only; '-' = stdout)")
-		traceCats = flag.String("tracecats", "tcp,cc,tdn,voq,rdcn", "trace categories (comma-separated; 'all' adds the chatty sim loop)")
+		traceCats = flag.String("tracecats", "tcp,cc,tdn,voq,rdcn,fault", "trace categories (comma-separated; 'all' adds the chatty sim loop)")
 		metricsFn = flag.String("metrics", "", "write run metrics as JSON to this file (-run only; '-' = stdout)")
+
+		faultSpec  = flag.String("fault", "", "fault-injection plan, e.g. 'nloss=0.1,drop=0.01,flaps=2' (-run only)")
+		faultSeed  = flag.Int64("faultseed", 1, "fault-injection seed, independent of -seed")
+		invariants = flag.Bool("invariants", false, "check connection/network invariants after every event (-run only)")
+		schedSpec  = flag.String("sched", "", "override the optical schedule, e.g. '6x(0:180us,-:20us),1:180us,-:20us' (-run only)")
 	)
 	flag.Parse()
 
@@ -54,7 +59,28 @@ func main() {
 		if m == 0 {
 			m = 20
 		}
-		if err := runOne(tdtcp.Variant(*runVar), *flows, w, m, *seed, *traceOut, *traceCats, *metricsFn); err != nil {
+		cfg := tdtcp.RunConfig{
+			Variant: tdtcp.Variant(*runVar), Flows: *flows,
+			WarmupWeeks: w, MeasureWeeks: m, Seed: *seed,
+			Invariants: *invariants,
+		}
+		if *faultSpec != "" {
+			plan, err := tdtcp.ParseFaultPlan(*faultSpec)
+			if err != nil {
+				fatal(err)
+			}
+			cfg.Fault = &plan
+			cfg.FaultSeed = *faultSeed
+		}
+		if *schedSpec != "" {
+			sched, err := tdtcp.ParseSchedule(*schedSpec)
+			if err != nil {
+				fatal(err)
+			}
+			cfg.Scenario = tdtcp.HybridScenario()
+			cfg.Scenario.Schedule = sched
+		}
+		if err := runOne(cfg, *traceOut, *traceCats, *metricsFn); err != nil {
 			fatal(err)
 		}
 	case *figID != "":
@@ -103,10 +129,7 @@ func outFile(path string) (w io.Writer, closeFn func() error, err error) {
 	return f, f.Close, nil
 }
 
-func runOne(v tdtcp.Variant, flows, warmup, weeks int, seed int64, traceOut, traceCats, metricsFn string) error {
-	cfg := tdtcp.RunConfig{
-		Variant: v, Flows: flows, WarmupWeeks: warmup, MeasureWeeks: weeks, Seed: seed,
-	}
+func runOne(cfg tdtcp.RunConfig, traceOut, traceCats, metricsFn string) error {
 	var closeTrace func() error
 	if traceOut != "" {
 		mask, err := tdtcp.ParseTraceCategories(traceCats)
@@ -160,7 +183,28 @@ func runOne(v tdtcp.Variant, flows, warmup, weeks int, seed int64, traceOut, tra
 	fmt.Printf("receiver       delivered=%dB spurious-rx=%d dsacks=%d\n",
 		res.Receiver.BytesDelivered, res.Receiver.DupSegsRcvd, res.Receiver.DSACKsSent)
 	if res.TDTCPSwitches > 0 {
-		fmt.Printf("tdtcp          state switches=%d\n", res.TDTCPSwitches)
+		fmt.Printf("tdtcp          state switches=%d deadman-engaged=%d\n",
+			res.TDTCPSwitches, res.DeadmanEngaged)
+	}
+	if cfg.Fault != nil {
+		fs := res.FaultStats
+		fmt.Printf("faults         notify drop=%d dup=%d delay=%d\n",
+			fs.NotifyDropped, fs.NotifyDuped, fs.NotifyDelayed)
+		fmt.Printf("               frame drop=%d corrupt=%d delay=%d\n",
+			fs.FramesDropped, fs.FramesCorrupted, fs.FramesDelayed)
+		fmt.Printf("               flaps=%d resize-fails=%d\n",
+			fs.CircuitFlaps, fs.ResizeFailures)
+		fmt.Printf("degradation    notifies rcvd=%d stale=%d dup=%d\n",
+			res.Sender.NotifiesRcvd+res.Receiver.NotifiesRcvd,
+			res.Sender.NotifiesStale+res.Receiver.NotifiesStale,
+			res.Sender.NotifiesDup+res.Receiver.NotifiesDup)
+	}
+	if cfg.Invariants {
+		fmt.Printf("invariants     checks=%d violations=%d\n",
+			res.InvariantChecks, len(res.Violations))
+		for _, v := range res.Violations {
+			fmt.Printf("  VIOLATION    %v\n", v)
+		}
 	}
 	return nil
 }

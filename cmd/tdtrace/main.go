@@ -175,7 +175,7 @@ func buildFilter(cats, name string, flow, tdn int, from, to string) (*filter, er
 		}
 		f.cats = map[string]bool{}
 		for _, c := range []trace.Category{trace.CatSim, trace.CatTCP, trace.CatCC,
-			trace.CatTDN, trace.CatVOQ, trace.CatRDCN} {
+			trace.CatTDN, trace.CatVOQ, trace.CatRDCN, trace.CatFault} {
 			if mask&c != 0 {
 				f.cats[c.String()] = true
 			}

@@ -1,0 +1,66 @@
+// Faults: TDTCP on a lossy control channel, with and without the deadman.
+//
+// Runs the same 8-flow TDTCP workload three ways — clean, with 10% of the
+// TDN-change notifications dropped, and with the loss plus the schedule
+// deadman armed — then prints what the fault injector did and how the
+// transport degraded. The faulted runs also attach the runtime invariant
+// checker, revalidating every connection's scoreboard and the racks' VOQ
+// accounting after each simulation event.
+package main
+
+import (
+	"fmt"
+
+	tdtcp "github.com/rdcn-net/tdtcp"
+)
+
+func run(label string, plan *tdtcp.FaultPlan, horizon tdtcp.Duration) {
+	reg := tdtcp.NewMetricsRegistry()
+	cfg := tdtcp.RunConfig{
+		Variant:      tdtcp.TDTCP,
+		Flows:        8,
+		WarmupWeeks:  2,
+		MeasureWeeks: 8,
+		Seed:         42,
+		Fault:        plan,
+		FaultSeed:    7,
+		Invariants:   plan != nil,
+		Metrics:      reg,
+	}
+	// Run defaults the horizon from the schedule when a plan is set; an
+	// explicit 0 here disables it to show the undegraded failure mode.
+	cfg.Flow.TDTCPOpts.DeadmanHorizon = horizon
+
+	res, err := tdtcp.Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%-28s %6.2f Gbps  switches=%-4d deadman=%-3d",
+		label, res.GoodputGbps, res.TDTCPSwitches, res.DeadmanEngaged)
+	if plan != nil {
+		fmt.Printf("  dropped-notifies=%d  invariant-checks=%d violations=%d",
+			res.FaultStats.NotifyDropped, res.InvariantChecks, len(res.Violations))
+	}
+	fmt.Println()
+}
+
+func main() {
+	plan, err := tdtcp.ParseFaultPlan("nloss=0.10")
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("8 TDTCP flows, hybrid week, 8 measured weeks (optimal ~20.6 Gbps):")
+	run("clean", nil, 0)
+	// DeadmanHorizon must be non-zero to suppress Run's default arming; one
+	// week is far beyond any notification gap, so it never trips.
+	run("10% notify loss, no deadman", &plan, tdtcp.Duration(1400)*tdtcp.Microsecond)
+	run("10% notify loss + deadman", &plan, 0)
+
+	fmt.Println("\nWithout the deadman a lost day-start notification strands the")
+	fmt.Println("sender on the previous TDN until the next notification arrives;")
+	fmt.Println("with it, the sender infers the switch from the known schedule")
+	fmt.Println("once the control channel has been silent past the horizon.")
+	fmt.Println("\nSame demo from the CLI:")
+	fmt.Println("  go run ./cmd/tdsim -run tdtcp -fault nloss=0.1 -invariants")
+}

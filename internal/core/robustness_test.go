@@ -1,0 +1,69 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/rdcn-net/tdtcp/internal/sim"
+)
+
+// TestEpochWraparoundSwitches drives the policy across the uint32 epoch wrap:
+// post-wrap epochs must switch normally and pre-wrap replays must be dropped.
+func TestEpochWraparoundSwitches(t *testing.T) {
+	e := newEnv(t, Options{}, nil)
+	e.establish()
+
+	const max = math.MaxUint32
+	e.a.Notify(1, max) // fresh
+	if e.pa.ActiveTDN() != 1 {
+		t.Fatal("pre-wrap notification not applied")
+	}
+	e.a.Notify(0, 1) // wrapped past MaxUint32 (0 would bypass the gate)
+	if e.pa.ActiveTDN() != 0 {
+		t.Fatal("post-wrap notification not applied")
+	}
+	e.a.Notify(1, max) // late replay of the pre-wrap epoch
+	if e.pa.ActiveTDN() != 0 {
+		t.Fatal("stale pre-wrap replay applied after the wrap")
+	}
+	if e.a.Stats.NotifiesStale != 1 {
+		t.Fatalf("NotifiesStale = %d, want 1", e.a.Stats.NotifiesStale)
+	}
+	if e.pa.Stats().Switches != 2 {
+		t.Fatalf("Switches = %d, want 2", e.pa.Stats().Switches)
+	}
+}
+
+// TestDeadmanInfersTDNFromSchedule starves the policy of notifications
+// entirely: past the horizon it must start tracking the nominal schedule
+// instead of sitting on the attach-time TDN forever.
+func TestDeadmanInfersTDNFromSchedule(t *testing.T) {
+	day := 100 * sim.Microsecond
+	sched := func(tm sim.Time) (int, bool) {
+		return int(tm/sim.Time(day)) % 2, true
+	}
+	e := newEnv(t, Options{
+		DeadmanHorizon:  250 * sim.Microsecond,
+		DeadmanSchedule: sched,
+	}, nil)
+	e.establish()
+
+	e.runFor(2 * sim.Millisecond) // no notifications at all
+	st := e.pa.Stats()
+	if st.DeadmanEngaged == 0 {
+		t.Fatal("deadman never engaged with zero notifications")
+	}
+	if want, _ := sched(e.loop.Now()); e.pa.ActiveTDN() != want {
+		t.Fatalf("active TDN %d, schedule says %d", e.pa.ActiveTDN(), want)
+	}
+
+	// A real notification re-anchors the horizon and keeps counting as a
+	// notified switch, not an inferred one.
+	engaged := st.DeadmanEngaged
+	e.switchTDN(1 - e.pa.ActiveTDN())
+	if e.pa.Stats().DeadmanEngaged != engaged {
+		t.Fatal("notified switch miscounted as deadman engagement")
+	}
+	e.pa.StopDeadman()
+	e.pb.StopDeadman()
+}

@@ -41,6 +41,19 @@ type Options struct {
 	// DisablePessimisticRTO uses the segment TDN's own RTO instead of the
 	// §4.4 slowest-TDN synthesis.
 	DisablePessimisticRTO bool
+
+	// DeadmanHorizon, together with DeadmanSchedule, arms the notification
+	// deadman: when no notification (fresh or stale) has been delivered for
+	// this long, the policy infers the active TDN from the nominal schedule
+	// instead of waiting forever on a lossy control channel. Without it a
+	// run of lost notifications strands every flow on a stale TDN,
+	// blackholing cwnd updates into state the fabric no longer serves. Set
+	// it above the longest nominal notification gap (the paper's hybrid
+	// week delivers one per ~200µs day) so it only trips on genuine loss.
+	DeadmanHorizon sim.Duration
+	// DeadmanSchedule reports the TDN the nominal schedule makes active at
+	// t (ok=false during a night). Typically rdcn.Schedule.At.
+	DeadmanSchedule func(t sim.Time) (tdn int, ok bool)
 }
 
 // TDTCP is the per-TDN state-multiplexing policy. Create one per connection
@@ -58,9 +71,15 @@ type TDTCP struct {
 	haveChange   bool
 	lastSwitchAt sim.Time
 
+	// Deadman fallback state: the arrival time of the latest notification
+	// and the self-rearming inference timer.
+	lastNotifyAt sim.Time
+	deadmanTimer *sim.Timer
+
 	// Counters (exported via Stats).
 	switches        uint64
 	staleNotifies   uint64
+	deadmanEngaged  uint64
 	newTDNsObserved int
 }
 
@@ -68,6 +87,9 @@ type TDTCP struct {
 type Stats struct {
 	Switches      uint64
 	StaleNotifies uint64
+	// DeadmanEngaged counts TDN switches inferred from the schedule because
+	// notifications went missing beyond the deadman horizon.
+	DeadmanEngaged uint64
 }
 
 // New returns a TDTCP policy for numTDNs time-division networks.
@@ -83,7 +105,7 @@ func New(numTDNs int, opts Options) *TDTCP {
 
 // Stats returns the policy's counters.
 func (p *TDTCP) Stats() Stats {
-	return Stats{Switches: p.switches, StaleNotifies: p.staleNotifies}
+	return Stats{Switches: p.switches, StaleNotifies: p.staleNotifies, DeadmanEngaged: p.deadmanEngaged}
 }
 
 // ActiveTDN returns the TDN currently driving transmissions.
@@ -94,7 +116,46 @@ func (p *TDTCP) ActiveTDN() int { return p.active }
 func (p *TDTCP) ChangePointer() (uint32, bool) { return p.changePtr, p.haveChange }
 
 // Attach implements tcp.Policy.
-func (p *TDTCP) Attach(c *tcp.Conn) { p.c = c }
+func (p *TDTCP) Attach(c *tcp.Conn) {
+	p.c = c
+	if p.opts.DeadmanHorizon > 0 && p.opts.DeadmanSchedule != nil {
+		p.lastNotifyAt = c.Loop.Now()
+		p.deadmanTimer = c.Loop.After(p.opts.DeadmanHorizon, p.deadmanFire)
+	}
+}
+
+// StopDeadman cancels the deadman timer, letting a drained simulation loop
+// terminate (the timer otherwise re-arms itself forever).
+func (p *TDTCP) StopDeadman() {
+	if p.deadmanTimer != nil {
+		p.deadmanTimer.Stop()
+		p.deadmanTimer = nil
+	}
+}
+
+// deadmanFire checks the notification gap and, once it exceeds the horizon,
+// adopts the TDN the nominal schedule says is active. lastNotifyAt is left
+// untouched by inferred switches — the control channel is still silent, so
+// the deadman keeps tracking the schedule every horizon until real
+// notifications resume.
+func (p *TDTCP) deadmanFire() {
+	now := p.c.Loop.Now()
+	if gap := now.Sub(p.lastNotifyAt); gap < p.opts.DeadmanHorizon {
+		// A notification arrived since arming: sleep until the earliest
+		// instant the horizon could lapse again.
+		p.deadmanTimer = p.c.Loop.At(p.lastNotifyAt.Add(p.opts.DeadmanHorizon), p.deadmanFire)
+		return
+	} else if tdn, ok := p.opts.DeadmanSchedule(now); ok && tdn >= 0 && tdn < p.numTDNs && tdn != p.active {
+		p.deadmanEngaged++
+		if tr := p.c.Tracer; tr.Enabled(trace.CatTDN) {
+			tr.Emit(trace.CatTDN, int64(now), "tdn_deadman",
+				p.c.FlowID, tdn, float64(p.active), float64(gap), "")
+		}
+		p.switchTo(tdn)
+		p.c.Kick()
+	}
+	p.deadmanTimer = p.c.Loop.After(p.opts.DeadmanHorizon, p.deadmanFire)
+}
 
 // NumStates implements tcp.Policy.
 func (p *TDTCP) NumStates() int { return p.numTDNs }
@@ -106,6 +167,7 @@ func (p *TDTCP) Active() int { return p.active }
 // Stale-epoch filtering happens in Conn.Notify; here an out-of-range TDN is
 // ignored (the §4.2 contract requires both ends to agree on the TDN count).
 func (p *TDTCP) OnNotify(tdn int, epoch uint32) {
+	p.lastNotifyAt = p.c.Loop.Now()
 	if tdn < 0 || tdn >= p.numTDNs {
 		p.staleNotifies++
 		return
@@ -113,11 +175,16 @@ func (p *TDTCP) OnNotify(tdn int, epoch uint32) {
 	if tdn == p.active {
 		return
 	}
+	p.switchTo(tdn)
+}
+
+// switchTo makes tdn the active state set and records the change pointer
+// (§3.4): everything below it was (last) sent on an older TDN. Callers are
+// the notification path and the deadman fallback.
+func (p *TDTCP) switchTo(tdn int) {
 	from := p.active
 	p.active = tdn
 	p.switches++
-	// The change pointer tracks the first sequence number of the new TDN
-	// (§3.4): everything below it was (last) sent on an older TDN.
 	p.changePtr = p.c.SndNxt()
 	p.haveChange = true
 	p.lastSwitchAt = p.c.Loop.Now()

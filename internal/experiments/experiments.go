@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"github.com/rdcn-net/tdtcp/internal/core"
+	"github.com/rdcn-net/tdtcp/internal/fault"
+	"github.com/rdcn-net/tdtcp/internal/invariant"
 	"github.com/rdcn-net/tdtcp/internal/rdcn"
 	"github.com/rdcn-net/tdtcp/internal/sim"
 	"github.com/rdcn-net/tdtcp/internal/stats"
@@ -84,6 +86,18 @@ type RunConfig struct {
 	// gauges before Run returns (see the "Observability" section of
 	// DESIGN.md for the key taxonomy).
 	Metrics *trace.Registry
+
+	// Fault, when non-nil and enabled, injects the plan's faults into the
+	// run, driven by FaultSeed (default 1) independently of Seed. TDTCP
+	// flows additionally get the notification deadman armed (unless the
+	// caller already configured one), so notification loss degrades into
+	// schedule-inferred switching instead of a stall.
+	Fault     *fault.Plan
+	FaultSeed int64
+	// Invariants attaches the runtime invariant checker to every connection
+	// and the network, validating scoreboard/sequence/VOQ accounting after
+	// every simulation event (see Result.Violations).
+	Invariants bool
 }
 
 func (cfg *RunConfig) fillDefaults() {
@@ -107,6 +121,9 @@ func (cfg *RunConfig) fillDefaults() {
 	}
 	if cfg.Scenario.Name == "" {
 		cfg.Scenario = Hybrid()
+	}
+	if cfg.FaultSeed == 0 {
+		cfg.FaultSeed = 1
 	}
 }
 
@@ -136,6 +153,17 @@ type Result struct {
 	// Aggregated endpoint counters over the whole run.
 	Sender, Receiver tcp.Stats
 	TDTCPSwitches    uint64
+	// DeadmanEngaged sums schedule-inferred TDN switches across TDTCP flows
+	// (notification-loss degradation, only non-zero on faulted runs).
+	DeadmanEngaged uint64
+
+	// FaultStats counts the faults actually injected (zero value when the
+	// run was not faulted).
+	FaultStats fault.Stats
+	// InvariantChecks and Violations report the runtime checker's activity
+	// when RunConfig.Invariants was set.
+	InvariantChecks uint64
+	Violations      []invariant.Violation
 }
 
 // Run executes one experiment and returns its measurements.
@@ -162,6 +190,24 @@ func Run(cfg RunConfig) (*Result, error) {
 	loop.SetTracer(cfg.Tracer)
 	net.SetTracer(cfg.Tracer)
 
+	var inj *fault.Injector
+	if cfg.Fault != nil && cfg.Fault.Enabled() {
+		inj = fault.New(loop, *cfg.Fault, cfg.FaultSeed)
+		inj.SetTracer(cfg.Tracer)
+		inj.SetMetrics(cfg.Metrics)
+		inj.Install(net)
+		if cfg.Variant == TDTCP && cfg.Flow.TDTCPOpts.DeadmanHorizon == 0 {
+			cfg.Flow.TDTCPOpts.DeadmanHorizon = defaultDeadmanHorizon(ncfg.Schedule)
+		}
+	}
+	var chk *invariant.Checker
+	if cfg.Invariants {
+		chk = invariant.New(loop)
+		chk.SetTracer(cfg.Tracer)
+		chk.SetMetrics(cfg.Metrics)
+		chk.WatchNetwork(net)
+	}
+
 	flows := make([]*Flow, cfg.Flows)
 	for i := range flows {
 		f, err := BuildFlow(loop, net, i, cfg.Variant, cfg.Flow)
@@ -171,11 +217,29 @@ func Run(cfg RunConfig) (*Result, error) {
 		f.SetTracer(cfg.Tracer, i)
 		flows[i] = f
 	}
+	if chk != nil {
+		for i, f := range flows {
+			if f.MSnd != nil {
+				for _, sub := range f.MSnd.Subflows() {
+					chk.WatchConn(sub, i)
+				}
+				for _, sub := range f.MRcv.Subflows() {
+					chk.WatchConn(sub, i)
+				}
+				continue
+			}
+			chk.WatchConn(f.Snd, i)
+			chk.WatchConn(f.Rcv, i)
+		}
+	}
 
 	week := cfg.Scenario.Schedule.Week()
 	measureStart := sim.Time(sim.Duration(cfg.WarmupWeeks) * week)
 	end := measureStart.Add(sim.Duration(cfg.MeasureWeeks) * week)
 	net.Start(end)
+	if inj != nil {
+		inj.Start(end)
+	}
 
 	delivered := func() float64 {
 		var sum int64
@@ -235,9 +299,21 @@ func Run(cfg RunConfig) (*Result, error) {
 		addStats(&res.Receiver, &r)
 		if f.Snd != nil {
 			if p, ok := f.Snd.Config().Policy.(*core.TDTCP); ok {
-				res.TDTCPSwitches += p.Stats().Switches
+				ps := p.Stats()
+				res.TDTCPSwitches += ps.Switches
+				res.DeadmanEngaged += ps.DeadmanEngaged
+			}
+			if p, ok := f.Rcv.Config().Policy.(*core.TDTCP); ok {
+				res.DeadmanEngaged += p.Stats().DeadmanEngaged
 			}
 		}
+	}
+	if inj != nil {
+		res.FaultStats = inj.Stats()
+	}
+	if chk != nil {
+		res.InvariantChecks = chk.Checks()
+		res.Violations = chk.Violations()
 	}
 	// The VOQ series gets its label from the variant but its own axis: fix
 	// labels for clarity.
@@ -278,7 +354,17 @@ func populateMetrics(cfg RunConfig, res *Result, loop *sim.Loop, net *rdcn.Netwo
 	m.Add("tcp.bytes_delivered", r.BytesDelivered)
 	m.Add("tcp.dup_segs_rcvd", int64(r.DupSegsRcvd))
 	m.Add("tcp.dsacks_sent", int64(r.DSACKsSent))
+	m.Add("tcp.notifies_rcvd", int64(s.NotifiesRcvd+r.NotifiesRcvd))
+	m.Add("tcp.notifies_stale", int64(s.NotifiesStale+r.NotifiesStale))
+	m.Add("tcp.notifies_dup", int64(s.NotifiesDup+r.NotifiesDup))
 	m.Add("tdtcp.switches", int64(res.TDTCPSwitches))
+	m.Add("tdtcp.deadman_engaged", int64(res.DeadmanEngaged))
+	if cfg.Invariants {
+		m.Add("invariant.checks", int64(res.InvariantChecks))
+		// Ensure the violations counter exists even on clean runs, so "zero
+		// violations" is visible rather than a missing key.
+		m.Add("invariant.violations", 0)
+	}
 
 	for i, f := range flows {
 		m.Add(fmt.Sprintf("flow.%02d.bytes_delivered", i), f.Delivered())
@@ -307,4 +393,36 @@ func populateMetrics(cfg RunConfig, res *Result, loop *sim.Loop, net *rdcn.Netwo
 	if cfg.Tracer != nil {
 		m.Add("trace.events", int64(cfg.Tracer.Count()))
 	}
+}
+
+// defaultDeadmanHorizon derives a notification-deadman horizon from the
+// schedule: 1.5× the longest gap between consecutive day starts, so a single
+// lost notification trips the fallback while nominal delivery never does.
+func defaultDeadmanHorizon(s *rdcn.Schedule) sim.Duration {
+	week := s.Week()
+	var starts []sim.Duration
+	for t := sim.Time(0); t < sim.Time(week); {
+		_, ok, end := s.At(t)
+		if ok {
+			starts = append(starts, sim.Duration(t))
+		}
+		if end <= t {
+			return 0 // degenerate schedule; leave the deadman unarmed
+		}
+		t = end
+	}
+	if len(starts) == 0 {
+		return 0
+	}
+	var gap sim.Duration
+	for i, st := range starts {
+		next := starts[0] + week // wrap to the next week's first day
+		if i+1 < len(starts) {
+			next = starts[i+1]
+		}
+		if g := next - st; g > gap {
+			gap = g
+		}
+	}
+	return gap + gap/2
 }

@@ -118,6 +118,9 @@ func addStats(dst, src *tcp.Stats) {
 	dst.Undos += src.Undos
 	dst.RTTSamples += src.RTTSamples
 	dst.RTTSamplesDropped += src.RTTSamplesDropped
+	dst.NotifiesRcvd += src.NotifiesRcvd
+	dst.NotifiesStale += src.NotifiesStale
+	dst.NotifiesDup += src.NotifiesDup
 }
 
 // FlowOptions tweaks flow construction.
@@ -213,7 +216,15 @@ func BuildFlow(loop *sim.Loop, net *rdcn.Network, i int, v Variant, opt FlowOpti
 	}
 	mkPolicy := func() tcp.Policy {
 		if v == TDTCP {
-			return core.New(ntdns, opt.TDTCPOpts)
+			o := opt.TDTCPOpts
+			if o.DeadmanHorizon > 0 && o.DeadmanSchedule == nil {
+				sched := net.Cfg.Schedule
+				o.DeadmanSchedule = func(t sim.Time) (int, bool) {
+					tdn, ok, _ := sched.At(t)
+					return tdn, ok
+				}
+			}
+			return core.New(ntdns, o)
 		}
 		return nil
 	}

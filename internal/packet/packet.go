@@ -142,7 +142,12 @@ const (
 
 	ipv4HeaderLen = 20
 	tcpBaseLen    = 20
-	wireScale     = 8 // fixed window scale used when serializing Window
+	// icmpLen is the TDN-change notification length: type/code/checksum
+	// (4 bytes), active TDN + 3 reserved bytes, then the full 32-bit epoch.
+	// The epoch must be carried whole — a truncated epoch would wrap early
+	// and defeat the receiver's serial-number staleness check.
+	icmpLen   = 12
+	wireScale = 8 // fixed window scale used when serializing Window
 )
 
 // Errors returned by Parse.
@@ -196,7 +201,7 @@ func (h *TCPHeader) optionsLen() int {
 func (s *Segment) WireLen() int {
 	switch s.Proto {
 	case ProtoICMP:
-		return ipv4HeaderLen + 8
+		return ipv4HeaderLen + icmpLen
 	default:
 		return ipv4HeaderLen + tcpBaseLen + s.TCP.optionsLen() + s.TCP.PayloadLen
 	}
@@ -207,7 +212,7 @@ func (s *Segment) WireLen() int {
 func (s *Segment) HeaderLen() int {
 	switch s.Proto {
 	case ProtoICMP:
-		return ipv4HeaderLen + 8
+		return ipv4HeaderLen + icmpLen
 	default:
 		return ipv4HeaderLen + tcpBaseLen + s.TCP.optionsLen()
 	}
@@ -239,10 +244,8 @@ func (s *Segment) Serialize(buf []byte) []byte {
 		p[0] = icmpTypeTDNChange
 		p[1] = 0 // code
 		p[4] = s.ICMP.ActiveTDN
-		p[5] = byte(s.ICMP.Epoch >> 16)
-		p[6] = byte(s.ICMP.Epoch >> 8)
-		p[7] = byte(s.ICMP.Epoch)
-		binary.BigEndian.PutUint16(p[2:], checksum(p[:8]))
+		binary.BigEndian.PutUint32(p[8:], s.ICMP.Epoch)
+		binary.BigEndian.PutUint16(p[2:], checksum(p[:icmpLen]))
 	case ProtoTCP:
 		h := &s.TCP
 		binary.BigEndian.PutUint16(p[0:], h.SrcPort)
@@ -328,17 +331,17 @@ func Parse(b []byte, s *Segment) error {
 	p := b[ipv4HeaderLen:]
 	switch s.Proto {
 	case ProtoICMP:
-		if len(p) < 8 {
+		if len(p) < icmpLen {
 			return ErrTruncated
 		}
-		if checksum(p[:8]) != 0 {
+		if checksum(p[:icmpLen]) != 0 {
 			return ErrBadChecksum
 		}
 		if p[0] != icmpTypeTDNChange {
 			return fmt.Errorf("packet: unexpected ICMP type %d", p[0])
 		}
 		s.ICMP.ActiveTDN = p[4]
-		s.ICMP.Epoch = uint32(p[5])<<16 | uint32(p[6])<<8 | uint32(p[7])
+		s.ICMP.Epoch = binary.BigEndian.Uint32(p[8:])
 		return nil
 	case ProtoTCP:
 		if len(p) < tcpBaseLen {

@@ -89,14 +89,14 @@ func TestRoundTripSACK(t *testing.T) {
 func TestRoundTripICMP(t *testing.T) {
 	s := &Segment{
 		Src: 0x0a000001, Dst: 0x0a0000ff, TTL: 1, Proto: ProtoICMP,
-		ICMP: TDNNotification{ActiveTDN: 3, Epoch: 0x123456},
+		ICMP: TDNNotification{ActiveTDN: 3, Epoch: 0xFEDC3456},
 	}
 	got := roundTrip(t, s)
-	if got.ICMP.ActiveTDN != 3 || got.ICMP.Epoch != 0x123456 {
+	if got.ICMP.ActiveTDN != 3 || got.ICMP.Epoch != 0xFEDC3456 {
 		t.Fatalf("ICMP = %+v", got.ICMP)
 	}
-	if got.WireLen() != 28 {
-		t.Fatalf("ICMP WireLen = %d, want 28", got.WireLen())
+	if got.WireLen() != 32 {
+		t.Fatalf("ICMP WireLen = %d, want 32", got.WireLen())
 	}
 }
 

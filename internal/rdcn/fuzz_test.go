@@ -1,0 +1,51 @@
+package rdcn
+
+import (
+	"testing"
+
+	"github.com/rdcn-net/tdtcp/internal/sim"
+)
+
+// FuzzScheduleParse feeds arbitrary specs through the schedule parser: it
+// must never panic, and every schedule it accepts must be well-formed — a
+// positive week and an At() that always makes forward progress (the schedule
+// transition loop re-arms at slotEnd, so a non-advancing slot would hang the
+// simulation).
+func FuzzScheduleParse(f *testing.F) {
+	for _, seed := range []string{
+		"6x(0:180us,-:20us),1:180us,-:20us", // the paper's hybrid week
+		"0:1ms",
+		"-:5us,1:5us",
+		"3x(1:10us)",
+		"2x(2x(0:1us,-:1us),1:3us)",
+		"0:180", // missing unit
+		"9999999x(0:1us)",
+		"1:9223372036854775807ns,0:1s", // week overflow
+		" 1 : 10us , - : 2us ",
+		"x(",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := ParseSchedule(spec)
+		if err != nil {
+			return
+		}
+		w := s.Week()
+		if w <= 0 {
+			t.Fatalf("accepted schedule with non-positive week %v: %q", w, spec)
+		}
+		for _, tm := range []sim.Time{
+			0, sim.Time(w) - 1, sim.Time(w), 2*sim.Time(w) + 3,
+			-1, -sim.Time(w) / 2, -3 * sim.Time(w),
+		} {
+			tdn, ok, end := s.At(tm)
+			if end <= tm {
+				t.Fatalf("At(%v) slotEnd %v does not advance: %q", tm, end, spec)
+			}
+			if ok && (tdn < 0 || tdn == NightTDN) {
+				t.Fatalf("At(%v) ok with invalid TDN %d: %q", tm, tdn, spec)
+			}
+		}
+	})
+}

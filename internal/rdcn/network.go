@@ -48,6 +48,17 @@ func UnoptimizedNotify() NotifyProfile {
 	return NotifyProfile{Gen: 8 * sim.Microsecond, Stagger: 3 * sim.Microsecond, Net: 8 * sim.Microsecond, Jitter: 8 * sim.Microsecond}
 }
 
+// NotifyFate is a fault-injection verdict for one host's TDN-change
+// notification: it may be dropped, delayed an extra Extra beyond the
+// NotifyProfile latency, and/or duplicated (the stale copy arriving DupExtra
+// after the original's nominal delivery instant).
+type NotifyFate struct {
+	Drop     bool
+	Extra    sim.Duration
+	Dup      bool
+	DupExtra sim.Duration
+}
+
 // PreChange configures the retcpdyn behaviour (§5.2): Lead before each day
 // on TDN, the ToR resizes its VOQs to Cap and sends hosts an advance
 // circuit-up notification; the original capacity is restored when that day
@@ -77,6 +88,24 @@ type Config struct {
 	// Classifier maps a frame to its pinned TDN when PinnedVOQs is set.
 	// Default: destination port modulo the TDN count.
 	Classifier func(wire []byte) int
+
+	// Fault-injection hooks, installed by internal/fault. All are optional
+	// and cost nothing when nil; rdcn never decides faults itself, it only
+	// applies the verdicts, so the injector owns all randomness and tracing.
+
+	// NotifyFault is consulted once per host per TDN-change notification.
+	NotifyFault func(rack, host, tdn int, epoch uint32) NotifyFate
+	// CircuitOK, when it returns false, makes the data plane treat tdn as
+	// dark (a flapped circuit) even though the nominal schedule — and the
+	// control plane's notifications — say the day is up.
+	CircuitOK func(tdn int, now sim.Time) bool
+	// ScheduleOffset shifts the data plane's view of the schedule: drainers
+	// evaluate Schedule.At(now - offset) while notifications keep nominal
+	// timing, modelling a ToR whose optical switch drifts from its agenda.
+	ScheduleOffset func(now sim.Time) sim.Duration
+	// ResizeFault, when it returns true, suppresses one VOQ recapping (the
+	// retcpdyn resize silently fails on that queue).
+	ResizeFault func(rack, q, newCap int) bool
 }
 
 // DefaultConfig returns the §5.1 Etalon configuration: 16 hosts per rack,
@@ -128,6 +157,10 @@ func (h *Host) Send(seg *packet.Segment) {
 
 // NICQueueLen reports the shared ingress NIC backlog in frames.
 func (h *Host) NICQueueLen() int { return h.Rack.uplink.QueueLen() }
+
+// Uplink exposes the rack's shared host-side ingress NIC pipe. The fault
+// injector installs its data-path frame fault hook here.
+func (r *Rack) Uplink() *netem.Pipe { return r.uplink }
 
 // Rack is a ToR switch plus its attached hosts. Each rack has one VOQ for
 // traffic toward the peer rack (or one per TDN with PinnedVOQs).
@@ -235,7 +268,7 @@ func New(loop *sim.Loop, cfg Config) (*Network, error) {
 			if cfg.PinnedVOQs {
 				kk := k
 				pf = func() (netem.Path, bool) {
-					tdn, ok, _ := n.Cfg.Schedule.At(n.Loop.Now())
+					tdn, ok := n.dataPlaneTDN(n.Loop.Now())
 					if !ok || tdn != kk {
 						return netem.Path{}, false
 					}
@@ -284,13 +317,32 @@ func PortClassifier(wire []byte, ntdns int) int {
 // pathFunc adapts the schedule to the drainer interface.
 func (n *Network) pathFunc() netem.PathFunc {
 	return func() (netem.Path, bool) {
-		tdn, ok, _ := n.Cfg.Schedule.At(n.Loop.Now())
+		tdn, ok := n.dataPlaneTDN(n.Loop.Now())
 		if !ok {
 			return netem.Path{}, false
 		}
 		p := n.Cfg.TDNs[tdn]
 		return netem.Path{Rate: p.Rate, Delay: p.Delay, TDN: tdn}, true
 	}
+}
+
+// dataPlaneTDN reports the TDN the data plane is actually serving at now,
+// after fault adjustments: schedule drift shifts the evaluation time and a
+// flapped circuit reads as dark even though the nominal schedule (and the
+// control plane's notifications) says day.
+func (n *Network) dataPlaneTDN(now sim.Time) (int, bool) {
+	t := now
+	if off := n.Cfg.ScheduleOffset; off != nil {
+		t = t.Add(-off(now))
+	}
+	tdn, ok, _ := n.Cfg.Schedule.At(t)
+	if !ok {
+		return NightTDN, false
+	}
+	if ck := n.Cfg.CircuitOK; ck != nil && !ck(tdn, now) {
+		return tdn, false
+	}
+	return tdn, true
 }
 
 // ingress accepts a frame from a host NIC and places it in the rack's
@@ -345,11 +397,7 @@ func (n *Network) scheduleTransition(t sim.Time) {
 		now := n.Loop.Now()
 		tdn, ok, slotEnd := n.Cfg.Schedule.At(now)
 		n.epoch++
-		for _, rack := range n.Racks {
-			for _, d := range rack.drainers {
-				d.Kick()
-			}
-		}
+		n.KickAll()
 		if ok {
 			n.emit("day", tdn, float64(n.epoch), float64(slotEnd.Sub(now)))
 			if n.OnTransition != nil {
@@ -406,14 +454,47 @@ func (n *Network) armPreChange(t, slotEnd sim.Time) {
 	})
 }
 
-// setVOQCaps resizes every uplink VOQ on both racks.
+// setVOQCaps resizes every uplink VOQ on both racks (unless a resize fault
+// suppresses individual queues).
 func (n *Network) setVOQCaps(cap int) {
 	n.emit("voq_caps", -1, float64(cap), float64(n.baseVOQ))
 	for _, rack := range n.Racks {
-		for _, v := range rack.voqs {
+		for q, v := range rack.voqs {
+			if rf := n.Cfg.ResizeFault; rf != nil && rf(rack.ID, q, cap) {
+				continue
+			}
 			v.SetCap(cap)
 		}
 	}
+}
+
+// KickAll re-kicks every drainer on both racks. Besides the nominal slot
+// transitions, the fault injector calls it at drift-shifted boundaries,
+// where the data plane's day/night edges no longer coincide with the
+// control-plane events that normally kick.
+func (n *Network) KickAll() {
+	for _, rack := range n.Racks {
+		for _, d := range rack.drainers {
+			d.Kick()
+		}
+	}
+}
+
+// Epoch reports the control plane's current schedule-transition counter.
+func (n *Network) Epoch() uint32 { return n.epoch }
+
+// CheckInvariants validates the accounting of every rack VOQ. The runtime
+// invariant checker (internal/invariant) calls it after every simulation
+// event during faulted runs.
+func (n *Network) CheckInvariants() error {
+	for _, rack := range n.Racks {
+		for _, v := range rack.voqs {
+			if err := v.CheckInvariants(); err != nil {
+				return fmt.Errorf("rack %d: %w", rack.ID, err)
+			}
+		}
+	}
+	return nil
 }
 
 // notifyAll emits the ICMP TDN-change notification to every host, modelling
@@ -424,10 +505,13 @@ func (n *Network) notifyAll(tdn int, epoch uint32) {
 	n.emit("notify", tdn, float64(epoch), float64(2*len(n.Racks[0].Hosts)))
 	for _, rack := range n.Racks {
 		for i, h := range rack.Hosts {
-			h := h
 			d := prof.Gen + sim.Duration(i)*prof.Stagger + prof.Net
 			if prof.Jitter > 0 {
 				d += sim.Duration(n.Loop.Rand().Int63n(int64(prof.Jitter)))
+			}
+			var fate NotifyFate
+			if nf := n.Cfg.NotifyFault; nf != nil {
+				fate = nf(rack.ID, i, tdn, epoch)
 			}
 			seg := &packet.Segment{
 				Src: HostAddr(rack.ID, 0xFFFF), Dst: h.Addr, TTL: 1,
@@ -435,15 +519,25 @@ func (n *Network) notifyAll(tdn int, epoch uint32) {
 				ICMP:  packet.TDNNotification{ActiveTDN: uint8(tdn), Epoch: epoch},
 			}
 			f := netem.NewFrame(n.Loop, seg)
-			n.Loop.After(d, func() {
-				var s packet.Segment
-				if err := packet.Parse(f.Wire, &s); err != nil || h.NotifyTDN == nil {
-					return
-				}
-				h.NotifyTDN(int(s.ICMP.ActiveTDN), s.ICMP.Epoch)
-			})
+			if !fate.Drop {
+				n.deliverNotify(h, f.Wire, d+fate.Extra)
+			}
+			if fate.Dup {
+				n.deliverNotify(h, f.Wire, d+fate.DupExtra)
+			}
 		}
 	}
+}
+
+// deliverNotify schedules one ICMP notification delivery d from now.
+func (n *Network) deliverNotify(h *Host, wire []byte, d sim.Duration) {
+	n.Loop.After(d, func() {
+		var s packet.Segment
+		if err := packet.Parse(wire, &s); err != nil || h.NotifyTDN == nil {
+			return
+		}
+		h.NotifyTDN(int(s.ICMP.ActiveTDN), s.ICMP.Epoch)
+	})
 }
 
 // ActiveTDN reports the TDN active right now (ok=false during a night).

@@ -6,6 +6,8 @@ package rdcn
 
 import (
 	"fmt"
+	"strings"
+	"time"
 
 	"github.com/rdcn-net/tdtcp/internal/sim"
 )
@@ -33,6 +35,11 @@ func NewSchedule(slots []Slot) (*Schedule, error) {
 	if len(slots) == 0 {
 		return nil, fmt.Errorf("rdcn: schedule needs at least one slot")
 	}
+	// Capping the week keeps At() overflow-free everywhere a simulation can
+	// reach: At adds at most one week to its argument, so times would need
+	// to approach MaxInt64-week (~250 virtual years) before arithmetic
+	// wraps. A cycle over a month is a misconfiguration, not a schedule.
+	const maxWeek = 30 * 24 * sim.Duration(3600) * sim.Second
 	var week sim.Duration
 	for i, s := range slots {
 		if s.Dur <= 0 {
@@ -42,6 +49,9 @@ func NewSchedule(slots []Slot) (*Schedule, error) {
 			return nil, fmt.Errorf("rdcn: slot %d has invalid TDN %d", i, s.TDN)
 		}
 		week += s.Dur
+		if week <= 0 || week > maxWeek { // overflow folds to a negative sum
+			return nil, fmt.Errorf("rdcn: schedule week overflows %v cap", maxWeek)
+		}
 	}
 	return &Schedule{Slots: slots, week: week}, nil
 }
@@ -73,10 +83,194 @@ func HybridWeek(packetDays int, day, night sim.Duration) *Schedule {
 // Week returns the duration of one full cycle.
 func (s *Schedule) Week() sim.Duration { return s.week }
 
+// Parser limits. Generous for any realistic schedule; they exist so that
+// adversarial inputs (fuzzing, user typos) fail with an error instead of
+// exhausting memory on expressions like "1000x(1000x(...))".
+const (
+	maxParseSlots = 4096
+	maxParseReps  = 1024
+	maxParseDepth = 8
+	maxParseTDN   = 254 // packet.MaxTDNs-1; 0xFF is reserved as "unset"
+)
+
+// ParseSchedule builds a schedule from a compact text form, used by the
+// tdsim -sched flag and the fault examples:
+//
+//	item   := tdn ":" duration | "-" ":" duration | count "x(" items ")"
+//	items  := item ("," item)*
+//
+// "-" is a night (reconfiguration blackout); durations use Go syntax
+// ("180us", "1.5ms"); "Nx(...)" repeats a group N times. The paper's §5.1
+// hybrid week is "6x(0:180us,-:20us),1:180us,-:20us".
+func ParseSchedule(s string) (*Schedule, error) {
+	p := schedParser{in: s}
+	slots, err := p.items(0)
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.in) {
+		return nil, fmt.Errorf("rdcn: schedule spec: trailing garbage at %q", p.in[p.pos:])
+	}
+	return NewSchedule(slots)
+}
+
+// MustParseSchedule is ParseSchedule that panics on error, for literals.
+func MustParseSchedule(s string) *Schedule {
+	sched, err := ParseSchedule(s)
+	if err != nil {
+		panic(err)
+	}
+	return sched
+}
+
+type schedParser struct {
+	in  string
+	pos int
+}
+
+func (p *schedParser) skipSpace() {
+	for p.pos < len(p.in) && (p.in[p.pos] == ' ' || p.in[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+// int_ consumes a decimal integer of at most 7 digits.
+func (p *schedParser) int_() (int, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.in) && p.in[p.pos] >= '0' && p.in[p.pos] <= '9' {
+		p.pos++
+	}
+	if p.pos == start {
+		return 0, fmt.Errorf("rdcn: schedule spec: expected number at offset %d", start)
+	}
+	if p.pos-start > 7 {
+		return 0, fmt.Errorf("rdcn: schedule spec: number too long at offset %d", start)
+	}
+	n := 0
+	for _, c := range p.in[start:p.pos] {
+		n = n*10 + int(c-'0')
+	}
+	return n, nil
+}
+
+// duration consumes a Go-style duration ending at ',', ')' or end of input.
+func (p *schedParser) duration() (sim.Duration, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.in) && p.in[p.pos] != ',' && p.in[p.pos] != ')' {
+		p.pos++
+	}
+	d, err := time.ParseDuration(strings.TrimSpace(p.in[start:p.pos]))
+	if err != nil {
+		return 0, fmt.Errorf("rdcn: schedule spec: %v", err)
+	}
+	return sim.Duration(d.Nanoseconds()), nil
+}
+
+func (p *schedParser) items(depth int) ([]Slot, error) {
+	if depth > maxParseDepth {
+		return nil, fmt.Errorf("rdcn: schedule spec: nesting too deep")
+	}
+	var slots []Slot
+	for {
+		item, err := p.item(depth)
+		if err != nil {
+			return nil, err
+		}
+		slots = append(slots, item...)
+		if len(slots) > maxParseSlots {
+			return nil, fmt.Errorf("rdcn: schedule spec: more than %d slots", maxParseSlots)
+		}
+		p.skipSpace()
+		if p.pos < len(p.in) && p.in[p.pos] == ',' {
+			p.pos++
+			continue
+		}
+		return slots, nil
+	}
+}
+
+func (p *schedParser) item(depth int) ([]Slot, error) {
+	p.skipSpace()
+	if p.pos >= len(p.in) {
+		return nil, fmt.Errorf("rdcn: schedule spec: unexpected end of input")
+	}
+	// Night slot: "-:dur".
+	if p.in[p.pos] == '-' {
+		p.pos++
+		if err := p.expect(':'); err != nil {
+			return nil, err
+		}
+		d, err := p.duration()
+		if err != nil {
+			return nil, err
+		}
+		return []Slot{{TDN: NightTDN, Dur: d}}, nil
+	}
+	n, err := p.int_()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos < len(p.in) && p.in[p.pos] == 'x' {
+		// Repetition group: "Nx(items)".
+		p.pos++
+		if n < 1 || n > maxParseReps {
+			return nil, fmt.Errorf("rdcn: schedule spec: repeat count %d out of range [1,%d]", n, maxParseReps)
+		}
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		group, err := p.items(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		if n*len(group) > maxParseSlots {
+			return nil, fmt.Errorf("rdcn: schedule spec: more than %d slots", maxParseSlots)
+		}
+		slots := make([]Slot, 0, n*len(group))
+		for i := 0; i < n; i++ {
+			slots = append(slots, group...)
+		}
+		return slots, nil
+	}
+	// Day slot: "tdn:dur".
+	if n > maxParseTDN {
+		return nil, fmt.Errorf("rdcn: schedule spec: TDN %d out of range [0,%d]", n, maxParseTDN)
+	}
+	if err := p.expect(':'); err != nil {
+		return nil, err
+	}
+	d, err := p.duration()
+	if err != nil {
+		return nil, err
+	}
+	return []Slot{{TDN: n, Dur: d}}, nil
+}
+
+func (p *schedParser) expect(c byte) error {
+	p.skipSpace()
+	if p.pos >= len(p.in) || p.in[p.pos] != c {
+		return fmt.Errorf("rdcn: schedule spec: expected %q at offset %d", string(c), p.pos)
+	}
+	p.pos++
+	return nil
+}
+
 // At reports the TDN active at time t. ok is false during a night. slotEnd
-// is the absolute time the current slot finishes.
+// is the absolute time the current slot finishes. Negative t is valid (the
+// schedule extends periodically in both directions): schedule-drift faults
+// evaluate At(now-offset), which goes negative early in a run.
 func (s *Schedule) At(t sim.Time) (tdn int, ok bool, slotEnd sim.Time) {
 	off := sim.Duration(int64(t) % int64(s.week))
+	if off < 0 { // Go's % follows the dividend's sign; fold into [0, week)
+		off += s.week
+	}
 	base := t.Add(-off)
 	for _, sl := range s.Slots {
 		if off < sl.Dur {

@@ -122,6 +122,13 @@ type Loop struct {
 	rng    *rand.Rand
 	fired  uint64
 	tracer *trace.Tracer
+
+	// PostEvent, when non-nil, runs after every executed event, once the
+	// event's own callbacks (and anything they scheduled synchronously) have
+	// returned. The invariant checker (internal/invariant) installs itself
+	// here so it observes the simulation between events, never mid-update.
+	// Costs one nil check per event when unset.
+	PostEvent func()
 }
 
 // NewLoop returns a loop positioned at time zero whose random source is
@@ -206,6 +213,9 @@ func (l *Loop) Step() bool {
 				float64(len(l.events)), float64(l.fired), "")
 		}
 		t.fn()
+		if l.PostEvent != nil {
+			l.PostEvent()
+		}
 		return true
 	}
 	return false

@@ -126,6 +126,13 @@ type Stats struct {
 
 	RTTSamples        uint64
 	RTTSamplesDropped uint64 // type-3 mixed-TDN samples discarded (§4.4)
+
+	// TDN-change notification gating (graceful degradation under a faulty
+	// control channel): received counts every delivery attempt, stale the
+	// reordered ones rejected by the epoch gate, dup the exact replays.
+	NotifiesRcvd  uint64
+	NotifiesStale uint64
+	NotifiesDup   uint64
 }
 
 // Conn is one endpoint of a simulated TCP connection. A Conn both sends
@@ -186,7 +193,10 @@ type Conn struct {
 	peerTDNs int
 
 	// Epoch of the latest TDN notification applied (stale ones dropped).
+	// notifySeen distinguishes "no epoch yet" from epoch values near the
+	// uint32 wrap, where no sentinel exists.
 	notifyEpoch uint32
+	notifySeen  bool
 
 	Stats Stats
 
@@ -362,16 +372,37 @@ func (c *Conn) Close() {
 }
 
 // Notify delivers a TDN-change notification (the parsed ICMP of Fig. 5a) to
-// the connection's policy. Stale epochs are discarded.
+// the connection's policy. Stale and duplicate epochs are discarded using
+// serial-number arithmetic (RFC 1982), so the gate survives the epoch counter
+// wrapping past math.MaxUint32. Epoch 0 bypasses the gate (tests and direct
+// drivers that do not maintain epochs).
 func (c *Conn) Notify(tdn int, epoch uint32) {
-	if epoch != 0 && epoch <= c.notifyEpoch {
-		return
+	c.Stats.NotifiesRcvd++
+	if epoch != 0 {
+		if c.notifySeen {
+			if d := int32(epoch - c.notifyEpoch); d == 0 {
+				c.Stats.NotifiesDup++
+				c.emit("notify_dup", tdn, float64(epoch), 0, "")
+				return
+			} else if d < 0 {
+				c.Stats.NotifiesStale++
+				c.emit("notify_stale", tdn, float64(epoch), float64(c.notifyEpoch), "")
+				return
+			}
+		}
+		c.notifySeen = true
+		c.notifyEpoch = epoch
 	}
-	c.notifyEpoch = epoch
 	c.policy.OnNotify(tdn, epoch)
 	// A path switch may have opened the window: try to transmit.
 	c.trySend()
 }
+
+// Kick re-runs the transmit engine. Policies call it after mutating path
+// state outside the ACK/notification paths (e.g. the TDTCP deadman fallback
+// switching the active TDN), where a freshly opened window would otherwise
+// sit idle until the next ACK.
+func (c *Conn) Kick() { c.trySend() }
 
 // KickRecovery restarts a stalled recovery: when the active state sits in
 // Recovery/Loss with an empty pipe and lost segments, PRR has no delivery
@@ -777,8 +808,11 @@ func (c *Conn) fireRTO() {
 	}
 	c.Stats.RTOFires++
 	if c.state == stSynSent || c.state == stSynRcvd {
-		// Handshake retransmission.
-		c.backoff++
+		// Handshake retransmission; backoff saturates like the established
+		// path's, so a long-unanswered SYN cannot overflow the shift count.
+		if c.backoff < 16 {
+			c.backoff++
+		}
 		c.sendSYN(c.state == stSynRcvd)
 		return
 	}

@@ -1,0 +1,101 @@
+package tcp
+
+import "fmt"
+
+// CheckInvariants validates the connection's internal consistency: the
+// per-TDN pipe counters against a recount of the retransmission queue, the
+// sender's sequence cursors against the queue's shape, the receiver's
+// out-of-order ranges, and the timer backoff bound. It is the runtime
+// analogue of Linux's tcp_verify_left_out: cheap enough to run after every
+// simulation event during faulted runs, and it returns a descriptive error
+// on the first violation instead of panicking so the invariant checker can
+// attach trace context.
+func (c *Conn) CheckInvariants() error {
+	// Sender cursors.
+	if seqGT(c.sndUna, c.sndNxt) {
+		return fmt.Errorf("tcp: snd_una %d beyond snd_nxt %d", c.sndUna-c.iss, c.sndNxt-c.iss)
+	}
+	if c.backoff > 16 {
+		return fmt.Errorf("tcp: rto backoff %d beyond saturation", c.backoff)
+	}
+
+	// Retransmission-queue shape and the §4.3 pipe recount.
+	packets := make([]int, len(c.states))
+	sacked := make([]int, len(c.states))
+	lost := make([]int, len(c.states))
+	retrans := make([]int, len(c.states))
+	var prev *TxSeg
+	var walkErr error
+	c.rtx.forEach(func(seg *TxSeg) bool {
+		if seg.Len <= 0 {
+			walkErr = fmt.Errorf("tcp: rtx segment %d has length %d", c.RelSeq(seg.Seq), seg.Len)
+			return false
+		}
+		if int(seg.TDN) >= len(c.states) {
+			walkErr = fmt.Errorf("tcp: rtx segment %d tagged with unknown TDN %d", c.RelSeq(seg.Seq), seg.TDN)
+			return false
+		}
+		if prev != nil && seqLT(seg.Seq, prev.End()) {
+			walkErr = fmt.Errorf("tcp: rtx queue out of order: %d before end of %d",
+				c.RelSeq(seg.Seq), c.RelSeq(prev.Seq))
+			return false
+		}
+		if seg.Sacked && seg.Lost {
+			walkErr = fmt.Errorf("tcp: rtx segment %d both SACKed and lost", c.RelSeq(seg.Seq))
+			return false
+		}
+		packets[seg.TDN]++
+		if seg.Sacked {
+			sacked[seg.TDN]++
+		}
+		if seg.Lost {
+			lost[seg.TDN]++
+		}
+		if seg.Retrans {
+			retrans[seg.TDN]++
+		}
+		prev = seg
+		return true
+	})
+	if walkErr != nil {
+		return walkErr
+	}
+	if head := c.rtx.headSeg(); head != nil {
+		if seqGT(head.Seq, c.sndUna) || seqLEQ(head.End(), c.sndUna) {
+			return fmt.Errorf("tcp: snd_una %d outside head segment [%d,%d)",
+				c.sndUna-c.iss, c.RelSeq(head.Seq)+1, c.RelSeq(head.End())+1)
+		}
+		if tail := c.rtx.tailSeg(); tail.End() != c.sndNxt {
+			return fmt.Errorf("tcp: tail segment ends at %d, snd_nxt at %d",
+				tail.End()-c.iss, c.sndNxt-c.iss)
+		}
+	} else if c.sndUna != c.sndNxt {
+		return fmt.Errorf("tcp: empty rtx queue with snd_una %d != snd_nxt %d",
+			c.sndUna-c.iss, c.sndNxt-c.iss)
+	}
+	for tdn, st := range c.states {
+		if st.PacketsOut != packets[tdn] || st.SackedOut != sacked[tdn] ||
+			st.LostOut != lost[tdn] || st.RetransOut != retrans[tdn] {
+			return fmt.Errorf("tcp: TDN %d pipe counters out/sacked/lost/retrans = %d/%d/%d/%d, recount %d/%d/%d/%d",
+				tdn, st.PacketsOut, st.SackedOut, st.LostOut, st.RetransOut,
+				packets[tdn], sacked[tdn], lost[tdn], retrans[tdn])
+		}
+		if st.PacketsOut < 0 || st.SackedOut < 0 || st.LostOut < 0 || st.RetransOut < 0 {
+			return fmt.Errorf("tcp: TDN %d negative pipe counter", tdn)
+		}
+	}
+
+	// Receiver ranges: sorted, disjoint, strictly above rcv_nxt.
+	for i, r := range c.ranges {
+		if seqGEQ(r.Start, r.End) {
+			return fmt.Errorf("tcp: receiver range %d is empty [%d,%d)", i, r.Start, r.End)
+		}
+		if seqLEQ(r.Start, c.rcvNxt) {
+			return fmt.Errorf("tcp: receiver range %d starts at %d, at or below rcv_nxt %d", i, r.Start, c.rcvNxt)
+		}
+		if i > 0 && seqLT(r.Start, c.ranges[i-1].End) {
+			return fmt.Errorf("tcp: receiver ranges %d and %d overlap or are unsorted", i-1, i)
+		}
+	}
+	return nil
+}

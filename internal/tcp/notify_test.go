@@ -1,0 +1,47 @@
+package tcp
+
+import (
+	"math"
+	"testing"
+
+	"github.com/rdcn-net/tdtcp/internal/sim"
+)
+
+// TestNotifyEpochWraparound is the regression test for the notification
+// epoch gate crossing math.MaxUint32: serial-number arithmetic must keep
+// treating post-wrap epochs as fresh, and pre-wrap replays as stale.
+func TestNotifyEpochWraparound(t *testing.T) {
+	loop, a, b, _, _ := newPair(t, pairOpt{})
+	b.Listen()
+	a.Connect(0)
+	runFor(loop, 10*sim.Millisecond)
+
+	const max = math.MaxUint32
+	a.Notify(0, max-1) // first real epoch observed
+	a.Notify(0, max)   // fresh
+	a.Notify(0, 2)     // wrapped past MaxUint32: still fresh
+	if a.Stats.NotifiesStale != 0 || a.Stats.NotifiesDup != 0 {
+		t.Fatalf("fresh wrapped epoch misclassified: stale=%d dup=%d",
+			a.Stats.NotifiesStale, a.Stats.NotifiesDup)
+	}
+	a.Notify(0, 2) // exact replay
+	if a.Stats.NotifiesDup != 1 {
+		t.Fatalf("duplicate epoch not caught: dup=%d", a.Stats.NotifiesDup)
+	}
+	a.Notify(0, max) // pre-wrap epoch arriving late: stale now
+	if a.Stats.NotifiesStale != 1 {
+		t.Fatalf("stale pre-wrap epoch not caught: stale=%d", a.Stats.NotifiesStale)
+	}
+	a.Notify(0, 3) // gate advances normally after the wrap
+	a.Notify(0, 0) // epoch 0 bypasses the gate (direct drivers)
+	if a.Stats.NotifiesRcvd != 7 {
+		t.Fatalf("NotifiesRcvd = %d, want 7", a.Stats.NotifiesRcvd)
+	}
+	if a.Stats.NotifiesStale != 1 || a.Stats.NotifiesDup != 1 {
+		t.Fatalf("final counts stale=%d dup=%d, want 1/1",
+			a.Stats.NotifiesStale, a.Stats.NotifiesDup)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

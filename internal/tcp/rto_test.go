@@ -1,0 +1,89 @@
+package tcp
+
+import (
+	"testing"
+
+	"github.com/rdcn-net/tdtcp/internal/packet"
+	"github.com/rdcn-net/tdtcp/internal/sim"
+)
+
+// TestRTOBackoffCapsUnderRepeatedLoss blackholes every data segment and
+// checks that the exponential backoff saturates (shift count capped at 16,
+// deadline clamped to MaxRTO) instead of overflowing or melting into an RTO
+// storm, and that the first ACK after the blackhole lifts resets it.
+func TestRTOBackoffCapsUnderRepeatedLoss(t *testing.T) {
+	loop, a, b, wa, _ := newPair(t, pairOpt{cfgA: Config{MaxRTO: 20 * sim.Millisecond}})
+	b.Listen()
+	a.Connect(0)
+	runFor(loop, 10*sim.Millisecond)
+	if !a.Established() {
+		t.Fatal("not established")
+	}
+
+	wa.drop = func(s *packet.Segment) bool { return s.TCP.PayloadLen > 0 }
+	a.QueueBytes(8960)
+	runFor(loop, 1*sim.Second)
+
+	if a.backoff != 16 {
+		t.Fatalf("backoff = %d, want saturation at 16", a.backoff)
+	}
+	if a.Stats.RTOFires < 17 {
+		t.Fatalf("RTOFires = %d, want enough to saturate the backoff", a.Stats.RTOFires)
+	}
+	// Saturated, every deadline clamps to MaxRTO: 500 ms holds at most
+	// 500/20 = 25 further fires (plus one boundary fire).
+	fires := a.Stats.RTOFires
+	runFor(loop, 500*sim.Millisecond)
+	if d := a.Stats.RTOFires - fires; d > 26 {
+		t.Fatalf("RTO storm after saturation: %d fires in 500 ms", d)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatalf("invariants under repeated loss: %v", err)
+	}
+
+	// Lift the blackhole: the next RTO retransmission delivers, and the ACK
+	// resets the backoff.
+	wa.drop = nil
+	runFor(loop, 200*sim.Millisecond)
+	if b.Stats.BytesDelivered != 8960 {
+		t.Fatalf("delivered %d bytes after recovery, want 8960", b.Stats.BytesDelivered)
+	}
+	if a.backoff != 0 {
+		t.Fatalf("backoff = %d after recovery ACK, want 0", a.backoff)
+	}
+}
+
+// TestRTOTimerCancelledWhenQueueDrains checks timer hygiene on the no-loss
+// path: the rearm-per-ACK churn must stop the superseded timers, and once
+// the retransmission queue drains the timer must be cancelled outright —
+// no spurious fires while idle, no timer leak in the loop.
+func TestRTOTimerCancelledWhenQueueDrains(t *testing.T) {
+	loop, a, b, _, _ := newPair(t, pairOpt{})
+	b.Listen()
+	a.Connect(0)
+	runFor(loop, 10*sim.Millisecond)
+
+	a.QueueBytes(20 * 8960)
+	runFor(loop, 200*sim.Millisecond)
+	if b.Stats.BytesDelivered != 20*8960 {
+		t.Fatalf("delivered %d bytes, want %d", b.Stats.BytesDelivered, 20*8960)
+	}
+	if a.Stats.RTOFires != 0 {
+		t.Fatalf("spurious RTO with no loss: %d fires", a.Stats.RTOFires)
+	}
+	if !a.rtx.empty() {
+		t.Fatal("retransmission queue not drained")
+	}
+	if a.timer != nil && a.timer.Active() {
+		t.Fatal("RTO timer still armed with an empty retransmission queue")
+	}
+
+	fired := a.Stats.RTOFires + a.Stats.TLPProbes
+	runFor(loop, 2*sim.Second)
+	if got := a.Stats.RTOFires + a.Stats.TLPProbes; got != fired {
+		t.Fatalf("timer fired while idle: %d -> %d", fired, got)
+	}
+	if live := loop.Live(); live > 8 {
+		t.Fatalf("timer leak: %d live timers after idle drain", live)
+	}
+}

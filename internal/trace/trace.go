@@ -58,14 +58,19 @@ const (
 	// CatRDCN traces the RDCN control plane: day/night/week transitions and
 	// TDN-change notifications.
 	CatRDCN
+	// CatFault traces injected faults (internal/fault) and runtime invariant
+	// violations (internal/invariant): every dropped/duplicated notification,
+	// every dropped/corrupted/delayed frame, circuit flaps, schedule drift,
+	// resize failures, deadman engagements.
+	CatFault
 
-	numCategories = 6
+	numCategories = 7
 )
 
 // CatAll enables every category.
 const CatAll Category = 1<<numCategories - 1
 
-var catNames = [numCategories]string{"sim", "tcp", "cc", "tdn", "voq", "rdcn"}
+var catNames = [numCategories]string{"sim", "tcp", "cc", "tdn", "voq", "rdcn", "fault"}
 
 // String renders a single-bit category as its short name; multi-bit masks
 // render as a comma-separated list.

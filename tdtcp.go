@@ -31,6 +31,8 @@ import (
 	"github.com/rdcn-net/tdtcp/internal/cc"
 	"github.com/rdcn-net/tdtcp/internal/core"
 	"github.com/rdcn-net/tdtcp/internal/experiments"
+	"github.com/rdcn-net/tdtcp/internal/fault"
+	"github.com/rdcn-net/tdtcp/internal/invariant"
 	"github.com/rdcn-net/tdtcp/internal/mptcp"
 	"github.com/rdcn-net/tdtcp/internal/packet"
 	"github.com/rdcn-net/tdtcp/internal/rdcn"
@@ -104,6 +106,10 @@ func HybridWeek(packetDays int, day, night Duration) *Schedule {
 
 // NewSchedule validates an arbitrary cyclic schedule.
 func NewSchedule(slots []ScheduleSlot) (*Schedule, error) { return rdcn.NewSchedule(slots) }
+
+// ParseSchedule parses the compact schedule syntax, e.g.
+// "6x(0:180us,-:20us),1:180us,-:20us" for the paper's hybrid week.
+func ParseSchedule(spec string) (*Schedule, error) { return rdcn.ParseSchedule(spec) }
 
 // OptimizedNotify and UnoptimizedNotify are the §5.4 notification profiles.
 func OptimizedNotify() NotifyProfile { return rdcn.OptimizedNotify() }
@@ -271,13 +277,14 @@ type (
 
 // Trace categories, one bit per subsystem.
 const (
-	TraceSim  = trace.CatSim
-	TraceTCP  = trace.CatTCP
-	TraceCC   = trace.CatCC
-	TraceTDN  = trace.CatTDN
-	TraceVOQ  = trace.CatVOQ
-	TraceRDCN = trace.CatRDCN
-	TraceAll  = trace.CatAll
+	TraceSim   = trace.CatSim
+	TraceTCP   = trace.CatTCP
+	TraceCC    = trace.CatCC
+	TraceTDN   = trace.CatTDN
+	TraceVOQ   = trace.CatVOQ
+	TraceRDCN  = trace.CatRDCN
+	TraceFault = trace.CatFault
+	TraceAll   = trace.CatAll
 )
 
 // NewTracer returns a tracer streaming JSONL events to w.
@@ -295,6 +302,35 @@ func ParseTraceCategories(s string) (TraceCategory, error) { return trace.ParseC
 
 // ChromeTrace converts JSONL trace events (r) to Chrome trace-viewer JSON (w).
 func ChromeTrace(r io.Reader, w io.Writer) error { return trace.Chrome(r, w) }
+
+// Fault injection and invariant checking (see DESIGN.md "Fault model &
+// graceful degradation").
+type (
+	// FaultPlan is a per-run fault-injection plan (rates, bursts, flaps).
+	FaultPlan = fault.Plan
+	// FaultInjector drives a FaultPlan deterministically against a Network.
+	FaultInjector = fault.Injector
+	// FaultStats counts the faults an injector actually delivered.
+	FaultStats = fault.Stats
+	// InvariantChecker revalidates connection and network invariants after
+	// every simulation event.
+	InvariantChecker = invariant.Checker
+	// InvariantViolation is one recorded invariant failure.
+	InvariantViolation = invariant.Violation
+)
+
+// ParseFaultPlan parses the -fault flag syntax, e.g.
+// "nloss=0.1,drop=0.01,flaps=2".
+func ParseFaultPlan(spec string) (FaultPlan, error) { return fault.Parse(spec) }
+
+// NewFaultInjector returns an injector for plan, seeded independently of the
+// loop (same loop seed + same fault seed = byte-identical runs).
+func NewFaultInjector(loop *Loop, plan FaultPlan, seed int64) *FaultInjector {
+	return fault.New(loop, plan, seed)
+}
+
+// NewInvariantChecker hooks a checker into loop's post-event point.
+func NewInvariantChecker(loop *Loop) *InvariantChecker { return invariant.New(loop) }
 
 // Analytic references (§2.2).
 func OptimalBytes(sch *Schedule, tdns []TDNParams, t Time) int64 {
