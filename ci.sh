@@ -1,9 +1,19 @@
 #!/bin/sh
-# Tier-1 gate: vet, build, and test the whole module. The -race run matters
-# for internal/trace, whose tracer is documented as safe for concurrent Emit.
+# Tier-1 gate: format, vet, lint, build, and test the whole module. The -race
+# run matters for internal/trace, whose tracer is documented as safe for
+# concurrent Emit.
 set -eux
 
+# gofmt -l prints offending files and exits 0, so fail on non-empty output.
+test -z "$(gofmt -l . | tee /dev/stderr)"
+
 go vet ./...
+
+# tdlint enforces the contracts the compiler cannot see: determinism, RFC 1982
+# sequence arithmetic, hook nil-safety, trace categories, metric naming.
+# Exit 1 = findings, exit 2 = load failure; either fails the gate.
+go run ./cmd/tdlint ./...
+
 go build ./...
 go test -race ./...
 

@@ -378,11 +378,10 @@ func populateMetrics(cfg RunConfig, res *Result, loop *sim.Loop, net *rdcn.Netwo
 			drops += dr
 			marks += mk
 		}
-		prefix := fmt.Sprintf("voq.r%d.", rack.ID)
-		m.Add(prefix+"enq", int64(enq))
-		m.Add(prefix+"deq", int64(deq))
-		m.Add(prefix+"drops", int64(drops))
-		m.Add(prefix+"marks", int64(marks))
+		m.Add(fmt.Sprintf("voq.r%d.enq", rack.ID), int64(enq))
+		m.Add(fmt.Sprintf("voq.r%d.deq", rack.ID), int64(deq))
+		m.Add(fmt.Sprintf("voq.r%d.drops", rack.ID), int64(drops))
+		m.Add(fmt.Sprintf("voq.r%d.marks", rack.ID), int64(marks))
 	}
 
 	m.Add("sim.events_fired", int64(loop.Fired()))

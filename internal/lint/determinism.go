@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// deterministicPkgs are the packages whose behaviour must be a pure function
+// of the seed: the simulation core and everything scheduled on it.
+var deterministicPkgs = []string{
+	"internal/sim",
+	"internal/netem",
+	"internal/rdcn",
+	"internal/tcp",
+	"internal/core",
+	"internal/cc",
+	"internal/fault",
+}
+
+// wallClockFuncs are the time package entry points that read or depend on the
+// wall clock or a runtime timer. time.Duration arithmetic and ParseDuration
+// stay allowed.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+// DeterminismCheck forbids the constructs that make a simulation run diverge
+// between replays of the same seed: wall-clock reads, the process-global
+// math/rand generator, goroutines, and iteration over map order.
+func DeterminismCheck() *Check {
+	c := &Check{
+		Name: "determinism",
+		Doc:  "forbid wall-clock time, global math/rand, goroutines, and map iteration in simulation packages",
+	}
+	c.Run = func(prog *Program) []Diagnostic {
+		var diags []Diagnostic
+		for _, pkg := range prog.Pkgs {
+			if !pathMatches(pkg.Path, deterministicPkgs...) {
+				continue
+			}
+			for _, f := range pkg.Syntax {
+				ast.Inspect(f, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.GoStmt:
+						diags = append(diags, Diagnostic{
+							Pos:     prog.Fset.Position(n.Pos()),
+							Check:   c.Name,
+							Message: "go statement in a deterministic package: goroutine interleaving is not replayable; schedule work on the event loop instead",
+						})
+					case *ast.RangeStmt:
+						if _, ok := pkg.Info.TypeOf(n.X).Underlying().(*types.Map); ok {
+							diags = append(diags, Diagnostic{
+								Pos:     prog.Fset.Position(n.Pos()),
+								Check:   c.Name,
+								Message: "range over a map in a deterministic package: iteration order varies between runs; collect and sort the keys first",
+							})
+						}
+					case *ast.SelectorExpr:
+						if d, ok := flagTimeOrGlobalRand(pkg, n); ok {
+							d.Pos = prog.Fset.Position(n.Pos())
+							d.Check = c.Name
+							diags = append(diags, d)
+						}
+					}
+					return true
+				})
+			}
+		}
+		return diags
+	}
+	return c
+}
+
+// flagTimeOrGlobalRand reports a use of a forbidden time function or of
+// math/rand package-level state through the selector expression sel.
+func flagTimeOrGlobalRand(pkg *Package, sel *ast.SelectorExpr) (Diagnostic, bool) {
+	obj := pkg.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return Diagnostic{}, false
+	}
+	// Only package-level selections (pkgname.Ident) matter here; method calls
+	// like r.Intn on a local rand.Rand are fine.
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return Diagnostic{}, false
+	}
+	if _, isPkg := pkg.Info.Uses[id].(*types.PkgName); !isPkg {
+		return Diagnostic{}, false
+	}
+	switch obj.Pkg().Path() {
+	case "time":
+		if wallClockFuncs[obj.Name()] {
+			return Diagnostic{
+				Message: "time." + obj.Name() + " in a deterministic package: wall-clock reads are not replayable; use the simulated clock",
+			}, true
+		}
+	case "math/rand", "math/rand/v2":
+		// Constructors for an explicitly seeded generator stay allowed; the
+		// package-level functions and Source draw from process-global state.
+		if strings.HasPrefix(obj.Name(), "New") {
+			return Diagnostic{}, false
+		}
+		if _, isType := obj.(*types.TypeName); isType {
+			return Diagnostic{}, false
+		}
+		return Diagnostic{
+			Message: "global math/rand." + obj.Name() + " in a deterministic package: process-global generator is not seed-reproducible; use rand.New(rand.NewSource(seed))",
+		}, true
+	}
+	return Diagnostic{}, false
+}

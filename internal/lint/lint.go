@@ -1,0 +1,293 @@
+// Package lint is a pure-stdlib static analyzer framework enforcing the
+// contracts this repository's correctness rests on but the compiler cannot
+// see: byte-identical replay from a seed (the paper's controlled-repetition
+// methodology), RFC 1982 serial-number arithmetic on wrapping 32-bit
+// sequence/epoch counters, nil-safety of the fault/trace hook fields, total
+// trace-category filtering, and the pkg.snake_case metric-name convention.
+//
+// The framework is deliberately go/packages-free: packages are loaded by
+// shelling out to `go list -json -export -deps` (see loader.go) and
+// typechecked with go/types against the toolchain's export data, so tdlint
+// needs nothing outside the standard library and an installed go toolchain.
+//
+// # Suppression
+//
+// A finding is suppressed with a justified ignore comment on the flagged
+// line, or alone on the line directly above it:
+//
+//	//lint:ignore seqarith epoch distance is bounded by the handshake
+//
+// The first word after "ignore" is a comma-separated list of check names
+// ("*" matches every check); everything after it is the mandatory
+// justification. An ignore comment without a justification is itself
+// reported, so suppressions stay documented.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, typechecked package.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Fset positions every syntax node of the program.
+	Fset *token.FileSet
+	// Syntax holds the parsed files, comments included.
+	Syntax []*ast.File
+	// Types is the typechecked package.
+	Types *types.Package
+	// Info holds the typechecker's results for Syntax.
+	Info *types.Info
+}
+
+// Program is a set of loaded packages checked together. Checks run over the
+// whole program so they can correlate declarations in one package with uses
+// in another (the nilhook check needs this for cross-package hook fields).
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// MarshalJSON renders the finding as a flat object for CI consumption.
+func (d Diagnostic) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Col     int    `json:"col"`
+		Check   string `json:"check"`
+		Message string `json:"message"`
+	}{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message})
+}
+
+// Check is one analyzer: a name for -checks selection and ignore comments, a
+// one-line contract description, and the analysis itself.
+type Check struct {
+	Name string
+	Doc  string
+	Run  func(prog *Program) []Diagnostic
+}
+
+// All returns every registered check, in stable order.
+func All() []*Check {
+	return []*Check{
+		DeterminismCheck(),
+		SeqArithCheck(),
+		NilHookCheck(),
+		TraceCatCheck(),
+		MetricNameCheck(),
+	}
+}
+
+// Select resolves a comma-separated -checks list against the registry.
+// The empty string selects every check.
+func Select(list string) ([]*Check, error) {
+	all := All()
+	if strings.TrimSpace(list) == "" {
+		return all, nil
+	}
+	byName := make(map[string]*Check, len(all))
+	for _, c := range all {
+		byName[c.Name] = c
+	}
+	var out []*Check
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		c, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown check %q (have %s)", name, strings.Join(checkNames(all), ", "))
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+func checkNames(cs []*Check) []string {
+	names := make([]string, len(cs))
+	for i, c := range cs {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// Run executes the checks over the program, filters suppressed findings, and
+// returns the survivors sorted by position. Malformed ignore comments are
+// reported under the pseudo-check "ignore".
+func Run(prog *Program, checks []*Check) []Diagnostic {
+	var diags []Diagnostic
+	for _, c := range checks {
+		diags = append(diags, c.Run(prog)...)
+	}
+	sup, bad := collectSuppressions(prog)
+	diags = append(diags, bad...)
+	out := diags[:0]
+	for _, d := range diags {
+		if !sup.matches(d) {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return out
+}
+
+// WriteText renders findings one per line.
+func WriteText(w io.Writer, diags []Diagnostic) {
+	for _, d := range diags {
+		fmt.Fprintln(w, d)
+	}
+}
+
+// WriteJSON renders findings as a JSON array.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(diags)
+}
+
+// suppression is one parsed //lint:ignore comment.
+type suppression struct {
+	checks []string // check names, or ["*"]
+	lines  [2]int   // lines it covers (comment line, and next line when standalone)
+}
+
+type suppressionIndex map[string][]suppression // filename → suppressions
+
+func (idx suppressionIndex) matches(d Diagnostic) bool {
+	for _, s := range idx[d.Pos.Filename] {
+		if d.Pos.Line != s.lines[0] && d.Pos.Line != s.lines[1] {
+			continue
+		}
+		for _, c := range s.checks {
+			if c == "*" || c == d.Check {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// collectSuppressions scans every file's comments for //lint:ignore
+// directives. A directive on a code line covers that line; a directive alone
+// on its line covers the following line too. Directives missing a check list
+// or a justification are returned as findings.
+func collectSuppressions(prog *Program) (suppressionIndex, []Diagnostic) {
+	idx := suppressionIndex{}
+	var bad []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, ignorePrefix) {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					rest := strings.TrimPrefix(c.Text, ignorePrefix)
+					fields := strings.Fields(rest)
+					if len(fields) < 2 {
+						bad = append(bad, Diagnostic{
+							Pos:     pos,
+							Check:   "ignore",
+							Message: "malformed ignore comment: want //lint:ignore <check>[,<check>] <justification>",
+						})
+						continue
+					}
+					idx[pos.Filename] = append(idx[pos.Filename], suppression{
+						checks: strings.Split(fields[0], ","),
+						lines:  [2]int{pos.Line, pos.Line + 1},
+					})
+				}
+			}
+		}
+	}
+	return idx, bad
+}
+
+// --- shared AST helpers ------------------------------------------------------
+
+// pathMatches reports whether the package import path ends with one of the
+// given repo-relative package suffixes (e.g. "internal/tcp"), so checks scope
+// themselves identically against the real module and fixture trees.
+func pathMatches(path string, suffixes ...string) bool {
+	for _, s := range suffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// walkWithStack traverses the file keeping the ancestor chain: fn receives
+// each node together with its ancestors, outermost first. Returning false
+// prunes the subtree.
+func walkWithStack(f *ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		keep := fn(n, stack)
+		if keep {
+			stack = append(stack, n)
+		}
+		return keep
+	})
+}
+
+// enclosingFuncName returns the name of the innermost enclosing function
+// declaration, or "" inside function literals and at file scope.
+func enclosingFuncName(stack []ast.Node) string {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd.Name.Name
+		}
+	}
+	return ""
+}
+
+// basicKind returns the underlying basic kind of t (types.Invalid when t is
+// not a basic type).
+func basicKind(t types.Type) types.BasicKind {
+	if t == nil {
+		return types.Invalid
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		return b.Kind()
+	}
+	return types.Invalid
+}

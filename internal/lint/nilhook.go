@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// hookMarkers are the doc-comment phrases that declare a func-valued struct
+// field as an optional hook: callers must treat it as nil-able.
+var hookMarkers = []string{"when non-nil", "if non-nil", "if set", "when set", "lint:hook"}
+
+// NilHookCheck flags calls through optional func-valued struct fields (fault
+// injection and trace hooks) that are not dominated by a nil check. A field is
+// a hook when its declaration comment says it is optional (see hookMarkers).
+func NilHookCheck() *Check {
+	c := &Check{
+		Name: "nilhook",
+		Doc:  "require a nil guard before calling optional func-valued hook fields",
+	}
+	c.Run = func(prog *Program) []Diagnostic {
+		// Phase 1: collect hook fields program-wide. Keyed by package path
+		// plus field name so identity survives the source/export-data
+		// boundary between packages.
+		hooks := map[string]bool{}
+		for _, pkg := range prog.Pkgs {
+			for _, f := range pkg.Syntax {
+				ast.Inspect(f, func(n ast.Node) bool {
+					st, ok := n.(*ast.StructType)
+					if !ok {
+						return true
+					}
+					for _, field := range st.Fields.List {
+						if !isFuncType(pkg, field.Type) || !hasHookMarker(field) {
+							continue
+						}
+						for _, name := range field.Names {
+							if obj := pkg.Info.Defs[name]; obj != nil {
+								hooks[hookKey(obj)] = true
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+
+		// Phase 2: flag unguarded calls through those fields.
+		var diags []Diagnostic
+		for _, pkg := range prog.Pkgs {
+			for _, f := range pkg.Syntax {
+				walkWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					sel, ok := call.Fun.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					obj := pkg.Info.Uses[sel.Sel]
+					if obj == nil || !hooks[hookKey(obj)] {
+						return true
+					}
+					selStr := types.ExprString(sel)
+					if nilGuarded(stack, n, selStr) {
+						return true
+					}
+					diags = append(diags, Diagnostic{
+						Pos:     prog.Fset.Position(call.Pos()),
+						Check:   c.Name,
+						Message: "call through optional hook " + selStr + " without a nil guard; wrap in `if " + selStr + " != nil` or copy to a checked local",
+					})
+					return true
+				})
+			}
+		}
+		return diags
+	}
+	return c
+}
+
+func hookKey(obj types.Object) string {
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+func isFuncType(pkg *Package, e ast.Expr) bool {
+	t := pkg.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Signature)
+	return ok
+}
+
+func hasHookMarker(field *ast.Field) bool {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		text := strings.ToLower(cg.Text())
+		for _, m := range hookMarkers {
+			if strings.Contains(text, m) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// nilGuarded reports whether the call node is dominated by a nil check of
+// selStr: either inside the then-branch of `if selStr != nil`, or preceded in
+// an enclosing block by `if selStr == nil { return/... }`.
+func nilGuarded(stack []ast.Node, call ast.Node, selStr string) bool {
+	child := call
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch anc := stack[i].(type) {
+		case *ast.IfStmt:
+			if child == anc.Body && condComparesNil(anc.Cond, selStr, token.NEQ) {
+				return true
+			}
+		case *ast.BlockStmt:
+			for _, st := range anc.List {
+				if st == child {
+					break
+				}
+				ifs, ok := st.(*ast.IfStmt)
+				if ok && condComparesNil(ifs.Cond, selStr, token.EQL) && terminates(ifs.Body) {
+					return true
+				}
+			}
+		}
+		child = stack[i]
+	}
+	return false
+}
+
+// condComparesNil reports whether cond contains `selStr <op> nil` (either
+// operand order).
+func condComparesNil(cond ast.Expr, selStr string, op token.Token) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Op != op {
+			return true
+		}
+		x, y := types.ExprString(be.X), types.ExprString(be.Y)
+		if (x == selStr && y == "nil") || (y == selStr && x == "nil") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// terminates reports whether the block ends by leaving the enclosing scope,
+// so code after it is dominated by the negated condition.
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+// Package clockapp sits outside the deterministic scope: wall-clock and
+// global-rand use here is allowed, proving the check's path scoping.
+package clockapp
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() int64 { return time.Now().UnixNano() }
+
+func jitter() int { return rand.Intn(10) }

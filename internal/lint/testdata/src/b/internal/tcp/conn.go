@@ -1,0 +1,45 @@
+// Package tcp is the seqarith-check fixture: raw ordering comparisons on
+// sequence-space uint32 values are flagged; the helper family and non-seq
+// counters are not.
+package tcp
+
+type conn struct {
+	sndUna   uint32
+	sndNxt   uint32
+	rcvEpoch uint32
+	segCount uint32
+	segLimit uint32
+}
+
+// seqGEQ is part of the exempt helper family: the RFC 1982 idiom lives here.
+func seqGEQ(a, b uint32) bool { return int32(a-b) >= 0 }
+
+// seqMax is exempt by name even though it compares seq-named uint32s raw.
+func seqMax(seqA, seqB uint32) uint32 {
+	if seqA > seqB {
+		return seqA
+	}
+	return seqB
+}
+
+func (c *conn) canSend() bool {
+	if c.sndNxt < c.sndUna { // want "raw < on uint32 sequence-space values"
+		return false
+	}
+	return c.segCount < c.segLimit // no sequence-space name: allowed
+}
+
+func (c *conn) acked(ack uint32) bool {
+	if ack > c.sndNxt { // want "raw > on uint32 sequence-space values"
+		return false
+	}
+	return seqGEQ(ack, c.sndUna) // helper call: allowed
+}
+
+func (c *conn) staleEpoch(e uint32) bool {
+	return e <= c.rcvEpoch // want "raw <= on uint32 sequence-space values"
+}
+
+func (c *conn) pastEpochFour() bool {
+	return c.rcvEpoch >= 4 // want "raw >= on uint32 sequence-space values"
+}

@@ -1,0 +1,40 @@
+// Package hooks is the nilhook-check fixture: calls through optional
+// func-valued fields must be dominated by a nil check.
+package hooks
+
+type pipe struct {
+	// Fault, when non-nil, is consulted for every delivered packet.
+	Fault func(id int) bool
+	// Monitor is called if set after each enqueue.
+	Monitor func(depth int)
+	// Classify routes packets; always installed by the constructor.
+	Classify func(id int) int
+}
+
+func (p *pipe) deliver(id int) {
+	if p.Fault != nil {
+		if p.Fault(id) { // guarded by the enclosing if: allowed
+			return
+		}
+	}
+	p.Monitor(0)       // want "call through optional hook p.Monitor without a nil guard"
+	_ = p.Classify(id) // no optional marker on the field: allowed
+}
+
+func (p *pipe) drain(id int) {
+	if p.Monitor == nil {
+		return
+	}
+	p.Monitor(id) // dominated by the early return: allowed
+}
+
+func (p *pipe) local(id int) {
+	fault := p.Fault
+	if fault != nil {
+		fault(id) // checked local copy: allowed
+	}
+}
+
+func (p *pipe) unguarded(id int) bool {
+	return p.Fault(id) // want "call through optional hook p.Fault without a nil guard"
+}

@@ -1,0 +1,13 @@
+// Package emit is the tracecat-check fixture: Emit categories must be
+// constant expressions over the trace package's Cat* constants.
+package emit
+
+import "d/trace"
+
+func run(c trace.Category) {
+	trace.Emit(trace.CatSim, "epoch_start")          // single constant: allowed
+	trace.Emit(trace.CatSim|trace.CatTCP, "handoff") // constant expression: allowed
+	trace.Emit(7, "adhoc")                           // want "Emit category must be a constant expression"
+	trace.Emit(c, "dynamic")                         // want "Emit category must be a constant expression"
+	trace.Emit(trace.Category(2), "cast")            // want "Emit category must be a constant expression"
+}

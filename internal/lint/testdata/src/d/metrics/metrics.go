@@ -1,0 +1,20 @@
+// Package metrics is the metricname-check fixture: Registry.Add/Set names
+// must follow the pkg.snake_case convention with a constant prefix.
+package metrics
+
+import (
+	"fmt"
+
+	"d/trace"
+)
+
+func record(m *trace.Registry, rack int, kind string) {
+	m.Add("tcp.retransmits", 1)                // allowed
+	m.Set("sched.day_len_us", 90)              // allowed
+	m.Add("BadName", 1)                        // want "does not match the pkg.snake_case convention"
+	m.Add("tcp", 1)                            // want "does not match the pkg.snake_case convention"
+	m.Add(fmt.Sprintf("voq.r%d.enq", rack), 1) // constant prefix and fragments: allowed
+	m.Add("fault."+kind, 1)                    // constant prefix: allowed
+	m.Add(kind+".count", 1)                    // want "must start with a constant"
+	m.Set(kind, 1)                             // want "entirely dynamic"
+}

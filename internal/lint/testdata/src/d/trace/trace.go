@@ -1,0 +1,24 @@
+// Package trace mirrors the real trace package's shape: the tracecat and
+// metricname checks key on the package name and the Category and Registry
+// type names, so fixtures exercise them without importing the real module.
+package trace
+
+type Category uint32
+
+const (
+	CatSim Category = 1 << iota
+	CatTCP
+	CatRDCN
+)
+
+// Emit records one event under the given category.
+func Emit(c Category, name string) {}
+
+// Registry accumulates named metrics.
+type Registry struct{}
+
+// Add increments the named counter.
+func (r *Registry) Add(name string, delta int64) {}
+
+// Set records the named gauge.
+func (r *Registry) Set(name string, v float64) {}

@@ -1,0 +1,28 @@
+// Package tcp exercises //lint:ignore suppression handling: a justified
+// directive naming the right check silences the finding; naming a different
+// check does not.
+package tcp
+
+type state struct {
+	sndUna uint32
+	sndNxt uint32
+}
+
+func (s *state) suppressed() bool {
+	//lint:ignore seqarith fixture: demonstrating a justified suppression
+	return s.sndUna < s.sndNxt
+}
+
+func (s *state) wrongCheck() bool {
+	//lint:ignore determinism suppression names a different check
+	return s.sndUna < s.sndNxt // want "raw < on uint32 sequence-space values"
+}
+
+func (s *state) inline() bool {
+	return s.sndUna < s.sndNxt //lint:ignore seqarith fixture: same-line suppression
+}
+
+func (s *state) star() bool {
+	//lint:ignore * fixture: wildcard suppression
+	return s.sndUna < s.sndNxt
+}

@@ -1,0 +1,6 @@
+// Package malformed holds an ignore directive missing its justification; the
+// framework reports it under the "ignore" pseudo-check.
+package malformed
+
+//lint:ignore
+var x = 0

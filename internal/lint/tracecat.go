@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TraceCatCheck requires the category argument of trace Emit calls to be
+// built from the named Category constants. Category filtering is a bitmask
+// test against those constants; an Emit with an ad-hoc numeric category is
+// invisible to every documented filter.
+func TraceCatCheck() *Check {
+	c := &Check{
+		Name: "tracecat",
+		Doc:  "trace Emit category arguments must be built from trace.Cat* constants",
+	}
+	c.Run = func(prog *Program) []Diagnostic {
+		var diags []Diagnostic
+		for _, pkg := range prog.Pkgs {
+			for _, f := range pkg.Syntax {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					catPkg, ok := emitCategoryPkg(pkg, call)
+					if !ok || len(call.Args) == 0 {
+						return true
+					}
+					if validCategoryArg(pkg, call.Args[0], catPkg) {
+						return true
+					}
+					diags = append(diags, Diagnostic{
+						Pos:     prog.Fset.Position(call.Args[0].Pos()),
+						Check:   c.Name,
+						Message: "Emit category must be a constant expression over the " + catPkg.Name() + ".Cat* constants; ad-hoc categories defeat trace filtering",
+					})
+					return true
+				})
+			}
+		}
+		return diags
+	}
+	return c
+}
+
+// emitCategoryPkg reports whether call invokes a function or method named
+// Emit, declared in a package named "trace", whose first parameter has named
+// type Category — and if so, which package declares Category.
+func emitCategoryPkg(pkg *Package, call *ast.CallExpr) (*types.Package, bool) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return nil, false
+	}
+	fn, ok := pkg.Info.Uses[id].(*types.Func)
+	if !ok || fn.Name() != "Emit" || fn.Pkg() == nil || fn.Pkg().Name() != "trace" {
+		return nil, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return nil, false
+	}
+	named, ok := sig.Params().At(0).Type().(*types.Named)
+	if !ok || named.Obj().Name() != "Category" {
+		return nil, false
+	}
+	return named.Obj().Pkg(), true
+}
+
+// validCategoryArg reports whether arg is a compile-time constant whose
+// constant identifiers all come from catPkg (at least one of them).
+func validCategoryArg(pkg *Package, arg ast.Expr, catPkg *types.Package) bool {
+	tv, ok := pkg.Info.Types[arg]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	catConsts, otherConsts := 0, 0
+	ast.Inspect(arg, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		cst, ok := pkg.Info.Uses[id].(*types.Const)
+		if !ok {
+			return true
+		}
+		if cst.Pkg() == catPkg {
+			catConsts++
+		} else {
+			otherConsts++
+		}
+		return true
+	})
+	return catConsts > 0 && otherConsts == 0
+}

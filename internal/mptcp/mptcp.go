@@ -95,10 +95,11 @@ type Conn struct {
 	ledgers [][]mapping
 	queued  []uint32 // bytes ever queued per subflow (stream offsets)
 
-	active  int
-	dsnNxt  uint32
-	backlog int64
-	epoch   uint32
+	active    int
+	dsnNxt    uint32
+	backlog   int64
+	epoch     uint32
+	epochSeen bool
 
 	// Receiver: connection-level reassembly over DSN space.
 	dsnDelivered uint32
@@ -187,8 +188,16 @@ func (m *Conn) Notify(tdn int, epoch uint32) {
 	if tdn < 0 || tdn >= len(m.subs) {
 		return
 	}
-	if epoch != 0 && epoch <= m.epoch {
-		return
+	// Stale/duplicate epochs are discarded with serial-number arithmetic
+	// (RFC 1982), the same gate as tcp.Conn.Notify: a raw <= would reject
+	// every notification after the epoch counter wraps past MaxUint32.
+	// Epoch 0 bypasses the gate (tests and direct drivers); epochSeen
+	// distinguishes "no epoch yet" from real epochs near the wrap.
+	if epoch != 0 {
+		if m.epochSeen && packet.SeqLEQ(epoch, m.epoch) {
+			return
+		}
+		m.epochSeen = true
 	}
 	m.epoch = epoch
 	if tdn == m.active {
@@ -235,10 +244,10 @@ func (m *Conn) Outstanding() int64 {
 				continue
 			}
 			end := e.subSeq + uint32(e.len)
-			if int32(end-una) <= 0 {
+			if packet.SeqLEQ(end, una) {
 				continue
 			}
-			rem := int64(int32(end - una))
+			rem := int64(packet.SeqDiff(end, una))
 			if rem > int64(e.len) {
 				rem = int64(e.len)
 			}
@@ -302,7 +311,7 @@ func (m *Conn) prune() {
 	for i, sub := range m.subs {
 		led := m.ledgers[i]
 		k := 0
-		for k < len(led) && int32(led[k].subSeq+uint32(led[k].len)-sub.SndUna()) <= 0 {
+		for k < len(led) && packet.SeqLEQ(led[k].subSeq+uint32(led[k].len), sub.SndUna()) {
 			k++
 		}
 		if k > 0 {
@@ -344,7 +353,7 @@ func (m *Conn) reinject(target int) {
 			}
 			// Unacked portion of the entry.
 			start := una
-			if int32(e.subSeq-una) > 0 {
+			if packet.SeqGT(e.subSeq, una) {
 				start = e.subSeq
 			}
 			rem := int(e.subSeq + uint32(e.len) - start)
@@ -369,11 +378,11 @@ func (m *Conn) acceptDSN(dsn uint32, length int) {
 		return
 	}
 	start, end := dsn, dsn+uint32(length)
-	if int32(end-m.dsnDelivered) <= 0 {
+	if packet.SeqLEQ(end, m.dsnDelivered) {
 		m.Stats.DupDSNBytes += int64(length)
 		return
 	}
-	if int32(start-m.dsnDelivered) < 0 {
+	if packet.SeqLT(start, m.dsnDelivered) {
 		m.Stats.DupDSNBytes += int64(m.dsnDelivered - start)
 		start = m.dsnDelivered
 	}
@@ -387,8 +396,8 @@ func (m *Conn) acceptDSN(dsn uint32, length int) {
 func (m *Conn) advance(end uint32) {
 	prev := m.dsnDelivered
 	m.dsnDelivered = end
-	for len(m.ranges) > 0 && int32(m.ranges[0].Start-m.dsnDelivered) <= 0 {
-		if int32(m.ranges[0].End-m.dsnDelivered) > 0 {
+	for len(m.ranges) > 0 && packet.SeqLEQ(m.ranges[0].Start, m.dsnDelivered) {
+		if packet.SeqGT(m.ranges[0].End, m.dsnDelivered) {
 			m.dsnDelivered = m.ranges[0].End
 		}
 		m.ranges = m.ranges[1:]
@@ -401,21 +410,21 @@ func (m *Conn) advance(end uint32) {
 
 func (m *Conn) insertRange(start, end uint32) {
 	i := 0
-	for i < len(m.ranges) && int32(m.ranges[i].Start-start) < 0 {
+	for i < len(m.ranges) && packet.SeqLT(m.ranges[i].Start, start) {
 		i++
 	}
 	m.ranges = append(m.ranges, packet.SACKBlock{})
 	copy(m.ranges[i+1:], m.ranges[i:])
 	m.ranges[i] = packet.SACKBlock{Start: start, End: end}
-	if i > 0 && int32(m.ranges[i-1].End-m.ranges[i].Start) >= 0 {
-		if int32(m.ranges[i].End-m.ranges[i-1].End) > 0 {
+	if i > 0 && packet.SeqGEQ(m.ranges[i-1].End, m.ranges[i].Start) {
+		if packet.SeqGT(m.ranges[i].End, m.ranges[i-1].End) {
 			m.ranges[i-1].End = m.ranges[i].End
 		}
 		m.ranges = append(m.ranges[:i], m.ranges[i+1:]...)
 		i--
 	}
-	for i+1 < len(m.ranges) && int32(m.ranges[i].End-m.ranges[i+1].Start) >= 0 {
-		if int32(m.ranges[i+1].End-m.ranges[i].End) > 0 {
+	for i+1 < len(m.ranges) && packet.SeqGEQ(m.ranges[i].End, m.ranges[i+1].Start) {
+		if packet.SeqGT(m.ranges[i+1].End, m.ranges[i].End) {
 			m.ranges[i].End = m.ranges[i+1].End
 		}
 		m.ranges = append(m.ranges[:i+1], m.ranges[i+2:]...)

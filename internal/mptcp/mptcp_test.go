@@ -1,6 +1,7 @@
 package mptcp
 
 import (
+	"math"
 	"testing"
 
 	"github.com/rdcn-net/tdtcp/internal/packet"
@@ -258,4 +259,35 @@ func TestSubflowPolicyRejected(t *testing.T) {
 	}()
 	cfg := Config{Sub: tcp.Config{Policy: tcp.NewSinglePath()}}
 	cfg.fillDefaults()
+}
+
+// TestNotifyEpochWraparound pins the RFC 1982 epoch gate of the tdm_schd
+// scheduler across the uint32 wrap: notifications keep steering after the
+// epoch counter passes MaxUint32, and stale/duplicate epochs from before the
+// wrap stay rejected. (The raw `epoch <= m.epoch` comparison this replaces
+// froze the scheduler on the pre-wrap subflow forever.)
+func TestNotifyEpochWraparound(t *testing.T) {
+	loop := sim.NewLoop(1)
+	drop := func(*packet.Segment) {}
+	m := New(loop, Config{}, []func(*packet.Segment){drop, drop})
+
+	m.Notify(1, math.MaxUint32) // last epoch before the wrap
+	if m.Active() != 1 {
+		t.Fatalf("active = %d, want 1", m.Active())
+	}
+	m.Notify(0, 1) // first epoch after the wrap (epoch 0 is the bypass value)
+	if m.Active() != 0 {
+		t.Fatal("post-wrap notification was rejected as stale")
+	}
+	m.Notify(1, math.MaxUint32) // stale replay from before the wrap
+	if m.Active() != 0 {
+		t.Fatal("stale pre-wrap replay was applied")
+	}
+	m.Notify(1, 1) // exact duplicate of the applied epoch
+	if m.Active() != 0 {
+		t.Fatal("duplicate epoch was applied")
+	}
+	if got := m.Stats.SchedulerSwitches; got != 2 {
+		t.Fatalf("scheduler switches = %d, want 2", got)
+	}
 }

@@ -1,0 +1,40 @@
+package packet
+
+// Serial-number arithmetic (RFC 1982) on the wrapping 32-bit sequence space
+// shared by TCP sequence/ACK numbers, MPTCP data sequence numbers, and the
+// TDN-change notification epoch counter.
+//
+// Raw ordered comparisons (<, >, <=, >=) between two uint32 sequence values
+// are wrong near the wrap: 0x00000010 comes *after* 0xFFFFFFF0, not before.
+// Every ordered comparison between values living in a wrapping space must go
+// through this family; the tdlint seqarith check enforces that repo-wide.
+//
+// The helpers follow the usual TCP convention (Linux's before()/after()):
+// a is "less than" b when the signed distance a-b is negative, which is
+// correct whenever the two values are within 2^31 of each other — true by
+// construction for TCP windows and for epoch counters that advance by one
+// per schedule transition.
+
+// SeqLT reports whether a precedes b in sequence space.
+func SeqLT(a, b uint32) bool { return int32(a-b) < 0 }
+
+// SeqLEQ reports whether a precedes or equals b in sequence space.
+func SeqLEQ(a, b uint32) bool { return int32(a-b) <= 0 }
+
+// SeqGT reports whether a follows b in sequence space.
+func SeqGT(a, b uint32) bool { return int32(a-b) > 0 }
+
+// SeqGEQ reports whether a follows or equals b in sequence space.
+func SeqGEQ(a, b uint32) bool { return int32(a-b) >= 0 }
+
+// SeqMax returns the later of a and b in sequence space.
+func SeqMax(a, b uint32) uint32 {
+	if SeqGT(a, b) {
+		return a
+	}
+	return b
+}
+
+// SeqDiff returns the signed distance a-b in sequence space: positive when a
+// follows b, negative when a precedes it.
+func SeqDiff(a, b uint32) int32 { return int32(a - b) }

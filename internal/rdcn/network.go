@@ -93,18 +93,20 @@ type Config struct {
 	// and cost nothing when nil; rdcn never decides faults itself, it only
 	// applies the verdicts, so the injector owns all randomness and tracing.
 
-	// NotifyFault is consulted once per host per TDN-change notification.
+	// NotifyFault, when non-nil, is consulted once per host per TDN-change
+	// notification.
 	NotifyFault func(rack, host, tdn int, epoch uint32) NotifyFate
-	// CircuitOK, when it returns false, makes the data plane treat tdn as
-	// dark (a flapped circuit) even though the nominal schedule — and the
-	// control plane's notifications — say the day is up.
+	// CircuitOK, when non-nil and returning false, makes the data plane
+	// treat tdn as dark (a flapped circuit) even though the nominal
+	// schedule — and the control plane's notifications — say the day is up.
 	CircuitOK func(tdn int, now sim.Time) bool
-	// ScheduleOffset shifts the data plane's view of the schedule: drainers
-	// evaluate Schedule.At(now - offset) while notifications keep nominal
-	// timing, modelling a ToR whose optical switch drifts from its agenda.
+	// ScheduleOffset, when non-nil, shifts the data plane's view of the
+	// schedule: drainers evaluate Schedule.At(now - offset) while
+	// notifications keep nominal timing, modelling a ToR whose optical
+	// switch drifts from its agenda.
 	ScheduleOffset func(now sim.Time) sim.Duration
-	// ResizeFault, when it returns true, suppresses one VOQ recapping (the
-	// retcpdyn resize silently fails on that queue).
+	// ResizeFault, when non-nil and returning true, suppresses one VOQ
+	// recapping (the retcpdyn resize silently fails on that queue).
 	ResizeFault func(rack, q, newCap int) bool
 }
 

@@ -403,7 +403,10 @@ func (c *Conn) detectLosses(ackTDN uint8, now sim.Time) {
 		// timer below (on the retransmission's own send time) or by the
 		// RTO, never by sequence counting — re-marking it on every ACK
 		// would retransmit it once per round trip forever.
-		if !seg.Retrans && c.highestSacked-seg.End() >= thresh {
+		// SeqDiff (not raw subtraction): a segment straddling highestSacked
+		// would wrap the unsigned difference to a huge value and be marked
+		// lost spuriously; the signed distance is negative there instead.
+		if !seg.Retrans && seqDiff(c.highestSacked, seg.End()) >= int32(thresh) {
 			if !c.policy.FilterLoss(seg, ackTDN) {
 				c.markLost(seg, now)
 				return true

@@ -380,11 +380,12 @@ func (c *Conn) Notify(tdn int, epoch uint32) {
 	c.Stats.NotifiesRcvd++
 	if epoch != 0 {
 		if c.notifySeen {
-			if d := int32(epoch - c.notifyEpoch); d == 0 {
+			if epoch == c.notifyEpoch {
 				c.Stats.NotifiesDup++
 				c.emit("notify_dup", tdn, float64(epoch), 0, "")
 				return
-			} else if d < 0 {
+			}
+			if seqLT(epoch, c.notifyEpoch) {
 				c.Stats.NotifiesStale++
 				c.emit("notify_stale", tdn, float64(epoch), float64(c.notifyEpoch), "")
 				return

@@ -15,21 +15,19 @@ import (
 	"fmt"
 
 	"github.com/rdcn-net/tdtcp/internal/cc"
+	"github.com/rdcn-net/tdtcp/internal/packet"
 	"github.com/rdcn-net/tdtcp/internal/sim"
 )
 
-// Sequence-number arithmetic on the wrapping 32-bit space.
-func seqLT(a, b uint32) bool  { return int32(a-b) < 0 }
-func seqLEQ(a, b uint32) bool { return int32(a-b) <= 0 }
-func seqGT(a, b uint32) bool  { return int32(a-b) > 0 }
-func seqGEQ(a, b uint32) bool { return int32(a-b) >= 0 }
-
-func seqMax(a, b uint32) uint32 {
-	if seqGT(a, b) {
-		return a
-	}
-	return b
-}
+// Sequence-number arithmetic on the wrapping 32-bit space: thin aliases of
+// the exported RFC 1982 family in internal/packet, kept for call-site
+// brevity on the data path.
+func seqLT(a, b uint32) bool    { return packet.SeqLT(a, b) }
+func seqLEQ(a, b uint32) bool   { return packet.SeqLEQ(a, b) }
+func seqGT(a, b uint32) bool    { return packet.SeqGT(a, b) }
+func seqGEQ(a, b uint32) bool   { return packet.SeqGEQ(a, b) }
+func seqMax(a, b uint32) uint32 { return packet.SeqMax(a, b) }
+func seqDiff(a, b uint32) int32 { return packet.SeqDiff(a, b) }
 
 // CAState mirrors Linux's tcp_ca_state machine. TDTCP keeps one per TDN
 // (Figure 4).
