@@ -13,6 +13,7 @@ import (
 	"io"
 	"testing"
 
+	"github.com/rdcn-net/tdtcp/internal/bench"
 	"github.com/rdcn-net/tdtcp/internal/core"
 	"github.com/rdcn-net/tdtcp/internal/experiments"
 	"github.com/rdcn-net/tdtcp/internal/packet"
@@ -201,47 +202,16 @@ func BenchmarkTDNStateSwitch(b *testing.B) {
 	}
 }
 
-// BenchmarkEventLoop measures raw simulator event throughput.
-func BenchmarkEventLoop(b *testing.B) {
-	loop := sim.NewLoop(1)
-	b.ReportAllocs()
-	var fn func()
-	n := 0
-	fn = func() {
-		n++
-		if n < b.N {
-			loop.After(1, fn)
-		}
-	}
-	loop.After(1, fn)
-	loop.Run()
-}
+// BenchmarkEventLoop measures raw simulator event throughput. The body lives
+// in internal/bench so cmd/tdbench tracks the same measurement.
+func BenchmarkEventLoop(b *testing.B) { bench.EventLoop(b) }
 
 // BenchmarkSimulatedSecond measures wall time per simulated optical week of
 // the full 16-flow TDTCP experiment (events, transport, wire codec). This is
 // also the tracing-disabled baseline for BenchmarkSimulatedWeekTraced: with
 // no tracer attached every instrumentation site reduces to a nil check, so
 // the two should differ only by the enabled tracer's encoding cost.
-func BenchmarkSimulatedWeek(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		loop := NewLoop(int64(i + 1))
-		cfg := DefaultNetworkConfig()
-		net, err := NewNetwork(loop, cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		for f := 0; f < cfg.HostsPerRack; f++ {
-			fl, err := BuildFlow(loop, net, f, TDTCP, FlowOptions{})
-			if err != nil {
-				b.Fatal(err)
-			}
-			fl.Start(-1)
-		}
-		end := Time(cfg.Schedule.Week())
-		net.Start(end)
-		loop.RunUntil(end)
-	}
-}
+func BenchmarkSimulatedWeek(b *testing.B) { bench.SimulatedWeek(b) }
 
 // BenchmarkSimulatedWeekTraced is BenchmarkSimulatedWeek with a full-mask
 // JSONL tracer attached (writing to io.Discard), measuring the enabled-path

@@ -17,6 +17,16 @@ go run ./cmd/tdlint ./...
 go build ./...
 go test -race ./...
 
+# Sweep gate: the parallel experiment runner must stay race-clean and
+# bit-identical to the sequential path (goroutines are legal only in
+# internal/experiments; the simulation core below it is single-threaded).
+go test -race -run TestSweepParallelMatchesSequential ./internal/experiments/
+
+# Bench smoke: one iteration of every benchmark, so the harness itself (and
+# the alloc-free fast paths it pins down) cannot silently rot. Numbers from
+# -benchtime=1x are meaningless; tracked measurements come from cmd/tdbench.
+go test -run '^$' -bench . -benchmem -benchtime 1x .
+
 # Fuzz smoke: a few seconds of each native fuzz target. Regression corpus
 # entries under testdata/fuzz always run as part of `go test` above; this
 # additionally exercises fresh random inputs.

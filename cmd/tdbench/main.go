@@ -1,0 +1,130 @@
+// Command tdbench runs the headline simulator benchmarks (internal/bench)
+// under the standard testing harness with allocation reporting, records the
+// results in a tracked JSON file, and diffs them against the previous record
+// so performance regressions show up in review rather than in production.
+//
+// Usage:
+//
+//	tdbench                     # run, diff against BENCH_simcore.json, rewrite it
+//	tdbench -out other.json     # track a different file
+//	tdbench -dry                # run and diff only, leave the file untouched
+//
+// The JSON file carries the current numbers under "benchmarks" and the
+// previous run's numbers under "previous", so the diff survives in the file
+// itself as well as in the command output.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"github.com/rdcn-net/tdtcp/internal/bench"
+)
+
+// Record is one benchmark's tracked measurements.
+type Record struct {
+	NsPerOp      float64 `json:"ns_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	EventsPerOp  float64 `json:"events_per_op,omitempty"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+}
+
+// File is the on-disk shape of BENCH_simcore.json.
+type File struct {
+	Benchmarks map[string]Record `json:"benchmarks"`
+	Previous   map[string]Record `json:"previous,omitempty"`
+}
+
+var headline = []struct {
+	Name string
+	Body func(*testing.B)
+}{
+	{"EventLoop", bench.EventLoop},
+	{"SimulatedWeek", bench.SimulatedWeek},
+}
+
+func main() {
+	var (
+		out = flag.String("out", "BENCH_simcore.json", "tracked benchmark file to diff against and rewrite")
+		dry = flag.Bool("dry", false, "run and diff only; do not rewrite the file")
+	)
+	flag.Parse()
+
+	prev := map[string]Record{}
+	if raw, err := os.ReadFile(*out); err == nil {
+		var old File
+		if err := json.Unmarshal(raw, &old); err != nil {
+			fatal(fmt.Errorf("parse %s: %w", *out, err))
+		}
+		prev = old.Benchmarks
+	}
+
+	cur := map[string]Record{}
+	for _, b := range headline {
+		fmt.Fprintf(os.Stderr, "tdbench: running %s...\n", b.Name)
+		r := testing.Benchmark(b.Body)
+		rec := Record{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if ev, ok := r.Extra["events/op"]; ok && rec.NsPerOp > 0 {
+			rec.EventsPerOp = ev
+			rec.EventsPerSec = ev * 1e9 / rec.NsPerOp
+		}
+		cur[b.Name] = rec
+	}
+
+	printDiff(prev, cur)
+
+	if *dry {
+		return
+	}
+	f := File{Benchmarks: cur}
+	if len(prev) > 0 {
+		f.Previous = prev
+	}
+	raw, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "tdbench: wrote %s\n", *out)
+}
+
+// printDiff renders old -> new per benchmark in the headline order.
+func printDiff(prev, cur map[string]Record) {
+	fmt.Printf("%-15s %14s %14s %12s %16s\n", "benchmark", "ns/op", "B/op", "allocs/op", "events/sec")
+	for _, b := range headline {
+		c := cur[b.Name]
+		fmt.Printf("%-15s %14.1f %14d %12d %16.0f\n",
+			b.Name, c.NsPerOp, c.BytesPerOp, c.AllocsPerOp, c.EventsPerSec)
+		p, ok := prev[b.Name]
+		if !ok {
+			continue
+		}
+		fmt.Printf("%-15s %14.1f %14d %12d %16.0f\n", "  previous", p.NsPerOp, p.BytesPerOp, p.AllocsPerOp, p.EventsPerSec)
+		fmt.Printf("%-15s %13s%% %13s%% %11s%%\n", "  delta",
+			pct(c.NsPerOp, p.NsPerOp), pct(float64(c.BytesPerOp), float64(p.BytesPerOp)),
+			pct(float64(c.AllocsPerOp), float64(p.AllocsPerOp)))
+	}
+}
+
+// pct formats the relative change from old to new ("-74.4", "+3.0").
+func pct(new, old float64) string {
+	if old == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f", (new-old)/old*100)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tdbench:", err)
+	os.Exit(1)
+}

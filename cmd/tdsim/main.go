@@ -8,6 +8,8 @@
 //	tdsim -run tdtcp -weeks 20      # single-variant run with counters
 //	tdsim -run tdtcp -trace out.jsonl -metrics out.json
 //	                                # + JSONL event trace and metrics JSON
+//	tdsim -sweep tdtcp,cubic -seeds 4 -parallel 8
+//	                                # variants x seeds matrix, 8 workers
 //
 // Figures: fig2 fig7 fig8 fig9 fig10 fig11 fig13 fig14 headline ablation.
 //
@@ -21,6 +23,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -43,6 +46,10 @@ func main() {
 		traceCats = flag.String("tracecats", "tcp,cc,tdn,voq,rdcn,fault", "trace categories (comma-separated; 'all' adds the chatty sim loop)")
 		metricsFn = flag.String("metrics", "", "write run metrics as JSON to this file (-run only; '-' = stdout)")
 
+		sweepSpec = flag.String("sweep", "", "sweep a comma-separated variant list (or 'all') over -seeds seeds")
+		seeds     = flag.Int("seeds", 4, "number of seeds per sweep cell (1..N)")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent runs in a sweep (1 = sequential)")
+
 		faultSpec  = flag.String("fault", "", "fault-injection plan, e.g. 'nloss=0.1,drop=0.01,flaps=2' (-run only)")
 		faultSeed  = flag.Int64("faultseed", 1, "fault-injection seed, independent of -seed")
 		invariants = flag.Bool("invariants", false, "check connection/network invariants after every event (-run only)")
@@ -51,6 +58,22 @@ func main() {
 	flag.Parse()
 
 	switch {
+	case *sweepSpec != "":
+		w, m := *warmup, *weeks
+		if w == 0 {
+			w = 3
+		}
+		if m == 0 {
+			m = 20
+		}
+		if *quick {
+			w, m = 1, 2
+		}
+		if err := runSweep(*sweepSpec, *seeds, *parallel, tdtcp.RunConfig{
+			Flows: *flows, WarmupWeeks: w, MeasureWeeks: m,
+		}); err != nil {
+			fatal(err)
+		}
 	case *runVar != "":
 		w, m := *warmup, *weeks
 		if w == 0 {
@@ -205,6 +228,48 @@ func runOne(cfg tdtcp.RunConfig, traceOut, traceCats, metricsFn string) error {
 		for _, v := range res.Violations {
 			fmt.Printf("  VIOLATION    %v\n", v)
 		}
+	}
+	return nil
+}
+
+// runSweep executes a variants x seeds matrix across workers and prints one
+// line per cell (input order, so output is deterministic regardless of the
+// worker count) plus a per-variant mean.
+func runSweep(spec string, nseeds, workers int, base tdtcp.RunConfig) error {
+	var variants []tdtcp.Variant
+	if spec == "all" {
+		variants = append(variants, tdtcp.AllVariants...)
+	} else {
+		for _, s := range strings.Split(spec, ",") {
+			variants = append(variants, tdtcp.Variant(strings.TrimSpace(s)))
+		}
+	}
+	if nseeds < 1 {
+		nseeds = 1
+	}
+	seeds := make([]int64, nseeds)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	cfgs := tdtcp.SweepMatrix(base, variants, seeds)
+	fmt.Fprintf(os.Stderr, "tdsim: sweeping %d configs (%d variants x %d seeds) on %d workers\n",
+		len(cfgs), len(variants), nseeds, workers)
+	results := tdtcp.Sweep(cfgs, workers)
+
+	fmt.Printf("%-10s %5s %12s %12s %12s\n", "variant", "seed", "goodput", "retrans", "loss-marks")
+	means := map[tdtcp.Variant]float64{}
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("%s seed %d: %w", r.Cfg.Variant, r.Cfg.Seed, r.Err)
+		}
+		fmt.Printf("%-10s %5d %9.2f Gb %12d %12d\n",
+			r.Cfg.Variant, r.Cfg.Seed, r.Res.GoodputGbps,
+			r.Res.Sender.Retransmits, r.Res.Sender.LossMarks)
+		means[r.Cfg.Variant] += r.Res.GoodputGbps
+	}
+	fmt.Println()
+	for _, v := range variants {
+		fmt.Printf("%-10s mean  %9.2f Gb over %d seeds\n", v, means[v]/float64(nseeds), nseeds)
 	}
 	return nil
 }

@@ -1,0 +1,64 @@
+// Package bench holds the headline simulator benchmark bodies, shared
+// between the `go test -bench` harness (the repo root's bench_test.go) and
+// the tracked runner (cmd/tdbench), which invokes them through
+// testing.Benchmark and records the results in BENCH_simcore.json.
+//
+// Both bodies report an "events/op" metric (simulation events fired per
+// iteration) so the runner can derive events/sec, the simulator's headline
+// throughput number.
+package bench
+
+import (
+	"testing"
+
+	"github.com/rdcn-net/tdtcp/internal/experiments"
+	"github.com/rdcn-net/tdtcp/internal/rdcn"
+	"github.com/rdcn-net/tdtcp/internal/sim"
+)
+
+// EventLoop measures raw event-loop throughput: a single self-rescheduling
+// timer firing b.N times. This is the floor cost of one simulation event —
+// heap push, pop, dispatch — and must stay allocation-free.
+func EventLoop(b *testing.B) {
+	loop := sim.NewLoop(1)
+	b.ReportAllocs()
+	var fn func()
+	n := 0
+	fn = func() {
+		n++
+		if n < b.N {
+			loop.After(1, fn)
+		}
+	}
+	loop.After(1, fn)
+	loop.Run()
+	b.ReportMetric(1, "events/op")
+}
+
+// SimulatedWeek measures wall time per simulated optical week of the full
+// 16-flow TDTCP experiment on the default hybrid RDCN: event loop, transport,
+// wire codec, VOQs and control plane together.
+func SimulatedWeek(b *testing.B) {
+	b.ReportAllocs()
+	var fired uint64
+	for i := 0; i < b.N; i++ {
+		loop := sim.NewLoop(int64(i + 1))
+		cfg := rdcn.DefaultConfig()
+		net, err := rdcn.New(loop, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for f := 0; f < cfg.HostsPerRack; f++ {
+			fl, err := experiments.BuildFlow(loop, net, f, experiments.TDTCP, experiments.FlowOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			fl.Start(-1)
+		}
+		end := sim.Time(cfg.Schedule.Week())
+		net.Start(end)
+		loop.RunUntil(end)
+		fired += loop.Fired()
+	}
+	b.ReportMetric(float64(fired)/float64(b.N), "events/op")
+}

@@ -72,9 +72,11 @@ type TDTCP struct {
 	lastSwitchAt sim.Time
 
 	// Deadman fallback state: the arrival time of the latest notification
-	// and the self-rearming inference timer.
+	// and the self-rearming inference timer (deadmanFn bound once so
+	// rearming never allocates).
 	lastNotifyAt sim.Time
-	deadmanTimer *sim.Timer
+	deadmanTimer sim.Timer
+	deadmanFn    func()
 
 	// Counters (exported via Stats).
 	switches        uint64
@@ -120,17 +122,15 @@ func (p *TDTCP) Attach(c *tcp.Conn) {
 	p.c = c
 	if p.opts.DeadmanHorizon > 0 && p.opts.DeadmanSchedule != nil {
 		p.lastNotifyAt = c.Loop.Now()
-		p.deadmanTimer = c.Loop.After(p.opts.DeadmanHorizon, p.deadmanFire)
+		p.deadmanFn = p.deadmanFire
+		p.deadmanTimer = c.Loop.After(p.opts.DeadmanHorizon, p.deadmanFn)
 	}
 }
 
 // StopDeadman cancels the deadman timer, letting a drained simulation loop
 // terminate (the timer otherwise re-arms itself forever).
 func (p *TDTCP) StopDeadman() {
-	if p.deadmanTimer != nil {
-		p.deadmanTimer.Stop()
-		p.deadmanTimer = nil
-	}
+	p.deadmanTimer.Stop()
 }
 
 // deadmanFire checks the notification gap and, once it exceeds the horizon,
@@ -143,7 +143,7 @@ func (p *TDTCP) deadmanFire() {
 	if gap := now.Sub(p.lastNotifyAt); gap < p.opts.DeadmanHorizon {
 		// A notification arrived since arming: sleep until the earliest
 		// instant the horizon could lapse again.
-		p.deadmanTimer = p.c.Loop.At(p.lastNotifyAt.Add(p.opts.DeadmanHorizon), p.deadmanFire)
+		p.deadmanTimer = p.c.Loop.At(p.lastNotifyAt.Add(p.opts.DeadmanHorizon), p.deadmanFn)
 		return
 	} else if tdn, ok := p.opts.DeadmanSchedule(now); ok && tdn >= 0 && tdn < p.numTDNs && tdn != p.active {
 		p.deadmanEngaged++
@@ -154,7 +154,7 @@ func (p *TDTCP) deadmanFire() {
 		p.switchTo(tdn)
 		p.c.Kick()
 	}
-	p.deadmanTimer = p.c.Loop.After(p.opts.DeadmanHorizon, p.deadmanFire)
+	p.deadmanTimer = p.c.Loop.After(p.opts.DeadmanHorizon, p.deadmanFn)
 }
 
 // NumStates implements tcp.Policy.

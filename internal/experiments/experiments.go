@@ -98,6 +98,12 @@ type RunConfig struct {
 	// and the network, validating scoreboard/sequence/VOQ accounting after
 	// every simulation event (see Result.Violations).
 	Invariants bool
+
+	// DisableFramePool turns off the data plane's wire-buffer recycling
+	// (see rdcn.Config.DisableFramePool). Pooling must not be observable:
+	// the golden-trace test runs the same seed with and without it and
+	// requires byte-identical traces.
+	DisableFramePool bool
 }
 
 func (cfg *RunConfig) fillDefaults() {
@@ -177,6 +183,7 @@ func Run(cfg RunConfig) (*Result, error) {
 	ncfg.Schedule = cfg.Scenario.Schedule
 	ncfg.VOQCap = cfg.Scenario.VOQCap
 	ncfg.MarkThresh = cfg.MarkThresh
+	ncfg.DisableFramePool = cfg.DisableFramePool
 	if cfg.Notify != nil {
 		ncfg.Notify = *cfg.Notify
 	}

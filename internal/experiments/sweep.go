@@ -1,0 +1,72 @@
+package experiments
+
+import "sync"
+
+// This file is the one place in the simulation stack where goroutines are
+// legal: every Run owns its loop, RNG, network and flows and shares nothing,
+// so independent runs are embarrassingly parallel. The deterministic core
+// (internal/{sim,netem,rdcn,tcp,core,cc,fault}) stays single-threaded and
+// tdlint enforces that; this package sits outside that boundary.
+
+// SweepResult pairs one sweep cell's configuration with its outcome.
+type SweepResult struct {
+	Cfg RunConfig
+	Res *Result
+	Err error
+}
+
+// Matrix expands base over the cross product of variants and seeds, in
+// variant-major order. The result is a ready-made Sweep input.
+func Matrix(base RunConfig, variants []Variant, seeds []int64) []RunConfig {
+	cfgs := make([]RunConfig, 0, len(variants)*len(seeds))
+	for _, v := range variants {
+		for _, s := range seeds {
+			c := base
+			c.Variant = v
+			c.Seed = s
+			cfgs = append(cfgs, c)
+		}
+	}
+	return cfgs
+}
+
+// Sweep executes every configuration and returns results indexed by input
+// position, so the output order is deterministic regardless of which run
+// finishes first. workers bounds how many simulations run concurrently;
+// workers <= 1 runs them sequentially on the calling goroutine. Because runs
+// share no state, the parallel and sequential paths produce identical
+// results for identical inputs (the sweep parity test enforces this).
+//
+// Configurations must not share a Tracer or Metrics registry when workers
+// exceeds 1 — those sinks are not synchronized.
+func Sweep(cfgs []RunConfig, workers int) []SweepResult {
+	out := make([]SweepResult, len(cfgs))
+	if workers <= 1 {
+		for i, cfg := range cfgs {
+			res, err := Run(cfg)
+			out[i] = SweepResult{Cfg: cfg, Res: res, Err: err}
+		}
+		return out
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				res, err := Run(cfgs[i])
+				out[i] = SweepResult{Cfg: cfgs[i], Res: res, Err: err}
+			}
+		}()
+	}
+	for i := range cfgs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}

@@ -29,11 +29,12 @@ var wallClockFuncs = map[string]bool{
 
 // DeterminismCheck forbids the constructs that make a simulation run diverge
 // between replays of the same seed: wall-clock reads, the process-global
-// math/rand generator, goroutines, and iteration over map order.
+// math/rand generator, goroutines, iteration over map order, and sync.Pool
+// (whose reuse schedule depends on GC timing).
 func DeterminismCheck() *Check {
 	c := &Check{
 		Name: "determinism",
-		Doc:  "forbid wall-clock time, global math/rand, goroutines, and map iteration in simulation packages",
+		Doc:  "forbid wall-clock time, global math/rand, goroutines, map iteration, and sync.Pool in simulation packages",
 	}
 	c.Run = func(prog *Program) []Diagnostic {
 		var diags []Diagnostic
@@ -74,8 +75,9 @@ func DeterminismCheck() *Check {
 	return c
 }
 
-// flagTimeOrGlobalRand reports a use of a forbidden time function or of
-// math/rand package-level state through the selector expression sel.
+// flagTimeOrGlobalRand reports a use of a forbidden time function, of
+// math/rand package-level state, or of sync.Pool through the selector
+// expression sel.
 func flagTimeOrGlobalRand(pkg *Package, sel *ast.SelectorExpr) (Diagnostic, bool) {
 	obj := pkg.Info.Uses[sel.Sel]
 	if obj == nil || obj.Pkg() == nil {
@@ -109,6 +111,15 @@ func flagTimeOrGlobalRand(pkg *Package, sel *ast.SelectorExpr) (Diagnostic, bool
 		return Diagnostic{
 			Message: "global math/rand." + obj.Name() + " in a deterministic package: process-global generator is not seed-reproducible; use rand.New(rand.NewSource(seed))",
 		}, true
+	case "sync":
+		// The pool sub-rule: sync.Pool hands buffers back on a schedule set
+		// by the garbage collector, so buffer identity — and any latent
+		// aliasing bug — differs between replays of the same seed.
+		if obj.Name() == "Pool" {
+			return Diagnostic{
+				Message: "sync.Pool in a deterministic package: GC-timing-dependent reuse is not replayable; use a loop-owned free list (e.g. netem.BufPool)",
+			}, true
+		}
 	}
 	return Diagnostic{}, false
 }

@@ -6,13 +6,25 @@ package sim
 import (
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 )
+
+var framePool = sync.Pool{ // want "sync.Pool in a deterministic package"
+	New: func() interface{} { return make([]byte, 0, 64) },
+}
+
+// ownedFreeList is the deterministic replacement: a plain LIFO slice whose
+// reuse order depends only on event order. Allowed.
+type ownedFreeList struct {
+	free [][]byte
+}
 
 type loop struct {
 	rng     *rand.Rand
 	started time.Time
 	delay   time.Duration
+	bufs    ownedFreeList
 }
 
 func newLoop(seed int64) *loop {

@@ -105,7 +105,8 @@ type Conn struct {
 	dsnDelivered uint32
 	ranges       []packet.SACKBlock
 
-	pumpTimer    *sim.Timer
+	pumpTimer    sim.Timer
+	pumpFn       func()
 	nextReinject sim.Time
 
 	Stats Stats
@@ -208,17 +209,21 @@ func (m *Conn) Notify(tdn int, epoch uint32) {
 	m.pump()
 }
 
-// schedulePump arms the periodic scheduler tick.
+// schedulePump arms the periodic scheduler tick. The tick callback is bound
+// once (lazily) so steady-state rearming does not allocate.
 func (m *Conn) schedulePump() {
-	if m.pumpTimer != nil && m.pumpTimer.Active() {
+	if m.pumpTimer.Active() {
 		return
 	}
-	m.pumpTimer = m.Loop.After(m.cfg.PumpInterval, func() {
-		m.pump()
-		if m.backlog != 0 || m.anyOutstanding() {
-			m.schedulePump()
+	if m.pumpFn == nil {
+		m.pumpFn = func() {
+			m.pump()
+			if m.backlog != 0 || m.anyOutstanding() {
+				m.schedulePump()
+			}
 		}
-	})
+	}
+	m.pumpTimer = m.Loop.After(m.cfg.PumpInterval, m.pumpFn)
 }
 
 func (m *Conn) anyOutstanding() bool {

@@ -24,13 +24,82 @@ type Frame struct {
 	SentAt sim.Time
 }
 
-// NewFrame serializes seg into a fresh frame stamped at the current time.
-func NewFrame(loop *sim.Loop, seg *packet.Segment) Frame {
+// BufPool is a loop-owned free list of frame wire buffers. It is NOT a
+// sync.Pool: sync.Pool reuse depends on GC timing, which would make buffer
+// identity (and any latent aliasing bug) irreproducible across runs. A plain
+// LIFO slice owned by the single-threaded event loop recycles buffers in a
+// schedule determined entirely by the event order, so two runs with the same
+// seed recycle identically.
+//
+// A nil *BufPool is valid and degrades to plain allocation, so pooling can
+// be switched off wholesale (e.g. for golden-trace A/B tests) without
+// branching at every call site.
+type BufPool struct {
+	free [][]byte
+
+	gets, puts, misses uint64
+}
+
+// Get returns a zero-length buffer with capacity at least capHint, reusing a
+// recycled buffer when one fits. On a nil pool it simply allocates.
+func (p *BufPool) Get(capHint int) []byte {
+	if p == nil {
+		return make([]byte, 0, capHint)
+	}
+	p.gets++
+	for n := len(p.free); n > 0; n = len(p.free) {
+		b := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		if cap(b) >= capHint {
+			return b[:0]
+		}
+		// Undersized stragglers (rare: header lengths are near-uniform)
+		// are discarded rather than left to clog the free list.
+	}
+	p.misses++
+	return make([]byte, 0, capHint)
+}
+
+// Put recycles a buffer for a later Get. Nil pools and zero-capacity buffers
+// are ignored, so Put is safe to call unconditionally on any frame's wire.
+func (p *BufPool) Put(b []byte) {
+	if p == nil || cap(b) == 0 {
+		return
+	}
+	p.puts++
+	p.free = append(p.free, b)
+}
+
+// Stats reports cumulative gets, puts and misses (Gets that had to allocate).
+func (p *BufPool) Stats() (gets, puts, misses uint64) {
+	if p == nil {
+		return 0, 0, 0
+	}
+	return p.gets, p.puts, p.misses
+}
+
+// NewFrameIn serializes seg into a frame stamped at the current time, drawing
+// the wire buffer from pool (which may be nil for plain allocation).
+func NewFrameIn(loop *sim.Loop, pool *BufPool, seg *packet.Segment) Frame {
 	return Frame{
-		Wire:   seg.Serialize(make([]byte, 0, seg.HeaderLen())),
+		Wire:   seg.Serialize(pool.Get(seg.HeaderLen())),
 		Len:    seg.WireLen(),
 		SentAt: loop.Now(),
 	}
+}
+
+// NewFrame serializes seg into a freshly allocated frame stamped at the
+// current time.
+func NewFrame(loop *sim.Loop, seg *packet.Segment) Frame {
+	return NewFrameIn(loop, nil, seg)
+}
+
+// Release returns the frame's wire buffer to pool and clears the alias so a
+// stale Frame copy cannot touch the recycled bytes. Nil-pool safe.
+func (f *Frame) Release(pool *BufPool) {
+	pool.Put(f.Wire)
+	f.Wire = nil
 }
 
 // MarkCE sets the ECN CE codepoint on the frame's IP header in place,
@@ -95,8 +164,29 @@ type Pipe struct {
 	// frame (internal/fault installs this hook).
 	Fault func(Frame) FrameFate
 
+	// Pool, when non-nil, receives the wire buffers of frames the Fault
+	// hook drops — the only point where a frame dies inside the pipe.
+	Pool *BufPool
+
 	q    []Frame
+	head int
 	busy bool
+
+	// Serialization is a one-at-a-time state machine: cur is the frame on
+	// the wire, serializedFn the single bound callback that finishes it.
+	// Propagation overlaps (several frames can be in the Delay stage at
+	// once), so deliveries ride inflight cells from a free list, each with
+	// its own callback bound exactly once.
+	cur          Frame
+	serializedFn func()
+	deliveryFree []*pipeDelivery
+}
+
+// pipeDelivery carries one frame through the propagation-delay stage.
+type pipeDelivery struct {
+	p  *Pipe
+	f  Frame
+	fn func()
 }
 
 // Send enqueues a frame for transmission.
@@ -107,34 +197,73 @@ func (p *Pipe) Send(f Frame) {
 
 // QueueLen reports the number of frames waiting in the pipe (not counting
 // one being serialized).
-func (p *Pipe) QueueLen() int { return len(p.q) }
+func (p *Pipe) QueueLen() int { return len(p.q) - p.head }
 
 func (p *Pipe) kick() {
-	if p.busy || len(p.q) == 0 {
+	if p.busy || p.QueueLen() == 0 {
 		return
 	}
-	f := p.q[0]
-	copy(p.q, p.q[1:])
-	p.q = p.q[:len(p.q)-1]
+	f := p.q[p.head]
+	p.q[p.head] = Frame{}
+	p.head++
+	if p.head > 64 && p.head*2 >= len(p.q) {
+		p.q = append(p.q[:0], p.q[p.head:]...)
+		p.head = 0
+	}
 	p.busy = true
-	p.Loop.After(p.Rate.TransmitTime(f.Len), func() {
-		p.busy = false
-		out := p.Out
-		delay := p.Delay
-		drop := false
-		if p.Fault != nil {
-			fate := p.Fault(f)
-			drop = fate.Drop
-			if !drop && fate.Corrupt {
-				CorruptWire(f.Wire)
-			}
-			delay += fate.Extra
+	p.cur = f
+	if p.serializedFn == nil {
+		p.serializedFn = p.serialized
+	}
+	p.Loop.After(p.Rate.TransmitTime(f.Len), p.serializedFn)
+}
+
+// serialized finishes the frame currently on the wire: it consults the fault
+// hook, schedules the propagation-delay delivery, and starts the next frame.
+// Delivery is scheduled before the next kick so event order (and therefore
+// the trace) matches a frame-at-a-time reading of the pipeline.
+func (p *Pipe) serialized() {
+	f := p.cur
+	p.cur = Frame{}
+	p.busy = false
+	delay := p.Delay
+	drop := false
+	if p.Fault != nil {
+		fate := p.Fault(f)
+		drop = fate.Drop
+		if !drop && fate.Corrupt {
+			CorruptWire(f.Wire)
 		}
-		if !drop {
-			p.Loop.After(delay, func() { out(f) })
-		}
-		p.kick()
-	})
+		delay += fate.Extra
+	}
+	if drop {
+		f.Release(p.Pool)
+	} else {
+		d := p.getDelivery()
+		d.f = f
+		p.Loop.After(delay, d.fn)
+	}
+	p.kick()
+}
+
+func (p *Pipe) getDelivery() *pipeDelivery {
+	if n := len(p.deliveryFree); n > 0 {
+		d := p.deliveryFree[n-1]
+		p.deliveryFree[n-1] = nil
+		p.deliveryFree = p.deliveryFree[:n-1]
+		return d
+	}
+	d := &pipeDelivery{p: p}
+	d.fn = d.fire
+	return d
+}
+
+func (d *pipeDelivery) fire() {
+	p := d.p
+	f := d.f
+	d.f = Frame{}
+	p.deliveryFree = append(p.deliveryFree, d)
+	p.Out(f)
 }
 
 // VOQ is a ToR virtual output queue: drop-tail, fixed capacity in packets,
@@ -171,7 +300,13 @@ type VOQ struct {
 // NewVOQ returns a VOQ with the given packet capacity and ECN mark
 // threshold (0 disables marking).
 func NewVOQ(loop *sim.Loop, capacity, markThresh int) *VOQ {
-	return &VOQ{Loop: loop, cap: capacity, markThresh: markThresh, TDN: -1}
+	return &VOQ{
+		Loop:       loop,
+		cap:        capacity,
+		markThresh: markThresh,
+		TDN:        -1,
+		q:          make([]Frame, 0, capacity),
+	}
 }
 
 // emit reports a CatVOQ event labeled with the queue's name and TDN.
@@ -188,12 +323,21 @@ func (v *VOQ) Len() int { return len(v.q) - v.head }
 func (v *VOQ) Cap() int { return v.cap }
 
 // SetCap resizes the queue at runtime. Shrinking below the current
-// occupancy does not drop queued frames; it only refuses new ones.
+// occupancy does not drop queued frames; it only refuses new ones. Growing
+// re-sizes the backing slice eagerly so the enlarged queue fills without any
+// append re-growth on the hot path (the retcpdyn variant resizes ahead of
+// every circuit day).
 func (v *VOQ) SetCap(n int) {
 	if n != v.cap {
 		v.emit("voq_resize", float64(n), float64(v.cap))
 	}
 	v.cap = n
+	if n > cap(v.q) {
+		nq := make([]Frame, v.Len(), n)
+		copy(nq, v.q[v.head:])
+		v.q = nq
+		v.head = 0
+	}
 }
 
 // Stats reports cumulative enqueue, dequeue, drop and ECN-mark counts.
@@ -292,6 +436,21 @@ type Drainer struct {
 	Out  Sink
 
 	busy bool
+
+	// Same state-machine shape as Pipe: one frame serializes at a time
+	// (cur, curDelay, one bound serializedFn), while propagation-delay
+	// deliveries overlap on free-listed cells.
+	cur          Frame
+	curDelay     sim.Duration
+	serializedFn func()
+	deliveryFree []*drainDelivery
+}
+
+// drainDelivery carries one frame through the propagation-delay stage.
+type drainDelivery struct {
+	d  *Drainer
+	f  Frame
+	fn func()
 }
 
 // Attach wires the drainer to its queue's enqueue notification and starts
@@ -316,12 +475,44 @@ func (d *Drainer) Kick() {
 		return
 	}
 	d.busy = true
-	d.Loop.After(path.Rate.TransmitTime(f.Len), func() {
-		d.busy = false
-		out := d.Out
-		d.Loop.After(path.Delay, func() { out(f) })
-		d.Kick()
-	})
+	d.cur = f
+	d.curDelay = path.Delay
+	if d.serializedFn == nil {
+		d.serializedFn = d.serialized
+	}
+	d.Loop.After(path.Rate.TransmitTime(f.Len), d.serializedFn)
+}
+
+// serialized finishes the frame on the wire: delivery is scheduled before
+// the next Kick so event order matches a frame-at-a-time reading.
+func (d *Drainer) serialized() {
+	f := d.cur
+	d.cur = Frame{}
+	d.busy = false
+	dd := d.getDelivery()
+	dd.f = f
+	d.Loop.After(d.curDelay, dd.fn)
+	d.Kick()
+}
+
+func (d *Drainer) getDelivery() *drainDelivery {
+	if n := len(d.deliveryFree); n > 0 {
+		dd := d.deliveryFree[n-1]
+		d.deliveryFree[n-1] = nil
+		d.deliveryFree = d.deliveryFree[:n-1]
+		return dd
+	}
+	dd := &drainDelivery{d: d}
+	dd.fn = dd.fire
+	return dd
+}
+
+func (dd *drainDelivery) fire() {
+	d := dd.d
+	f := dd.f
+	dd.f = Frame{}
+	d.deliveryFree = append(d.deliveryFree, dd)
+	d.Out(f)
 }
 
 // Busy reports whether a frame is currently being serialized.

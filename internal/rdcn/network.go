@@ -81,6 +81,12 @@ type Config struct {
 	Notify       NotifyProfile
 	PreChange    *PreChange // optional retcpdyn switch support
 
+	// DisableFramePool turns off wire-buffer recycling, making every frame
+	// a fresh allocation. The pooled and unpooled data planes must produce
+	// byte-identical traces (the golden-trace test enforces this); the knob
+	// exists for that A/B check and for debugging suspected aliasing.
+	DisableFramePool bool
+
 	// PinnedVOQs gives each rack one VOQ per TDN, each draining only
 	// during its own TDN's days. This models MPTCP subflow pinning: a
 	// subflow's packets wait at the ToR until their network is active.
@@ -154,7 +160,8 @@ type Host struct {
 // fabric rate, not as an instantaneous impulse.
 func (h *Host) Send(seg *packet.Segment) {
 	seg.Src = h.Addr
-	h.Rack.uplink.Send(netem.NewFrame(h.Rack.net.Loop, seg))
+	net := h.Rack.net
+	h.Rack.uplink.Send(netem.NewFrameIn(net.Loop, net.pool, seg))
 }
 
 // NICQueueLen reports the shared ingress NIC backlog in frames.
@@ -201,6 +208,12 @@ type Network struct {
 	started bool
 	baseVOQ int
 	tracer  *trace.Tracer
+	// pool recycles frame wire buffers across the whole data plane:
+	// Host.Send draws from it, and the frame's single terminal point —
+	// ingress overflow, pipe fault-drop, misroute, or delivery — returns
+	// the buffer. ICMP notifications stay unpooled (a dup fault shares one
+	// wire between two deliveries). Nil when Config.DisableFramePool.
+	pool *netem.BufPool
 	// OnTransition, if set, is called at the start of every day with the
 	// new TDN (after drainers are kicked, before notifications are sent).
 	OnTransition func(tdn int)
@@ -253,6 +266,9 @@ func New(loop *sim.Loop, cfg Config) (*Network, error) {
 		return nil, fmt.Errorf("rdcn: at most %d TDNs supported by the wire format", packet.MaxTDNs)
 	}
 	n := &Network{Loop: loop, Cfg: cfg, baseVOQ: cfg.VOQCap}
+	if !cfg.DisableFramePool {
+		n.pool = &netem.BufPool{}
+	}
 	if cfg.PinnedVOQs && cfg.Classifier == nil {
 		ntdns := len(cfg.TDNs)
 		n.Cfg.Classifier = func(wire []byte) int { return PortClassifier(wire, ntdns) }
@@ -294,6 +310,7 @@ func New(loop *sim.Loop, cfg Config) (*Network, error) {
 			Rate:  cfg.HostRate,
 			Delay: cfg.HostDelay,
 			Out:   func(f netem.Frame) { rack.ingress(f) },
+			Pool:  n.pool,
 		}
 		for h := 0; h < cfg.HostsPerRack; h++ {
 			rack.Hosts = append(rack.Hosts, &Host{Rack: rack, ID: h, Addr: HostAddr(r, h)})
@@ -355,25 +372,33 @@ func (r *Rack) ingress(f netem.Frame) {
 	if r.net.Cfg.PinnedVOQs {
 		idx = r.net.Cfg.Classifier(f.Wire) % len(r.voqs)
 	}
-	r.voqs[idx].Enqueue(f)
+	if !r.voqs[idx].Enqueue(f) {
+		f.Release(r.net.pool)
+	}
 }
 
 // deliver hands a frame that crossed the fabric to the destination host in
 // rack dst, identified by the IPv4 destination address.
+// Delivery is a frame's terminal point: once Recv returns the wire buffer
+// goes back to the pool, so Recv hooks must parse (Parse copies) rather than
+// retain the wire.
 func (n *Network) deliver(dst int, f netem.Frame) {
 	if len(f.Wire) < 20 {
+		f.Release(n.pool)
 		return
 	}
 	addr := binary.BigEndian.Uint32(f.Wire[16:20])
 	id := int(addr & 0xFFFF)
 	rack := n.Racks[dst]
 	if int(addr>>16&0xFF) != rack.ID || id >= len(rack.Hosts) {
-		return // misrouted; drop
+		f.Release(n.pool) // misrouted; drop
+		return
 	}
 	h := rack.Hosts[id]
 	if h.Recv != nil {
 		h.Recv(f)
 	}
+	f.Release(n.pool)
 }
 
 // Start schedules the RDCN control plane (schedule transitions, VOQ

@@ -6,10 +6,19 @@
 // a fraction of a second of wall time and is exactly reproducible: two runs
 // with the same seed produce identical event orders and therefore identical
 // traces.
+//
+// # Allocation discipline
+//
+// The loop is the hottest path in the repository: a simulated optical week
+// executes millions of events. Scheduling is therefore allocation-free after
+// warmup (see DESIGN.md §10): timers live in a slab recycled through a
+// loop-owned free list, the pending queue is a concrete 4-ary heap of small
+// value entries (no interface boxing, no per-event pointers), and Timer
+// handles are plain values carrying a generation counter so a stale handle
+// to a recycled slot can never stop a later timer.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 
@@ -53,75 +62,91 @@ func (d Duration) String() string {
 	return fmt.Sprintf("%.3fus", d.Microseconds())
 }
 
-// Timer is a handle to a scheduled event. A Timer may be stopped before it
-// fires; stopping an already-fired or already-stopped timer is a no-op.
+// Timer is a handle to a scheduled event. It is a small value (copy freely;
+// the zero value is an inert handle on which every method is a no-op). A
+// Timer may be stopped before it fires; stopping an already-fired or
+// already-stopped timer is a no-op.
+//
+// Internally the handle names a slot in the loop's timer slab plus the
+// generation that slot had when the event was scheduled. Slots are recycled
+// once their event fires or its cancellation is compacted away, and each
+// recycling bumps the generation, so a stale handle held across a firing can
+// never observe — let alone stop — an unrelated later timer.
 type Timer struct {
-	at      Time
-	seq     uint64
-	fn      func()
-	stopped bool
-	fired   bool
-	index   int // position in the heap, -1 once removed
+	l    *Loop
+	at   Time
+	slot int32
+	gen  uint32
 }
 
 // Stop cancels the timer. It reports whether the call prevented the timer
-// from firing.
-func (t *Timer) Stop() bool {
-	if t == nil || t.stopped || t.fired {
+// from firing. Stopping is lazy: the slot is marked dead and the queue entry
+// stays until it reaches the head or a compaction sweep removes it, so Stop
+// is O(1) amortized.
+func (t Timer) Stop() bool {
+	l := t.l
+	if l == nil || int(t.slot) >= len(l.slots) {
 		return false
 	}
-	t.stopped = true
+	s := &l.slots[t.slot]
+	if s.gen != t.gen || s.stopped {
+		return false
+	}
+	s.stopped = true
+	s.fn = nil
+	l.nstopped++
+	// Compact once cancelled timers outnumber live ones: each sweep clears
+	// the counter, so the cost is O(1) amortized per Stop.
+	if l.nstopped*2 > len(l.events) {
+		l.compact()
+	}
 	return true
 }
 
 // Active reports whether the timer is still pending.
-func (t *Timer) Active() bool { return t != nil && !t.stopped && !t.fired }
+func (t Timer) Active() bool {
+	l := t.l
+	if l == nil || int(t.slot) >= len(l.slots) {
+		return false
+	}
+	s := &l.slots[t.slot]
+	return s.gen == t.gen && !s.stopped
+}
 
 // When returns the virtual time at which the timer fires (or would have
 // fired, if stopped).
-func (t *Timer) When() Time { return t.at }
+func (t Timer) When() Time { return t.at }
 
-// eventHeap orders timers by (time, sequence). The sequence tie-break makes
-// same-instant events fire in scheduling order, which keeps runs
-// deterministic regardless of heap internals.
-type eventHeap []*Timer
+// event is one pending-queue entry: the firing time, a scheduling sequence
+// number for deterministic same-instant ordering, and the slab slot holding
+// the callback. Entries are plain values — pushing and popping never boxes
+// through an interface and never allocates.
+type event struct {
+	at   Time
+	seq  uint64
+	slot int32
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	t := x.(*Timer)
-	t.index = len(*h)
-	*h = append(*h, t)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	t.index = -1
-	*h = old[:n-1]
-	return t
+// slot is one timer slab cell. gen counts recyclings; stopped marks a
+// lazily-cancelled entry still sitting in the queue.
+type slot struct {
+	fn      func()
+	gen     uint32
+	stopped bool
 }
 
 // Loop is a discrete-event simulation loop. The zero value is not usable;
 // construct with NewLoop.
 type Loop struct {
-	now    Time
-	events eventHeap
-	seq    uint64
-	rng    *rand.Rand
-	fired  uint64
-	tracer *trace.Tracer
+	now      Time
+	events   []event // 4-ary min-heap ordered by (at, seq)
+	slots    []slot  // timer slab; events reference it by index
+	free     []int32 // recycled slab slots
+	nstopped int     // stopped entries still in events
+	seq      uint64
+	rng      *rand.Rand
+	fired    uint64
+	tracer   *trace.Tracer
 
 	// PostEvent, when non-nil, runs after every executed event, once the
 	// event's own callbacks (and anything they scheduled synchronously) have
@@ -153,72 +178,192 @@ func (l *Loop) SetTracer(t *trace.Tracer) { l.tracer = t }
 func (l *Loop) Tracer() *trace.Tracer { return l.tracer }
 
 // Pending returns the number of scheduled events still in the queue. The
-// count includes stopped-but-unpopped timers (a stopped timer stays queued
-// until its firing time passes), so it is a capacity signal, not an exact
-// live count; use Live for the exact number of events that will fire.
+// count includes stopped-but-uncompacted timers (a stopped timer stays
+// queued until its firing time passes or a compaction sweep runs), so it is
+// a capacity signal, not an exact live count; use Live for the exact number
+// of events that will fire.
 func (l *Loop) Pending() int { return len(l.events) }
 
-// Live returns the number of scheduled events that are still going to fire,
-// compacting stopped-but-unpopped timers out of the queue as a side effect.
-// It is O(n) in the worst case, amortized by the compaction: use it for
-// periodic queue-depth metrics, not per-event bookkeeping.
-func (l *Loop) Live() int {
-	for i := 0; i < len(l.events); {
-		if l.events[i].stopped {
-			heap.Remove(&l.events, i)
-		} else {
-			i++
-		}
-	}
-	return len(l.events)
-}
+// Live returns the number of scheduled events that are still going to fire.
+// It is O(1): the loop counts lazy-cancelled entries as they are stopped.
+func (l *Loop) Live() int { return len(l.events) - l.nstopped }
 
 // Fired returns the total number of events executed so far.
 func (l *Loop) Fired() uint64 { return l.fired }
 
+// less orders queue entries by (time, sequence). The sequence tie-break
+// makes same-instant events fire in scheduling order, which keeps runs
+// deterministic regardless of heap internals.
+func (a event) less(b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// siftUp restores heap order after appending the entry at index i.
+func (l *Loop) siftUp(i int) {
+	h := l.events
+	e := h[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !e.less(h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = e
+}
+
+// siftDown restores heap order below index i.
+func (l *Loop) siftDown(i int) {
+	h := l.events
+	n := len(h)
+	e := h[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		best := c
+		for j := c + 1; j < end; j++ {
+			if h[j].less(h[best]) {
+				best = j
+			}
+		}
+		if !h[best].less(e) {
+			break
+		}
+		h[i] = h[best]
+		i = best
+	}
+	h[i] = e
+}
+
+// popHead removes the root entry. The caller has already read it.
+func (l *Loop) popHead() {
+	h := l.events
+	n := len(h) - 1
+	h[0] = h[n]
+	l.events = h[:n]
+	if n > 0 {
+		l.siftDown(0)
+	}
+}
+
+// allocSlot takes a slab cell from the free list (or grows the slab) and
+// installs fn in it.
+func (l *Loop) allocSlot(fn func()) int32 {
+	if n := len(l.free); n > 0 {
+		i := l.free[n-1]
+		l.free = l.free[:n-1]
+		s := &l.slots[i]
+		s.fn = fn
+		s.stopped = false
+		return i
+	}
+	l.slots = append(l.slots, slot{fn: fn, gen: 1})
+	return int32(len(l.slots) - 1)
+}
+
+// freeSlot recycles a slab cell: the callback is dropped (so the loop never
+// retains a dead closure) and the generation advances, invalidating every
+// outstanding handle to the old timer.
+func (l *Loop) freeSlot(i int32) {
+	s := &l.slots[i]
+	s.fn = nil
+	s.stopped = false
+	s.gen++
+	l.free = append(l.free, i)
+}
+
+// compact sweeps stopped entries out of the queue in one pass and restores
+// the heap property bottom-up. Relative order of the surviving entries is
+// irrelevant — the heap is rebuilt — and (at, seq) ordering makes the result
+// deterministic.
+func (l *Loop) compact() {
+	kept := l.events[:0]
+	for _, e := range l.events {
+		if l.slots[e.slot].stopped {
+			l.freeSlot(e.slot)
+			continue
+		}
+		kept = append(kept, e)
+	}
+	l.events = kept
+	l.nstopped = 0
+	for i := (len(kept) - 2) >> 2; i >= 0; i-- {
+		l.siftDown(i)
+	}
+}
+
 // At schedules fn to run at absolute time at. Scheduling in the past (before
 // Now) panics: it always indicates a logic error in the caller.
-func (l *Loop) At(at Time, fn func()) *Timer {
+func (l *Loop) At(at Time, fn func()) Timer {
 	if at < l.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, l.now))
 	}
-	t := &Timer{at: at, seq: l.seq, fn: fn}
+	si := l.allocSlot(fn)
+	l.events = append(l.events, event{at: at, seq: l.seq, slot: si})
 	l.seq++
-	heap.Push(&l.events, t)
-	return t
+	l.siftUp(len(l.events) - 1)
+	return Timer{l: l, at: at, slot: si, gen: l.slots[si].gen}
 }
 
 // After schedules fn to run d after the current time. Negative d is clamped
 // to zero.
-func (l *Loop) After(d Duration, fn func()) *Timer {
+func (l *Loop) After(d Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
 	return l.At(l.now.Add(d), fn)
 }
 
+// peek discards stopped entries from the head of the queue and reports the
+// firing time of the earliest live event. It is the single place stopped
+// timers are skipped, shared by Step and RunUntil.
+func (l *Loop) peek() (Time, bool) {
+	for len(l.events) > 0 {
+		e := l.events[0]
+		if !l.slots[e.slot].stopped {
+			return e.at, true
+		}
+		l.nstopped--
+		l.freeSlot(e.slot)
+		l.popHead()
+	}
+	return 0, false
+}
+
 // Step executes the next pending event, advancing the clock to its time.
 // It reports false when no events remain.
 func (l *Loop) Step() bool {
-	for len(l.events) > 0 {
-		t := heap.Pop(&l.events).(*Timer)
-		if t.stopped {
-			continue
-		}
-		l.now = t.at
-		t.fired = true
-		l.fired++
-		if l.tracer.Enabled(trace.CatSim) {
-			l.tracer.Emit(trace.CatSim, int64(l.now), "fire", -1, -1,
-				float64(len(l.events)), float64(l.fired), "")
-		}
-		t.fn()
-		if l.PostEvent != nil {
-			l.PostEvent()
-		}
-		return true
+	if _, ok := l.peek(); !ok {
+		return false
 	}
-	return false
+	e := l.events[0]
+	fn := l.slots[e.slot].fn
+	// Recycle the slot before running the callback: the firing timer is
+	// spent, and anything fn schedules may immediately reuse the cell (under
+	// a fresh generation, so the fired handle stays inert).
+	l.freeSlot(e.slot)
+	l.popHead()
+	l.now = e.at
+	l.fired++
+	if l.tracer.Enabled(trace.CatSim) {
+		l.tracer.Emit(trace.CatSim, int64(l.now), "fire", -1, -1,
+			float64(len(l.events)), float64(l.fired), "")
+	}
+	fn()
+	if l.PostEvent != nil {
+		l.PostEvent()
+	}
+	return true
 }
 
 // Run executes events until none remain.
@@ -230,14 +375,9 @@ func (l *Loop) Run() {
 // RunUntil executes events with time ≤ end and then sets the clock to end.
 // Events scheduled after end remain pending.
 func (l *Loop) RunUntil(end Time) {
-	for len(l.events) > 0 {
-		// Peek at the earliest live event.
-		t := l.events[0]
-		if t.stopped {
-			heap.Pop(&l.events)
-			continue
-		}
-		if t.at > end {
+	for {
+		at, ok := l.peek()
+		if !ok || at > end {
 			break
 		}
 		l.Step()

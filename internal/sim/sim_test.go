@@ -243,26 +243,31 @@ func TestTimeHelpers(t *testing.T) {
 	}
 }
 
-func TestLiveCompactsStoppedTimers(t *testing.T) {
+func TestLiveAndStopCompaction(t *testing.T) {
 	l := NewLoop(1)
-	var keep []*Timer
+	var keep []Timer
 	for i := 0; i < 10; i++ {
 		keep = append(keep, l.At(Time(100+i), func() {}))
 	}
-	for i := 0; i < 6; i++ {
+	// Stop 5 of 10: cancelled timers do not yet outnumber live ones, so the
+	// queue keeps the lazy-deleted entries and Live discounts them in O(1).
+	for i := 0; i < 5; i++ {
 		keep[i].Stop()
 	}
-	// Pending still counts the stopped-but-unpopped entries; Live compacts
-	// them away and reports only runnable timers.
 	if p := l.Pending(); p != 10 {
 		t.Fatalf("Pending = %d, want 10", p)
 	}
-	if live := l.Live(); live != 4 {
-		t.Fatalf("Live = %d, want 4", live)
+	if live := l.Live(); live != 5 {
+		t.Fatalf("Live = %d, want 5", live)
 	}
-	// After compaction Pending agrees with Live.
+	// The sixth Stop tips cancelled past half the queue and triggers the
+	// compaction sweep: Pending drops to the live count.
+	keep[5].Stop()
 	if p := l.Pending(); p != 4 {
-		t.Fatalf("Pending after Live = %d, want 4", p)
+		t.Fatalf("Pending after compaction = %d, want 4", p)
+	}
+	if live := l.Live(); live != 4 {
+		t.Fatalf("Live after compaction = %d, want 4", live)
 	}
 	// The surviving timers still fire in order.
 	fired := 0
@@ -273,6 +278,85 @@ func TestLiveCompactsStoppedTimers(t *testing.T) {
 	}
 	if l.Live() != 0 {
 		t.Fatalf("Live after drain = %d", l.Live())
+	}
+}
+
+// TestStaleTimerHandle is the generation-counter regression test: once a
+// timer fires, its slab slot may be reused by a later timer, and the stale
+// handle must neither report the new timer as its own nor be able to stop
+// it.
+func TestStaleTimerHandle(t *testing.T) {
+	l := NewLoop(1)
+	a := l.At(10, func() {})
+	l.Run()
+	if a.Active() {
+		t.Fatal("fired timer reports active")
+	}
+	// The next timer recycles a's slot (single-slot slab).
+	fired := false
+	b := l.At(20, func() { fired = true })
+	if a.Stop() {
+		t.Fatal("stale handle stopped a recycled timer")
+	}
+	if a.Active() {
+		t.Fatal("stale handle reports the recycled slot as its own")
+	}
+	if !b.Active() {
+		t.Fatal("fresh timer should be active")
+	}
+	l.Run()
+	if !fired {
+		t.Fatal("recycled timer did not fire")
+	}
+
+	// Same for a stopped-and-compacted timer: force compaction by stopping
+	// past half the queue, then check the stale handles stay inert.
+	var old []Timer
+	for i := 0; i < 8; i++ {
+		old = append(old, l.At(l.Now()+Time(100+i), func() {}))
+	}
+	for i := 0; i < 5; i++ {
+		old[i].Stop() // the 5th Stop compacts (5*2 > 8)
+	}
+	refill := make([]Timer, 5)
+	for i := range refill {
+		refill[i] = l.At(l.Now()+Time(200+i), func() {})
+	}
+	for i := 0; i < 5; i++ {
+		if old[i].Stop() || old[i].Active() {
+			t.Fatalf("stale handle %d still bites after compaction", i)
+		}
+	}
+	for i, tm := range refill {
+		if !tm.Active() {
+			t.Fatalf("refill timer %d not active", i)
+		}
+	}
+	l.Run()
+}
+
+// TestSameInstantAfterCompaction checks the (at, seq) ordering survives the
+// compaction rebuild: same-instant events still fire in scheduling order.
+func TestSameInstantAfterCompaction(t *testing.T) {
+	l := NewLoop(1)
+	var order []int
+	var cancel []Timer
+	for i := 0; i < 32; i++ {
+		i := i
+		cancel = append(cancel, l.At(50, func() { order = append(order, i) }))
+	}
+	// Cancel all odd timers; the sweep triggers partway through.
+	for i := 1; i < 32; i += 2 {
+		cancel[i].Stop()
+	}
+	l.Run()
+	if len(order) != 16 {
+		t.Fatalf("fired %d events, want 16", len(order))
+	}
+	for j, v := range order {
+		if v != 2*j {
+			t.Fatalf("order[%d] = %d, want %d (FIFO broken by compaction)", j, v, 2*j)
+		}
 	}
 }
 

@@ -124,7 +124,8 @@ type Sampler struct {
 	interval sim.Duration
 	value    func() float64
 	until    sim.Time
-	timer    *sim.Timer
+	timer    sim.Timer
+	tickFn   func()
 	stopped  bool
 }
 
@@ -132,6 +133,7 @@ type Sampler struct {
 // until (inclusive of the start point).
 func NewSampler(loop *sim.Loop, label string, interval sim.Duration, until sim.Time, value func() float64) *Sampler {
 	s := &Sampler{Series: &Series{Label: label}, loop: loop, interval: interval, value: value, until: until}
+	s.tickFn = s.tick
 	s.tick()
 	return s
 }
@@ -140,14 +142,10 @@ func NewSampler(loop *sim.Loop, label string, interval sim.Duration, until sim.T
 // kept. Stopping an already-finished sampler is a no-op.
 func (s *Sampler) Stop() {
 	s.stopped = true
-	if s.timer != nil {
-		s.timer.Stop()
-		s.timer = nil
-	}
+	s.timer.Stop()
 }
 
 func (s *Sampler) tick() {
-	s.timer = nil
 	if s.stopped || s.loop.Now() > s.until {
 		return
 	}
@@ -156,7 +154,7 @@ func (s *Sampler) tick() {
 	// the final past-the-end wake-up would sample nothing anyway, and not
 	// arming it keeps the loop's timer queue clean after the window closes.
 	if s.loop.Now().Add(s.interval) <= s.until {
-		s.timer = s.loop.After(s.interval, s.tick)
+		s.timer = s.loop.After(s.interval, s.tickFn)
 	}
 }
 

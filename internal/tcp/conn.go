@@ -171,15 +171,18 @@ type Conn struct {
 	gapMax  int
 
 	// Timer: a single retransmission timer that is either a TLP probe
-	// timer or an RTO, Linux-style.
-	timer       *sim.Timer
+	// timer or an RTO, Linux-style. onTimerFn/paceFn are the callbacks,
+	// bound once at construction so (re)arming never allocates a closure.
+	timer       sim.Timer
+	onTimerFn   func()
 	timerIsTLP  bool
 	backoff     uint
 	tlpInFlight bool
 
 	// Pacing.
 	paceNext  sim.Time
-	paceTimer *sim.Timer
+	paceTimer sim.Timer
+	paceFn    func()
 	// lastTxAt anchors the TLP probe timer.
 	lastTxAt sim.Time
 
@@ -229,6 +232,8 @@ type Conn struct {
 func NewConn(loop *sim.Loop, cfg Config, out func(*packet.Segment)) *Conn {
 	cfg.fillDefaults()
 	c := &Conn{Loop: loop, Out: out, cfg: cfg, policy: cfg.Policy, state: stClosed, FlowID: -1}
+	c.onTimerFn = c.onTimer
+	c.paceFn = func() { c.trySend() }
 	n := c.policy.NumStates()
 	if n < 1 {
 		n = 1
@@ -696,8 +701,8 @@ func (c *Conn) paceGate() bool {
 		// One pending pace wake-up per connection: trySend probes the gate
 		// repeatedly (retransmissions and new data), and scheduling a wake
 		// per probe would snowball.
-		if c.paceTimer == nil || !c.paceTimer.Active() {
-			c.paceTimer = c.Loop.At(c.paceNext, func() { c.trySend() })
+		if !c.paceTimer.Active() {
+			c.paceTimer = c.Loop.At(c.paceNext, c.paceFn)
 		}
 		return false
 	}
@@ -722,10 +727,7 @@ func (c *Conn) paceGate() bool {
 func (c *Conn) armTimer() {
 	head := c.rtx.headSeg()
 	if head == nil {
-		if c.timer != nil {
-			c.timer.Stop()
-			c.timer = nil
-		}
+		c.timer.Stop()
 		return
 	}
 	// TLP arms while the active path is healthy and nothing is marked lost
@@ -765,14 +767,14 @@ func (c *Conn) armTimer() {
 	if deadline <= c.Loop.Now() {
 		deadline = c.Loop.Now().Add(sim.Microsecond)
 	}
-	if c.timer != nil {
-		if c.timer.Active() && c.timerIsTLP == useTLP && c.timer.When() == deadline {
+	if c.timer.Active() {
+		if c.timerIsTLP == useTLP && c.timer.When() == deadline {
 			return // identical timer already armed
 		}
 		c.timer.Stop()
 	}
 	c.timerIsTLP = useTLP
-	c.timer = c.Loop.At(deadline, c.onTimer)
+	c.timer = c.Loop.At(deadline, c.onTimerFn)
 }
 
 func (c *Conn) onTimer() {

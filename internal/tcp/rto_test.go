@@ -74,7 +74,7 @@ func TestRTOTimerCancelledWhenQueueDrains(t *testing.T) {
 	if !a.rtx.empty() {
 		t.Fatal("retransmission queue not drained")
 	}
-	if a.timer != nil && a.timer.Active() {
+	if a.timer.Active() {
 		t.Fatal("RTO timer still armed with an empty retransmission queue")
 	}
 

@@ -187,6 +187,8 @@ type (
 	Scenario = experiments.Scenario
 	// Result carries one run's measurements.
 	Result = experiments.Result
+	// SweepResult pairs one sweep cell's config with its outcome.
+	SweepResult = experiments.SweepResult
 	// Figure is a reproduced paper figure.
 	Figure = experiments.Figure
 	// FigureOptions scales a figure reproduction.
@@ -219,6 +221,15 @@ func BuildFlow(loop *Loop, net *Network, i int, v Variant, opt FlowOptions) (*Fl
 
 // Run executes one fully-specified experiment.
 func Run(cfg RunConfig) (*Result, error) { return experiments.Run(cfg) }
+
+// SweepMatrix expands base over variants × seeds in variant-major order.
+func SweepMatrix(base RunConfig, variants []Variant, seeds []int64) []RunConfig {
+	return experiments.Matrix(base, variants, seeds)
+}
+
+// Sweep executes every config (workers in parallel; <=1 sequential) and
+// returns results in input order.
+func Sweep(cfgs []RunConfig, workers int) []SweepResult { return experiments.Sweep(cfgs, workers) }
 
 // Scenario constructors (§5.2's three settings).
 func HybridScenario() Scenario { return experiments.Hybrid() }
