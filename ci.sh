@@ -15,12 +15,22 @@ go vet ./...
 go run ./cmd/tdlint ./...
 
 go build ./...
-go test -race ./...
+
+# Full suite with per-package coverage; the profile and its per-package
+# summary are CI artifacts (kept out of git via .gitignore).
+mkdir -p artifacts
+go test -race -coverprofile=artifacts/cover.out ./...
+go tool cover -func=artifacts/cover.out | tee artifacts/coverage.txt
 
 # Sweep gate: the parallel experiment runner must stay race-clean and
 # bit-identical to the sequential path (goroutines are legal only in
 # internal/experiments; the simulation core below it is single-threaded).
 go test -race -run TestSweepParallelMatchesSequential ./internal/experiments/
+
+# Golden-figure regression gate under the race detector: figure orderings,
+# goodput bands, the 8-rack determinism trace, the workload sweep parity
+# check, and the conservation property suite.
+go test -race -run 'TestGolden|TestConservation' ./internal/experiments/
 
 # Bench smoke: one iteration of every benchmark, so the harness itself (and
 # the alloc-free fast paths it pins down) cannot silently rot. Numbers from
@@ -32,3 +42,4 @@ go test -run '^$' -bench . -benchmem -benchtime 1x .
 # additionally exercises fresh random inputs.
 go test -fuzz=FuzzConnDeliver -fuzztime=5s ./internal/tcp/
 go test -fuzz=FuzzScheduleParse -fuzztime=5s ./internal/rdcn/
+go test -fuzz=FuzzFlowSizeCDF -fuzztime=5s ./internal/workload/

@@ -11,7 +11,12 @@
 //	tdsim -sweep tdtcp,cubic -seeds 4 -parallel 8
 //	                                # variants x seeds matrix, 8 workers
 //
-// Figures: fig2 fig7 fig8 fig9 fig10 fig11 fig13 fig14 headline ablation.
+// Figures: fig2 fig7 fig8 fig9 fig10 fig11 fig13 fig14 headline ablation,
+// plus the multi-rack rotor figures:
+//
+//	tdsim -fig rotor -racks 8       # long-lived flows, 8-rack rotor fabric
+//	tdsim -fig multirack -racks 8 -workload websearch
+//	                                # open-loop flow workload with FCTs
 //
 // Traces are post-processed with the tdtrace command (summary, filtering,
 // Chrome trace-viewer export).
@@ -41,6 +46,9 @@ func main() {
 		seed   = flag.Int64("seed", 1, "simulation seed")
 		quick  = flag.Bool("quick", false, "shrink runs for a fast smoke pass")
 		csvDir = flag.String("csv", "", "directory to write plottable CSV series into")
+
+		racks    = flag.Int("racks", 0, "rack count for the multi-rack figures (rotor, multirack; 0 = default 4)")
+		workload = flag.String("workload", "", "flow-size distribution for the workload figures (websearch, datamining)")
 
 		traceOut  = flag.String("trace", "", "write a JSONL event trace to this file (-run only; '-' = stdout)")
 		traceCats = flag.String("tracecats", "tcp,cc,tdn,voq,rdcn,fault", "trace categories (comma-separated; 'all' adds the chatty sim loop)")
@@ -107,7 +115,8 @@ func main() {
 			fatal(err)
 		}
 	case *figID != "":
-		opts := tdtcp.FigureOptions{Flows: *flows, WarmupWeeks: *warmup, MeasureWeeks: *weeks, Seed: *seed, Quick: *quick}
+		opts := tdtcp.FigureOptions{Flows: *flows, WarmupWeeks: *warmup, MeasureWeeks: *weeks, Seed: *seed,
+			Racks: *racks, Workload: *workload, Quick: *quick}
 		ids := []string{*figID}
 		if *figID == "all" {
 			ids = ids[:0]

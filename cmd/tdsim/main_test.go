@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildBinary compiles tdsim once into a temp dir so the exit-code contract
+// is asserted against the real process boundary, not an in-process shim.
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "tdsim")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func runSim(t *testing.T, bin string, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("run %v: %v", args, err)
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+// TestUnknownFigureExitsNonZero pins the CLI error contract: an unknown -fig
+// id must exit 1 with the id named on stderr, never exit 0 with empty output.
+func TestUnknownFigureExitsNonZero(t *testing.T) {
+	bin := buildBinary(t)
+	stdout, stderr, code := runSim(t, bin, "-fig", "fig99")
+	if code == 0 {
+		t.Fatalf("unknown figure exited 0\nstdout: %s", stdout)
+	}
+	if code != 1 {
+		t.Errorf("unknown figure: exit %d, want 1 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "fig99") {
+		t.Errorf("stderr should name the unknown figure, got: %s", stderr)
+	}
+}
+
+// TestNoModeExitsUsage asserts that invoking tdsim with no mode flag prints
+// usage and exits 2.
+func TestNoModeExitsUsage(t *testing.T) {
+	bin := buildBinary(t)
+	_, stderr, code := runSim(t, bin)
+	if code != 2 {
+		t.Fatalf("no-mode invocation: exit %d, want 2 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "-fig") {
+		t.Errorf("usage should mention -fig, got: %s", stderr)
+	}
+}
+
+// TestMultiRackFigureRuns smokes the acceptance command: the multirack figure
+// on 8 racks with the websearch workload must produce a rendered figure.
+func TestMultiRackFigureRuns(t *testing.T) {
+	bin := buildBinary(t)
+	stdout, stderr, code := runSim(t, bin,
+		"-racks", "8", "-workload", "websearch", "-fig", "multirack", "-quick")
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, stderr)
+	}
+	for _, want := range []string{"multirack", "8-rack", "tdtcp", "cubic", "fct_"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("figure output missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+// TestBadWorkloadExitsNonZero covers the workload-resolution error path.
+func TestBadWorkloadExitsNonZero(t *testing.T) {
+	bin := buildBinary(t)
+	_, stderr, code := runSim(t, bin, "-fig", "multirack", "-workload", "nosuch", "-quick")
+	if code != 1 {
+		t.Fatalf("bad workload: exit %d, want 1 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "nosuch") {
+		t.Errorf("stderr should name the unknown workload, got: %s", stderr)
+	}
+}

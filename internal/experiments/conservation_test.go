@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/rdcn-net/tdtcp/internal/fault"
+	"github.com/rdcn-net/tdtcp/internal/sim"
+)
+
+// Conservation property suite: for every CC variant, under randomized fault
+// plans, every frame a host sends must be accounted for at the horizon
+// (delivered + misrouted + VOQ drops + fault drops + in-flight — Run and
+// RunWorkload fail outright when rdcn.CheckConservation finds a leak), and
+// the per-event invariant checker must stay silent (its connection checks
+// include the SACK-scoreboard bound: sacked bytes never exceed outstanding
+// data).
+
+// conservationVariants covers every CC variant, including the two-rack-only
+// transports.
+var conservationVariants = []Variant{TDTCP, Cubic, DCTCP, Reno, ReTCP, ReTCPDyn, MPTCP}
+
+// cell is one randomized conservation probe; testing/quick fills the fields.
+type cell struct {
+	Seed      uint8
+	FaultSeed uint8
+	VIdx      uint8
+	Nloss     uint8 // notification loss, eighths of 0.4
+	Drop      uint8 // frame drop, eighths of 0.04
+	Corrupt   uint8 // frame corruption, eighths of 0.04
+	Flaps     uint8 // flapped days, 0-3
+}
+
+func (c cell) plan() fault.Plan {
+	return fault.Plan{
+		NotifyLoss: float64(c.Nloss%8) * 0.05,
+		Drop:       float64(c.Drop%8) * 0.005,
+		Corrupt:    float64(c.Corrupt%8) * 0.005,
+		Flaps:      int(c.Flaps % 4),
+		FlapFrac:   0.5,
+	}
+}
+
+// TestConservationQuick drives randomized (variant, seed, fault-plan) cells
+// through short two-rack runs with the invariant checker attached.
+func TestConservationQuick(t *testing.T) {
+	prop := func(c cell) bool {
+		v := conservationVariants[int(c.VIdx)%len(conservationVariants)]
+		plan := c.plan()
+		res, err := Run(RunConfig{
+			Variant: v, Scenario: Hybrid(), Flows: 2,
+			WarmupWeeks: 1, MeasureWeeks: 1,
+			Seed: int64(c.Seed) + 1, Fault: &plan, FaultSeed: int64(c.FaultSeed) + 1,
+			Invariants: true,
+		})
+		if err != nil {
+			t.Logf("%s seed %d: %v", v, c.Seed, err)
+			return false
+		}
+		if len(res.Violations) > 0 {
+			t.Logf("%s seed %d: %d invariant violations, first: %v",
+				v, c.Seed, len(res.Violations), res.Violations[0])
+			return false
+		}
+		if res.FramesSent == 0 {
+			t.Logf("%s seed %d: no frames sent", v, c.Seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 16}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConservationQuickMultiRack repeats the probe on the 4-rack rotor fabric
+// for the rotor-capable variants, via the open-loop workload (finite flows
+// exercise the FIN path and leave frames in flight at the horizon).
+func TestConservationQuickMultiRack(t *testing.T) {
+	prop := func(seed uint8, vIdx uint8, load uint8) bool {
+		v := RotorVariants[int(vIdx)%len(RotorVariants)]
+		res, err := RunWorkload(WorkloadConfig{
+			Variant: v, Scenario: MultiRack(4),
+			Load:        0.1 + float64(load%8)*0.05,
+			WarmupWeeks: 1, MeasureWeeks: 1, Seed: int64(seed) + 1,
+		})
+		if err != nil {
+			t.Logf("%s seed %d: %v", v, seed, err)
+			return false
+		}
+		return res.FramesSent > 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConservationFaultedRotor injects data-plane faults into a multi-rack
+// long-lived run: dropped and corrupted frames must land in the fault-drop
+// ledger, not leak from it.
+func TestConservationFaultedRotor(t *testing.T) {
+	plan := fault.Plan{Drop: 0.01, Corrupt: 0.005, NotifyLoss: 0.1,
+		NotifyDelay: 5 * sim.Microsecond}
+	for _, v := range RotorVariants {
+		res, err := Run(RunConfig{
+			Variant: v, Scenario: MultiRack(4), Flows: 8,
+			WarmupWeeks: 1, MeasureWeeks: 2,
+			Fault: &plan, Invariants: true,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		if len(res.Violations) > 0 {
+			t.Fatalf("%s: %d violations, first: %v", v, len(res.Violations), res.Violations[0])
+		}
+		if res.FaultStats.FramesDropped == 0 {
+			t.Errorf("%s: fault plan injected no frame drops", v)
+		}
+	}
+}

@@ -15,12 +15,15 @@ import (
 )
 
 // Scenario selects the network conditions of an experiment (§5.2's three
-// settings).
+// settings, or a rotor-style multi-rack fabric).
 type Scenario struct {
 	Name     string
 	TDNs     []rdcn.TDNParams
 	Schedule *rdcn.Schedule
 	VOQCap   int
+	// Racks is the ToR count (0 or 2 = the paper's two-rack testbed; more
+	// racks form the rotor fabric of MultiRack).
+	Racks int
 }
 
 // Hybrid is the paper's main setting: TDN 0 = 10 Gbps / ~100 µs RTT packet
@@ -35,6 +38,22 @@ func Hybrid() Scenario {
 		},
 		Schedule: rdcn.HybridWeek(6, 180*sim.Microsecond, 20*sim.Microsecond),
 		VOQCap:   16,
+	}
+}
+
+// MultiRack scales the hybrid setting to an n-rack rotor RDCN: TDN 0 keeps
+// the hybrid packet-network parameters (fair-shared across each rack's n-1
+// VOQs), and each of the NumMatchings optical TDNs runs at the hybrid optical
+// parameters during its matching's day. Day/night durations and the 6:1
+// packet:optical ratio match the paper's schedule.
+func MultiRack(n int) Scenario {
+	h := Hybrid()
+	return Scenario{
+		Name:     fmt.Sprintf("rotor-%d", n),
+		TDNs:     rdcn.RotorTDNs(n, h.TDNs[0], h.TDNs[1]),
+		Schedule: rdcn.RotorWeek(n, 6, 180*sim.Microsecond, 20*sim.Microsecond),
+		VOQCap:   h.VOQCap,
+		Racks:    n,
 	}
 }
 
@@ -163,6 +182,10 @@ type Result struct {
 	// (notification-loss degradation, only non-zero on faulted runs).
 	DeadmanEngaged uint64
 
+	// Frame-conservation ledger at the horizon (see rdcn.FrameLedger); Run
+	// fails outright if frames sent != delivered + dropped + in-flight.
+	FramesSent, FramesDelivered, FramesMisrouted uint64
+
 	// FaultStats counts the faults actually injected (zero value when the
 	// run was not faulted).
 	FaultStats fault.Stats
@@ -177,8 +200,28 @@ func Run(cfg RunConfig) (*Result, error) {
 	cfg.fillDefaults()
 	loop := sim.NewLoop(cfg.Seed)
 
+	racks := cfg.Scenario.Racks
+	if racks == 0 {
+		racks = 2
+	}
+	if racks > 2 {
+		switch cfg.Variant {
+		case MPTCP, ReTCP, ReTCPDyn:
+			// Subflow pinning and the circuit-up/down signal are defined
+			// against the two-rack hybrid; the rotor fabric has no single
+			// "circuit" for a host to react to.
+			return nil, fmt.Errorf("experiments: variant %s supports only 2 racks", cfg.Variant)
+		}
+	}
+
 	ncfg := rdcn.DefaultConfig()
+	ncfg.Racks = racks
 	ncfg.HostsPerRack = cfg.Flows
+	if racks > 2 {
+		// Ring placement: flow i runs rack i%racks -> rack (i%racks)+1,
+		// host i/racks on both sides.
+		ncfg.HostsPerRack = (cfg.Flows + racks - 1) / racks
+	}
 	ncfg.TDNs = cfg.Scenario.TDNs
 	ncfg.Schedule = cfg.Scenario.Schedule
 	ncfg.VOQCap = cfg.Scenario.VOQCap
@@ -216,13 +259,27 @@ func Run(cfg RunConfig) (*Result, error) {
 	}
 
 	flows := make([]*Flow, cfg.Flows)
-	for i := range flows {
-		f, err := BuildFlow(loop, net, i, cfg.Variant, cfg.Flow)
-		if err != nil {
-			return nil, err
+	if racks > 2 {
+		mn := newMuxNet(net)
+		for i := range flows {
+			src, host := i%racks, i/racks
+			f, err := mn.BuildFlow(loop, src, host, (src+1)%racks, host,
+				uint16(40000+i), cfg.Variant, cfg.Flow)
+			if err != nil {
+				return nil, err
+			}
+			f.SetTracer(cfg.Tracer, i)
+			flows[i] = f
 		}
-		f.SetTracer(cfg.Tracer, i)
-		flows[i] = f
+	} else {
+		for i := range flows {
+			f, err := BuildFlow(loop, net, i, cfg.Variant, cfg.Flow)
+			if err != nil {
+				return nil, err
+			}
+			f.SetTracer(cfg.Tracer, i)
+			flows[i] = f
+		}
 	}
 	if chk != nil {
 		for i, f := range flows {
@@ -260,7 +317,7 @@ func Run(cfg RunConfig) (*Result, error) {
 	// Per-optical-day buckets over [measureStart, end).
 	var evBuckets, rtBuckets stats.Buckets
 	net.OnTransition = func(tdn int) {
-		if tdn != 1 || loop.Now() < measureStart || loop.Now() > end {
+		if tdn < 1 || loop.Now() < measureStart || loop.Now() > end {
 			return
 		}
 		var ev, rt float64
@@ -314,6 +371,10 @@ func Run(cfg RunConfig) (*Result, error) {
 				res.DeadmanEngaged += p.Stats().DeadmanEngaged
 			}
 		}
+	}
+	res.FramesSent, res.FramesDelivered, res.FramesMisrouted = net.FrameLedger()
+	if err := net.CheckConservation(); err != nil {
+		return nil, fmt.Errorf("experiments: %s on %s: %w", cfg.Variant, cfg.Scenario.Name, err)
 	}
 	if inj != nil {
 		res.FaultStats = inj.Stats()

@@ -8,6 +8,7 @@ import (
 	"github.com/rdcn-net/tdtcp/internal/rdcn"
 	"github.com/rdcn-net/tdtcp/internal/sim"
 	"github.com/rdcn-net/tdtcp/internal/stats"
+	"github.com/rdcn-net/tdtcp/internal/workload"
 )
 
 // Options scales a figure reproduction.
@@ -15,6 +16,12 @@ type Options struct {
 	Flows                     int
 	WarmupWeeks, MeasureWeeks int
 	Seed                      int64
+	// Racks sets the rotor fabric size for the multi-rack figures
+	// (default 4; ignored by the paper's two-rack figures).
+	Racks int
+	// Workload names the flow-size distribution of the workload figures
+	// (default "websearch"; see workload.ByName).
+	Workload string
 	// Quick shrinks the run for fast smoke benches.
 	Quick bool
 }
@@ -33,6 +40,12 @@ func (o *Options) fill() {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.Racks == 0 {
+		o.Racks = 4
+	}
+	if o.Workload == "" {
+		o.Workload = "websearch"
 	}
 	if o.Quick {
 		o.WarmupWeeks, o.MeasureWeeks = 2, 3
@@ -389,16 +402,86 @@ func Ablation(o Options) (*Figure, error) {
 	return fig, nil
 }
 
+// RotorVariants are the transports that generalize to the multi-rack rotor
+// fabric (MPTCP's subflow pinning and reTCP's circuit signal are two-rack
+// constructs).
+var RotorVariants = []Variant{TDTCP, Cubic, DCTCP}
+
+// FigRotor runs the §5.1-style long-lived flow comparison on an N-rack rotor
+// RDCN: sequence graphs, VOQ occupancy and goodput for the variants that
+// generalize beyond two racks.
+func FigRotor(o Options) (*Figure, error) {
+	o.fill()
+	fig, err := seqFigure("rotor",
+		fmt.Sprintf("long-lived flows on a %d-rack rotor RDCN", o.Racks),
+		o, MultiRack(o.Racks), RotorVariants)
+	if err != nil {
+		return nil, err
+	}
+	by := map[string]float64{}
+	for _, r := range fig.Summary {
+		by[r.Label] = r.GoodputGbps
+	}
+	if by["cubic"] > 0 {
+		fig.Notes = append(fig.Notes, fmt.Sprintf(
+			"tdtcp vs cubic on %d racks: %+.1f%%", o.Racks, (by["tdtcp"]/by["cubic"]-1)*100))
+	}
+	return fig, nil
+}
+
+// FigMultiRack runs the open-loop flow workload (Poisson arrivals, sizes from
+// the named distribution) on an N-rack rotor RDCN and reports goodput, VOQ
+// occupancy and flow completion times per size bucket.
+func FigMultiRack(o Options) (*Figure, error) {
+	o.fill()
+	dist, err := workload.ByName(o.Workload)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{ID: "multirack", Title: fmt.Sprintf(
+		"%d-rack rotor RDCN, %s workload: goodput and FCT", o.Racks, o.Workload)}
+	for _, v := range RotorVariants {
+		res, err := RunWorkload(WorkloadConfig{
+			Variant: v, Scenario: MultiRack(o.Racks), Dist: dist,
+			WarmupWeeks: o.WarmupWeeks, MeasureWeeks: o.MeasureWeeks, Seed: o.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		extra := map[string]float64{
+			"voq_mean":    res.MeanVOQ,
+			"flows_done":  float64(res.FlowsCompleted),
+			"flows_total": float64(res.FlowsStarted),
+		}
+		for _, s := range res.FCT.Summaries() {
+			if s.N > 0 {
+				extra["fct_"+s.Bucket+"_us"] = s.MeanUs
+			}
+		}
+		fig.Summary = append(fig.Summary, SummaryRow{
+			Label: string(v), GoodputGbps: res.GoodputGbps, Extra: extra,
+		})
+		if c := res.FCT.CDF("all"); c.N() > 0 {
+			fig.CDF = append(fig.CDF, c.Series(string(v)+"/fct-us"))
+		}
+	}
+	fig.Notes = append(fig.Notes,
+		"FCTs cover flows arriving in the measurement window that completed before the horizon")
+	return fig, nil
+}
+
 // Figures maps figure IDs to their runners (the cmd/tdsim dispatch table).
 var Figures = map[string]func(Options) (*Figure, error){
-	"fig2":     Fig2,
-	"fig7":     Fig7,
-	"fig8":     Fig8,
-	"fig9":     Fig9,
-	"fig10":    Fig10,
-	"fig11":    Fig11,
-	"fig13":    Fig13,
-	"fig14":    Fig14,
-	"headline": Headline,
-	"ablation": Ablation,
+	"fig2":      Fig2,
+	"fig7":      Fig7,
+	"fig8":      Fig8,
+	"fig9":      Fig9,
+	"fig10":     Fig10,
+	"fig11":     Fig11,
+	"fig13":     Fig13,
+	"fig14":     Fig14,
+	"headline":  Headline,
+	"ablation":  Ablation,
+	"rotor":     FigRotor,
+	"multirack": FigMultiRack,
 }

@@ -171,22 +171,11 @@ func ccFactoryFor(v Variant, opt FlowOptions) cc.Factory {
 	}
 }
 
-// BuildFlow wires one flow of the given variant between host i of rack 0
-// (sender) and host i of rack 1 (receiver), registering receive and
-// notification upcalls on both hosts.
-func BuildFlow(loop *sim.Loop, net *rdcn.Network, i int, v Variant, opt FlowOptions) (*Flow, error) {
-	if i < 0 || i >= net.Cfg.HostsPerRack {
-		return nil, fmt.Errorf("experiments: host index %d out of range", i)
-	}
-	h0, h1 := net.Racks[0].Hosts[i], net.Racks[1].Hosts[i]
+// singlePathConfigs builds the sender and receiver tcp.Config of a non-MPTCP
+// variant: CC factory, pacing, ECN, and (for TDTCP) the per-TDN state policy.
+// Shared between the two-rack BuildFlow wiring and the multi-rack mux path.
+func singlePathConfigs(net *rdcn.Network, v Variant, opt FlowOptions) (sndCfg, rcvCfg tcp.Config, err error) {
 	ntdns := len(net.Cfg.TDNs)
-	f := &Flow{Variant: v}
-
-	if v == MPTCP {
-		buildMPTCP(loop, f, h0, h1, ntdns, opt)
-		return f, nil
-	}
-
 	pacing := opt.Pacing
 	if pacing < 0 {
 		pacing = 0 // explicit opt-out
@@ -205,7 +194,7 @@ func BuildFlow(loop *sim.Loop, net *rdcn.Network, i int, v Variant, opt FlowOpti
 			for _, name := range opt.PerTDNCC {
 				f, err := cc.NewFactory(name)
 				if err != nil {
-					return nil, err
+					return tcp.Config{}, tcp.Config{}, err
 				}
 				cfg.CCPerState = append(cfg.CCPerState, f)
 			}
@@ -228,8 +217,31 @@ func BuildFlow(loop *sim.Loop, net *rdcn.Network, i int, v Variant, opt FlowOpti
 		}
 		return nil
 	}
-	sndCfg, rcvCfg := cfg, cfg
+	sndCfg, rcvCfg = cfg, cfg
 	sndCfg.Policy, rcvCfg.Policy = mkPolicy(), mkPolicy()
+	return sndCfg, rcvCfg, nil
+}
+
+// BuildFlow wires one flow of the given variant between host i of rack 0
+// (sender) and host i of rack 1 (receiver), registering receive and
+// notification upcalls on both hosts.
+func BuildFlow(loop *sim.Loop, net *rdcn.Network, i int, v Variant, opt FlowOptions) (*Flow, error) {
+	if i < 0 || i >= net.Cfg.HostsPerRack {
+		return nil, fmt.Errorf("experiments: host index %d out of range", i)
+	}
+	h0, h1 := net.Racks[0].Hosts[i], net.Racks[1].Hosts[i]
+	ntdns := len(net.Cfg.TDNs)
+	f := &Flow{Variant: v}
+
+	if v == MPTCP {
+		buildMPTCP(loop, f, h0, h1, ntdns, opt)
+		return f, nil
+	}
+
+	sndCfg, rcvCfg, err := singlePathConfigs(net, v, opt)
+	if err != nil {
+		return nil, err
+	}
 
 	f.Snd = tcp.NewConn(loop, sndCfg, func(s *packet.Segment) { h0.Send(s) })
 	f.Rcv = tcp.NewConn(loop, rcvCfg, func(s *packet.Segment) { h1.Send(s) })

@@ -1,0 +1,375 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/rdcn-net/tdtcp/internal/netem"
+	"github.com/rdcn-net/tdtcp/internal/packet"
+	"github.com/rdcn-net/tdtcp/internal/rdcn"
+	"github.com/rdcn-net/tdtcp/internal/sim"
+	"github.com/rdcn-net/tdtcp/internal/stats"
+	"github.com/rdcn-net/tdtcp/internal/tcp"
+	"github.com/rdcn-net/tdtcp/internal/trace"
+	"github.com/rdcn-net/tdtcp/internal/workload"
+)
+
+// hostMux demultiplexes one host's frames to many connections by TCP
+// destination port, and fans TDN notifications out to every registered flow.
+// The two-rack experiments wire exactly one connection per host; multi-rack
+// workloads need several, so the mux owns the host's Recv/NotifyTDN upcalls.
+//
+// The map is looked up, never ranged over, so event order stays deterministic.
+type hostMux struct {
+	seg    packet.Segment
+	conns  map[uint16]*tcp.Conn
+	notify []func(tdn int, epoch uint32)
+}
+
+func newHostMux() *hostMux {
+	m := &hostMux{conns: make(map[uint16]*tcp.Conn)}
+	m.seg.TCP.SACK = make([]packet.SACKBlock, 0, 4)
+	return m
+}
+
+func (m *hostMux) recv(fr netem.Frame) {
+	if err := packet.Parse(fr.Wire, &m.seg); err != nil {
+		return // corrupted frames are dropped silently, as on a real NIC
+	}
+	if c, ok := m.conns[m.seg.TCP.DstPort]; ok {
+		c.Input(&m.seg)
+	}
+}
+
+func (m *hostMux) notifyTDN(tdn int, epoch uint32) {
+	for _, fn := range m.notify {
+		fn(tdn, epoch)
+	}
+}
+
+// muxNet overlays a hostMux on every host of a network, so flows can be wired
+// between arbitrary rack/host pairs instead of the two-rack one-flow-per-host
+// layout of BuildFlow.
+type muxNet struct {
+	net   *rdcn.Network
+	muxes [][]*hostMux // [rack][host]
+}
+
+func newMuxNet(net *rdcn.Network) *muxNet {
+	mn := &muxNet{net: net, muxes: make([][]*hostMux, len(net.Racks))}
+	for r, rack := range net.Racks {
+		mn.muxes[r] = make([]*hostMux, len(rack.Hosts))
+		for h, host := range rack.Hosts {
+			m := newHostMux()
+			mn.muxes[r][h] = m
+			host.Recv = m.recv
+			host.NotifyTDN = m.notifyTDN
+		}
+	}
+	return mn
+}
+
+// BuildFlow wires one single-path flow from (srcRack, srcHost) to (dstRack,
+// dstHost). Both endpoints use the same port number, which must be unique
+// per endpoint host — it is the demux key on both sides. MPTCP and the reTCP
+// variants are two-rack constructs (subflow pinning and the circuit-up signal
+// have no rotor analogue) and are rejected.
+func (mn *muxNet) BuildFlow(loop *sim.Loop, srcRack, srcHost, dstRack, dstHost int,
+	port uint16, v Variant, opt FlowOptions) (*Flow, error) {
+	switch v {
+	case MPTCP, ReTCP, ReTCPDyn:
+		return nil, fmt.Errorf("experiments: variant %s is not supported on the multi-rack mux path", v)
+	}
+	for _, ep := range [...]struct{ rack, host int }{{srcRack, srcHost}, {dstRack, dstHost}} {
+		if ep.rack < 0 || ep.rack >= len(mn.net.Racks) {
+			return nil, fmt.Errorf("experiments: rack %d out of range", ep.rack)
+		}
+		if ep.host < 0 || ep.host >= len(mn.net.Racks[ep.rack].Hosts) {
+			return nil, fmt.Errorf("experiments: host %d out of range", ep.host)
+		}
+	}
+	if srcRack == dstRack && srcHost == dstHost {
+		return nil, fmt.Errorf("experiments: flow endpoints coincide (rack %d host %d)", srcRack, srcHost)
+	}
+	sm, dm := mn.muxes[srcRack][srcHost], mn.muxes[dstRack][dstHost]
+	if _, dup := sm.conns[port]; dup {
+		return nil, fmt.Errorf("experiments: port %d already in use on rack %d host %d", port, srcRack, srcHost)
+	}
+	if _, dup := dm.conns[port]; dup {
+		return nil, fmt.Errorf("experiments: port %d already in use on rack %d host %d", port, dstRack, dstHost)
+	}
+
+	sndCfg, rcvCfg, err := singlePathConfigs(mn.net, v, opt)
+	if err != nil {
+		return nil, err
+	}
+	hs := mn.net.Racks[srcRack].Hosts[srcHost]
+	hr := mn.net.Racks[dstRack].Hosts[dstHost]
+	f := &Flow{Variant: v}
+	f.Snd = tcp.NewConn(loop, sndCfg, func(s *packet.Segment) { hs.Send(s) })
+	f.Rcv = tcp.NewConn(loop, rcvCfg, func(s *packet.Segment) { hr.Send(s) })
+	f.Snd.LocalAddr, f.Snd.RemoteAddr = hs.Addr, hr.Addr
+	f.Snd.LocalPort, f.Snd.RemotePort = port, port
+	f.Rcv.LocalAddr, f.Rcv.RemoteAddr = hr.Addr, hs.Addr
+	f.Rcv.LocalPort, f.Rcv.RemotePort = port, port
+	f.Rcv.Listen()
+
+	sm.conns[port] = f.Snd
+	dm.conns[port] = f.Rcv
+	if v == TDTCP {
+		sm.notify = append(sm.notify, func(tdn int, epoch uint32) { f.Snd.Notify(tdn, epoch) })
+		dm.notify = append(dm.notify, func(tdn int, epoch uint32) { f.Rcv.Notify(tdn, epoch) })
+	}
+	return f, nil
+}
+
+// WorkloadConfig specifies one open-loop flow-workload run: finite flows with
+// sizes drawn from a distribution arrive as a Poisson process and run to
+// completion, the datacenter-workload counterpart of RunConfig's long-running
+// §5.1 flows.
+type WorkloadConfig struct {
+	Variant  Variant
+	Scenario Scenario
+	// Dist is the flow-size distribution (default workload.WebSearch()).
+	Dist *workload.FlowSizeCDF
+	// Load is the offered load as a fraction of the fabric's aggregate
+	// schedule-weighted capacity (default 0.3).
+	Load float64
+	// Hosts is the host count per rack (default 4).
+	Hosts int
+	// WarmupWeeks precede the measurement window of MeasureWeeks (defaults
+	// 1 and 4). Arrivals run over the whole horizon; FCTs are recorded for
+	// flows arriving inside the window.
+	WarmupWeeks, MeasureWeeks int
+	Seed                      int64
+	// MaxFlows caps total arrivals so a mis-set load cannot spawn unbounded
+	// state (default 512).
+	MaxFlows int
+	// SampleEvery is the VOQ-occupancy sampling cadence (default 5 µs).
+	SampleEvery sim.Duration
+	// MarkThresh is the ECN marking threshold; defaults to 5 packets when
+	// the variant is DCTCP, otherwise 0.
+	MarkThresh int
+	Notify     *rdcn.NotifyProfile
+	Flow       FlowOptions
+	Tracer     *trace.Tracer
+	// DisableFramePool turns off wire-buffer recycling (determinism probe,
+	// see RunConfig.DisableFramePool).
+	DisableFramePool bool
+}
+
+func (cfg *WorkloadConfig) fillDefaults() {
+	if cfg.Scenario.Name == "" {
+		cfg.Scenario = MultiRack(4)
+	}
+	if cfg.Dist == nil {
+		cfg.Dist = workload.WebSearch()
+	}
+	if cfg.Load == 0 {
+		cfg.Load = 0.3
+	}
+	if cfg.Hosts == 0 {
+		cfg.Hosts = 4
+	}
+	if cfg.WarmupWeeks == 0 {
+		cfg.WarmupWeeks = 1
+	}
+	if cfg.MeasureWeeks == 0 {
+		cfg.MeasureWeeks = 4
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.MaxFlows == 0 {
+		cfg.MaxFlows = 512
+	}
+	if cfg.SampleEvery == 0 {
+		cfg.SampleEvery = 5 * sim.Microsecond
+	}
+	if cfg.MarkThresh == 0 && cfg.Variant == DCTCP {
+		cfg.MarkThresh = 5
+	}
+}
+
+// WorkloadResult carries the outcome of one workload run.
+type WorkloadResult struct {
+	Variant Variant
+	Cfg     WorkloadConfig
+
+	// FCT holds completion times of flows that arrived inside the
+	// measurement window and finished before the horizon (the usual
+	// open-loop censoring).
+	FCT stats.FCT
+	// FlowsStarted counts all arrivals; FlowsCompleted counts flows whose
+	// FIN was acknowledged before the horizon.
+	FlowsStarted, FlowsCompleted int
+	// BytesOffered sums the sizes of all arrived flows.
+	BytesOffered int64
+	// GoodputGbps is aggregate application-delivered throughput over the
+	// measurement window; MeanVOQ is the mean total VOQ occupancy (packets,
+	// summed over racks) over the same window.
+	GoodputGbps float64
+	MeanVOQ     float64
+	// Frame-conservation ledger at the horizon (see rdcn.FrameLedger).
+	FramesSent, FramesDelivered, FramesMisrouted uint64
+}
+
+// RunWorkload executes one open-loop workload experiment. Flow arrivals are a
+// Poisson process whose mean rate offers cfg.Load of the fabric's aggregate
+// capacity; each arrival picks uniform source and destination (distinct racks)
+// and a size from cfg.Dist, all from the loop's seeded RNG, so runs are fully
+// deterministic. Frame conservation is checked at the horizon.
+func RunWorkload(cfg WorkloadConfig) (*WorkloadResult, error) {
+	cfg.fillDefaults()
+	racks := cfg.Scenario.Racks
+	if racks == 0 {
+		racks = 2
+	}
+	switch cfg.Variant {
+	case TDTCP, Cubic, DCTCP, Reno:
+	default:
+		return nil, fmt.Errorf("experiments: variant %s is not supported by RunWorkload", cfg.Variant)
+	}
+
+	loop := sim.NewLoop(cfg.Seed)
+	ncfg := rdcn.DefaultConfig()
+	ncfg.Racks = racks
+	ncfg.HostsPerRack = cfg.Hosts
+	ncfg.TDNs = cfg.Scenario.TDNs
+	ncfg.Schedule = cfg.Scenario.Schedule
+	ncfg.VOQCap = cfg.Scenario.VOQCap
+	ncfg.MarkThresh = cfg.MarkThresh
+	ncfg.DisableFramePool = cfg.DisableFramePool
+	if cfg.Notify != nil {
+		ncfg.Notify = *cfg.Notify
+	}
+	net, err := rdcn.New(loop, ncfg)
+	if err != nil {
+		return nil, err
+	}
+	loop.SetTracer(cfg.Tracer)
+	net.SetTracer(cfg.Tracer)
+	mn := newMuxNet(net)
+
+	week := cfg.Scenario.Schedule.Week()
+	measureStart := sim.Time(sim.Duration(cfg.WarmupWeeks) * week)
+	end := measureStart.Add(sim.Duration(cfg.MeasureWeeks) * week)
+	net.Start(end)
+
+	// Aggregate capacity = per-rack schedule-weighted uplink rate × racks.
+	aggRate := sim.Rate(workload.OptimalGbps(cfg.Scenario.Schedule, cfg.Scenario.TDNs)*1e9) * sim.Rate(racks)
+	meanGap := workload.MeanInterarrival(cfg.Dist, cfg.Load, aggRate)
+
+	res := &WorkloadResult{Variant: cfg.Variant, Cfg: cfg}
+	var flows []*Flow
+	var buildErr error
+	nextPort := 1024
+	var spawn func()
+	spawn = func() {
+		if buildErr != nil || res.FlowsStarted >= cfg.MaxFlows || nextPort > 0xFFFF {
+			return // stop the arrival process; pending flows run out
+		}
+		rng := loop.Rand()
+		src := rng.Intn(racks)
+		dst := (src + 1 + rng.Intn(racks-1)) % racks
+		sh, dh := rng.Intn(cfg.Hosts), rng.Intn(cfg.Hosts)
+		size := cfg.Dist.Sample(rng)
+		port := uint16(nextPort)
+		nextPort++
+		f, err := mn.BuildFlow(loop, src, sh, dst, dh, port, cfg.Variant, cfg.Flow)
+		if err != nil {
+			buildErr = err
+			return
+		}
+		id := res.FlowsStarted
+		f.SetTracer(cfg.Tracer, id)
+		start := loop.Now()
+		res.FlowsStarted++
+		res.BytesOffered += size
+		f.Snd.OnDone = func(now sim.Time) {
+			res.FlowsCompleted++
+			if start >= measureStart {
+				res.FCT.Record(size, start, now)
+			}
+		}
+		flows = append(flows, f)
+		f.Start(size)
+		f.Snd.Close() // queue the FIN behind the data; its ACK is the FCT instant
+		loop.After(workload.Interarrival(rng, meanGap), spawn)
+	}
+	loop.After(workload.Interarrival(loop.Rand(), meanGap), spawn)
+
+	delivered := func() float64 {
+		var sum int64
+		for _, f := range flows {
+			sum += f.Delivered()
+		}
+		return float64(sum)
+	}
+	voqLen := func() float64 {
+		n := 0
+		for _, rack := range net.Racks {
+			n += rack.QueueLen()
+		}
+		return float64(n)
+	}
+
+	loop.RunUntil(measureStart)
+	baseline := delivered()
+	voq := stats.NewSampler(loop, string(cfg.Variant), cfg.SampleEvery, end, voqLen)
+	loop.RunUntil(end)
+
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	res.GoodputGbps = stats.ThroughputGbps(int64(delivered()-baseline), end.Sub(measureStart))
+	res.MeanVOQ = voq.Series.Mean()
+	res.FramesSent, res.FramesDelivered, res.FramesMisrouted = net.FrameLedger()
+	if err := net.CheckConservation(); err != nil {
+		return nil, fmt.Errorf("experiments: workload run %s: %w", cfg.Scenario.Name, err)
+	}
+	return res, nil
+}
+
+// WorkloadSweepResult pairs one workload sweep cell with its outcome.
+type WorkloadSweepResult struct {
+	Cfg WorkloadConfig
+	Res *WorkloadResult
+	Err error
+}
+
+// SweepWorkload executes every configuration, workers at a time, with results
+// indexed by input position (see Sweep for the concurrency contract; runs
+// share no state, and configurations must not share a Tracer when workers
+// exceeds 1).
+func SweepWorkload(cfgs []WorkloadConfig, workers int) []WorkloadSweepResult {
+	out := make([]WorkloadSweepResult, len(cfgs))
+	if workers <= 1 {
+		for i, cfg := range cfgs {
+			res, err := RunWorkload(cfg)
+			out[i] = WorkloadSweepResult{Cfg: cfg, Res: res, Err: err}
+		}
+		return out
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				res, err := RunWorkload(cfgs[i])
+				out[i] = WorkloadSweepResult{Cfg: cfgs[i], Res: res, Err: err}
+			}
+		}()
+	}
+	for i := range cfgs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}

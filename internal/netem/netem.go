@@ -180,6 +180,9 @@ type Pipe struct {
 	cur          Frame
 	serializedFn func()
 	deliveryFree []*pipeDelivery
+
+	propagating int    // frames in the propagation-delay stage
+	faultDrops  uint64 // frames killed by the Fault hook
 }
 
 // pipeDelivery carries one frame through the propagation-delay stage.
@@ -237,14 +240,29 @@ func (p *Pipe) serialized() {
 		delay += fate.Extra
 	}
 	if drop {
+		p.faultDrops++
 		f.Release(p.Pool)
 	} else {
+		p.propagating++
 		d := p.getDelivery()
 		d.f = f
 		p.Loop.After(delay, d.fn)
 	}
 	p.kick()
 }
+
+// InFlight reports every frame currently inside the pipe: queued, being
+// serialized, or in the propagation-delay stage.
+func (p *Pipe) InFlight() int {
+	n := p.QueueLen() + p.propagating
+	if p.busy {
+		n++
+	}
+	return n
+}
+
+// FaultDrops reports the cumulative number of frames the Fault hook killed.
+func (p *Pipe) FaultDrops() uint64 { return p.faultDrops }
 
 func (p *Pipe) getDelivery() *pipeDelivery {
 	if n := len(p.deliveryFree); n > 0 {
@@ -262,6 +280,7 @@ func (d *pipeDelivery) fire() {
 	p := d.p
 	f := d.f
 	d.f = Frame{}
+	p.propagating--
 	p.deliveryFree = append(p.deliveryFree, d)
 	p.Out(f)
 }
@@ -444,6 +463,8 @@ type Drainer struct {
 	curDelay     sim.Duration
 	serializedFn func()
 	deliveryFree []*drainDelivery
+
+	propagating int // frames in the propagation-delay stage
 }
 
 // drainDelivery carries one frame through the propagation-delay stage.
@@ -489,10 +510,22 @@ func (d *Drainer) serialized() {
 	f := d.cur
 	d.cur = Frame{}
 	d.busy = false
+	d.propagating++
 	dd := d.getDelivery()
 	dd.f = f
 	d.Loop.After(d.curDelay, dd.fn)
 	d.Kick()
+}
+
+// InFlight reports every frame currently owned by the drainer: being
+// serialized or in the propagation-delay stage (queued frames belong to the
+// VOQ).
+func (d *Drainer) InFlight() int {
+	n := d.propagating
+	if d.busy {
+		n++
+	}
+	return n
 }
 
 func (d *Drainer) getDelivery() *drainDelivery {
@@ -511,6 +544,7 @@ func (dd *drainDelivery) fire() {
 	d := dd.d
 	f := dd.f
 	dd.f = Frame{}
+	d.propagating--
 	d.deliveryFree = append(d.deliveryFree, dd)
 	d.Out(f)
 }

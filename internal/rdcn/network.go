@@ -69,8 +69,15 @@ type PreChange struct {
 	Cap  int
 }
 
-// Config assembles a two-rack hybrid RDCN.
+// Config assembles an N-rack hybrid RDCN (two racks reproduce the paper's
+// Etalon testbed; more racks form a rotor-style multi-rack fabric whose
+// optical matchings are the RotorPeer schedule).
 type Config struct {
+	// Racks is the number of ToR switches (default 2). With more than two
+	// racks, TDN 0 is the always-routable packet network and each optical
+	// TDN k >= 1 connects only the rack pairs of rotor matching k; the
+	// packet uplink of a rack is fair-shared across its Racks-1 VOQs.
+	Racks        int
 	HostsPerRack int
 	HostRate     sim.Rate     // host NIC rate; bursts are shaped at this rate
 	HostDelay    sim.Duration // host-to-ToR propagation (intra-rack, tiny)
@@ -161,6 +168,7 @@ type Host struct {
 func (h *Host) Send(seg *packet.Segment) {
 	seg.Src = h.Addr
 	net := h.Rack.net
+	net.framesIn++
 	h.Rack.uplink.Send(netem.NewFrameIn(net.Loop, net.pool, seg))
 }
 
@@ -171,8 +179,8 @@ func (h *Host) NICQueueLen() int { return h.Rack.uplink.QueueLen() }
 // injector installs its data-path frame fault hook here.
 func (r *Rack) Uplink() *netem.Pipe { return r.uplink }
 
-// Rack is a ToR switch plus its attached hosts. Each rack has one VOQ for
-// traffic toward the peer rack (or one per TDN with PinnedVOQs).
+// Rack is a ToR switch plus its attached hosts. Each rack has one VOQ per
+// destination rack (or one per TDN with PinnedVOQs on a two-rack network).
 type Rack struct {
 	net   *Network
 	ID    int
@@ -181,6 +189,22 @@ type Rack struct {
 	uplink   *netem.Pipe // shared host-side ingress NIC
 	voqs     []*netem.VOQ
 	drainers []*netem.Drainer
+}
+
+// qIndex maps a destination rack to its compact VOQ index (the rack itself
+// is skipped). qDst is the inverse.
+func (r *Rack) qIndex(dst int) int {
+	if dst > r.ID {
+		return dst - 1
+	}
+	return dst
+}
+
+func (r *Rack) qDst(q int) int {
+	if q >= r.ID {
+		return q + 1
+	}
+	return q
 }
 
 // VOQ exposes the rack's (first) uplink virtual output queue.
@@ -198,16 +222,23 @@ func (r *Rack) QueueLen() int {
 	return n
 }
 
-// Network is the assembled two-rack hybrid RDCN.
+// Network is the assembled N-rack hybrid RDCN.
 type Network struct {
 	Loop    *sim.Loop
 	Cfg     Config
-	Racks   [2]*Rack
+	Racks   []*Rack
 	epoch   uint32
 	stopAt  sim.Time
 	started bool
 	baseVOQ int
 	tracer  *trace.Tracer
+
+	// Frame conservation ledger: every data-plane frame a host sends is
+	// eventually delivered, misrouted, dropped by a VOQ, or dropped by a
+	// pipe fault — or is still in flight. CheckConservation audits the sum.
+	framesIn  uint64
+	delivered uint64
+	misrouted uint64
 	// pool recycles frame wire buffers across the whole data plane:
 	// Host.Send draws from it, and the frame's single terminal point —
 	// ingress overflow, pipe fault-drop, misroute, or delivery — returns
@@ -253,6 +284,12 @@ func HostAddr(rack, id int) uint32 {
 
 // New assembles a network from cfg.
 func New(loop *sim.Loop, cfg Config) (*Network, error) {
+	if cfg.Racks == 0 {
+		cfg.Racks = 2
+	}
+	if cfg.Racks < 2 || cfg.Racks > 0xFF {
+		return nil, fmt.Errorf("rdcn: Racks must be in [2,255], got %d", cfg.Racks)
+	}
 	if cfg.HostsPerRack <= 0 {
 		return nil, fmt.Errorf("rdcn: HostsPerRack must be positive")
 	}
@@ -265,6 +302,14 @@ func New(loop *sim.Loop, cfg Config) (*Network, error) {
 	if len(cfg.TDNs) > packet.MaxTDNs {
 		return nil, fmt.Errorf("rdcn: at most %d TDNs supported by the wire format", packet.MaxTDNs)
 	}
+	if cfg.Racks > 2 {
+		if cfg.PinnedVOQs {
+			return nil, fmt.Errorf("rdcn: PinnedVOQs (MPTCP subflow pinning) supports only 2 racks")
+		}
+		if err := validateRotor(cfg.Racks, cfg.Schedule); err != nil {
+			return nil, err
+		}
+	}
 	n := &Network{Loop: loop, Cfg: cfg, baseVOQ: cfg.VOQCap}
 	if !cfg.DisableFramePool {
 		n.pool = &netem.BufPool{}
@@ -273,17 +318,19 @@ func New(loop *sim.Loop, cfg Config) (*Network, error) {
 		ntdns := len(cfg.TDNs)
 		n.Cfg.Classifier = func(wire []byte) int { return PortClassifier(wire, ntdns) }
 	}
-	nvoq := 1
+	nvoq := cfg.Racks - 1 // one VOQ per destination rack
 	if cfg.PinnedVOQs {
 		nvoq = len(cfg.TDNs)
 	}
-	for r := 0; r < 2; r++ {
+	n.Racks = make([]*Rack, cfg.Racks)
+	for r := 0; r < cfg.Racks; r++ {
 		rack := &Rack{net: n, ID: r}
-		dst := 1 - r
 		for k := 0; k < nvoq; k++ {
 			voq := netem.NewVOQ(loop, cfg.VOQCap, cfg.MarkThresh)
 			var pf netem.PathFunc
+			dst := rack.qDst(k)
 			if cfg.PinnedVOQs {
+				dst = 1 - r // pinned VOQs exist only on two-rack networks
 				kk := k
 				pf = func() (netem.Path, bool) {
 					tdn, ok := n.dataPlaneTDN(n.Loop.Now())
@@ -294,7 +341,7 @@ func New(loop *sim.Loop, cfg Config) (*Network, error) {
 					return netem.Path{Rate: p.Rate, Delay: p.Delay, TDN: kk}, true
 				}
 			} else {
-				pf = n.pathFunc()
+				pf = n.pathFunc(r, dst)
 			}
 			d := &netem.Drainer{
 				Loop: loop,
@@ -333,14 +380,26 @@ func PortClassifier(wire []byte, ntdns int) int {
 	return port % ntdns
 }
 
-// pathFunc adapts the schedule to the drainer interface.
-func (n *Network) pathFunc() netem.PathFunc {
+// pathFunc adapts the schedule to the drainer interface for rack rackID's VOQ
+// toward rack dst. On a two-rack network every scheduled TDN connects the pair
+// at its full rate (the paper's hybrid testbed). With more racks, TDN 0 is the
+// packet network fair-sharing the rack uplink across its Racks-1 VOQs, and an
+// optical TDN k serves only the rack pair of rotor matching k.
+func (n *Network) pathFunc(rackID, dst int) netem.PathFunc {
 	return func() (netem.Path, bool) {
 		tdn, ok := n.dataPlaneTDN(n.Loop.Now())
 		if !ok {
 			return netem.Path{}, false
 		}
 		p := n.Cfg.TDNs[tdn]
+		if n.Cfg.Racks > 2 {
+			if tdn == 0 {
+				return netem.Path{Rate: p.Rate / sim.Rate(n.Cfg.Racks-1), Delay: p.Delay, TDN: 0}, true
+			}
+			if RotorPeer(n.Cfg.Racks, tdn, rackID) != dst {
+				return netem.Path{}, false
+			}
+		}
 		return netem.Path{Rate: p.Rate, Delay: p.Delay, TDN: tdn}, true
 	}
 }
@@ -364,16 +423,42 @@ func (n *Network) dataPlaneTDN(now sim.Time) (int, bool) {
 	return tdn, true
 }
 
-// ingress accepts a frame from a host NIC and places it in the rack's
-// uplink VOQ (selected by the classifier when VOQs are pinned). Overflow is
-// a drop-tail loss, exactly as in the Etalon VOQs.
+// ingress accepts a frame from a host NIC and places it in the rack's uplink
+// VOQ: on a two-rack network the single cross-rack queue (or the classifier's
+// pinned queue), on a multi-rack network the queue of the destination rack
+// parsed from the IPv4 header. Intra-rack frames hairpin at the ToR without
+// touching the fabric. Overflow is a drop-tail loss, exactly as in the Etalon
+// VOQs.
 func (r *Rack) ingress(f netem.Frame) {
+	n := r.net
+	if n.Cfg.Racks > 2 {
+		if len(f.Wire) < 20 {
+			n.misrouted++
+			f.Release(n.pool)
+			return
+		}
+		addr := binary.BigEndian.Uint32(f.Wire[16:20])
+		dst := int(addr >> 16 & 0xFF)
+		if addr>>24 != 0x0A || dst >= n.Cfg.Racks {
+			n.misrouted++
+			f.Release(n.pool)
+			return
+		}
+		if dst == r.ID {
+			n.deliver(r.ID, f)
+			return
+		}
+		if !r.voqs[r.qIndex(dst)].Enqueue(f) {
+			f.Release(n.pool)
+		}
+		return
+	}
 	idx := 0
-	if r.net.Cfg.PinnedVOQs {
-		idx = r.net.Cfg.Classifier(f.Wire) % len(r.voqs)
+	if n.Cfg.PinnedVOQs {
+		idx = n.Cfg.Classifier(f.Wire) % len(r.voqs)
 	}
 	if !r.voqs[idx].Enqueue(f) {
-		f.Release(r.net.pool)
+		f.Release(n.pool)
 	}
 }
 
@@ -384,6 +469,7 @@ func (r *Rack) ingress(f netem.Frame) {
 // retain the wire.
 func (n *Network) deliver(dst int, f netem.Frame) {
 	if len(f.Wire) < 20 {
+		n.misrouted++
 		f.Release(n.pool)
 		return
 	}
@@ -391,9 +477,11 @@ func (n *Network) deliver(dst int, f netem.Frame) {
 	id := int(addr & 0xFFFF)
 	rack := n.Racks[dst]
 	if int(addr>>16&0xFF) != rack.ID || id >= len(rack.Hosts) {
+		n.misrouted++
 		f.Release(n.pool) // misrouted; drop
 		return
 	}
+	n.delivered++
 	h := rack.Hosts[id]
 	if h.Recv != nil {
 		h.Recv(f)
@@ -529,7 +617,7 @@ func (n *Network) CheckInvariants() error {
 // packet parsed by the host, per Figure 5a.
 func (n *Network) notifyAll(tdn int, epoch uint32) {
 	prof := n.Cfg.Notify
-	n.emit("notify", tdn, float64(epoch), float64(2*len(n.Racks[0].Hosts)))
+	n.emit("notify", tdn, float64(epoch), float64(len(n.Racks)*n.Cfg.HostsPerRack))
 	for _, rack := range n.Racks {
 		for i, h := range rack.Hosts {
 			d := prof.Gen + sim.Duration(i)*prof.Stagger + prof.Net
@@ -571,4 +659,49 @@ func (n *Network) deliverNotify(h *Host, wire []byte, d sim.Duration) {
 func (n *Network) ActiveTDN() (int, bool) {
 	tdn, ok, _ := n.Cfg.Schedule.At(n.Loop.Now())
 	return tdn, ok
+}
+
+// InFlightFrames reports the number of data-plane frames currently inside the
+// network: queued in or serializing through a host NIC pipe, waiting in a
+// VOQ, or serializing/propagating through a ToR uplink drainer.
+func (n *Network) InFlightFrames() uint64 {
+	var fl uint64
+	for _, rack := range n.Racks {
+		fl += uint64(rack.uplink.InFlight())
+		for _, v := range rack.voqs {
+			fl += uint64(v.Len())
+		}
+		for _, d := range rack.drainers {
+			fl += uint64(d.InFlight())
+		}
+	}
+	return fl
+}
+
+// CheckConservation audits the frame ledger: every frame a host ever sent
+// must be delivered, misrouted, dropped by a VOQ, dropped by an injected pipe
+// fault, or still in flight. It holds at any instant of any run, faulted or
+// not, and is the data-plane half of the "bytes sent == delivered + dropped +
+// in-flight" conservation property.
+func (n *Network) CheckConservation() error {
+	var voqDrops, faultDrops uint64
+	for _, rack := range n.Racks {
+		faultDrops += rack.uplink.FaultDrops()
+		for _, v := range rack.voqs {
+			_, _, drops, _ := v.Stats()
+			voqDrops += drops
+		}
+	}
+	inFlight := n.InFlightFrames()
+	if got := n.delivered + n.misrouted + voqDrops + faultDrops + inFlight; got != n.framesIn {
+		return fmt.Errorf("rdcn: frame conservation violated: sent %d != delivered %d + misrouted %d + voq drops %d + fault drops %d + in flight %d",
+			n.framesIn, n.delivered, n.misrouted, voqDrops, faultDrops, inFlight)
+	}
+	return nil
+}
+
+// FrameLedger reports the cumulative conservation counters: frames sent by
+// hosts, delivered to a Recv hook, and dropped as misrouted.
+func (n *Network) FrameLedger() (sent, delivered, misrouted uint64) {
+	return n.framesIn, n.delivered, n.misrouted
 }

@@ -1,0 +1,102 @@
+package rdcn
+
+import (
+	"fmt"
+
+	"github.com/rdcn-net/tdtcp/internal/sim"
+)
+
+// Rotor matchings generalize the two-rack hybrid to an N-rack RDCN in the
+// style of RotorNet/Sirius/D3: the optical switch cycles through a fixed,
+// demand-oblivious sequence of perfect matchings, giving every rack pair a
+// direct circuit once per rotation. We map each matching onto its own TDN:
+//
+//	TDN 0          the always-routable packet network (the hybrid fallback)
+//	TDN k (k >= 1) optical matching k of the rotation, k in [1, NumMatchings]
+//
+// A rack therefore sees NumMatchings(n)+1 "network days" — exactly the
+// many-TDN regime the per-TDN state design of TDTCP argues for.
+
+// NumMatchings returns the number of optical matchings in one full rotation
+// over nRacks racks: every pair of racks meets exactly once per rotation.
+// For even nRacks this is nRacks-1 perfect matchings (circle method); for odd
+// nRacks it is nRacks rounds with one rack idle per round.
+func NumMatchings(nRacks int) int {
+	if nRacks < 2 {
+		return 0
+	}
+	if nRacks%2 == 0 {
+		return nRacks - 1
+	}
+	return nRacks
+}
+
+// RotorPeer returns the rack that rack is circuit-connected to during optical
+// matching day (day in [1, NumMatchings(nRacks)]), or -1 if the rack sits out
+// that matching (odd nRacks) or the arguments are out of range. The matchings
+// come from the classic round-robin tournament (circle method): they are
+// involutions (RotorPeer(RotorPeer(r)) == r) and over a full rotation every
+// pair meets exactly once.
+func RotorPeer(nRacks, day, rack int) int {
+	if nRacks < 2 || rack < 0 || rack >= nRacks || day < 1 || day > NumMatchings(nRacks) {
+		return -1
+	}
+	if nRacks%2 == 0 {
+		// m = nRacks-1 is odd: racks 0..m-1 pair by i+j ≡ day-1 (mod m);
+		// the unique fixed point 2i ≡ day-1 pairs with the pivot rack m.
+		m := nRacks - 1
+		fixed := (day - 1) * (m + 1) / 2 % m // (day-1) * inv2 mod m
+		if rack == m {
+			return fixed
+		}
+		if rack == fixed {
+			return m
+		}
+		return ((day - 1) - rack%m + 2*m) % m
+	}
+	// Odd nRacks: i+j ≡ day-1 (mod nRacks); the fixed point sits out.
+	fixed := (day - 1) * (nRacks + 1) / 2 % nRacks
+	if rack == fixed {
+		return -1
+	}
+	return ((day - 1) - rack%nRacks + 2*nRacks) % nRacks
+}
+
+// RotorWeek builds the rotation schedule for an N-rack rotor RDCN:
+// before each of the NumMatchings optical days the packet network (TDN 0)
+// runs for packetDays days; every day lasts day and is followed by a night.
+// RotorWeek(2, 6, day, night) is exactly the paper's HybridWeek(6, day,
+// night) two-rack schedule.
+func RotorWeek(nRacks, packetDays int, day, night sim.Duration) *Schedule {
+	nm := NumMatchings(nRacks)
+	slots := make([]Slot, 0, (packetDays+1)*2*nm)
+	for k := 1; k <= nm; k++ {
+		for i := 0; i < packetDays; i++ {
+			slots = append(slots, Slot{TDN: 0, Dur: day}, Slot{TDN: NightTDN, Dur: night})
+		}
+		slots = append(slots, Slot{TDN: k, Dur: day}, Slot{TDN: NightTDN, Dur: night})
+	}
+	return MustSchedule(slots)
+}
+
+// RotorTDNs builds the TDN parameter table for an N-rack rotor RDCN: TDN 0
+// is the packet network, TDNs 1..NumMatchings are identical optical
+// matchings.
+func RotorTDNs(nRacks int, packet, optical TDNParams) []TDNParams {
+	tdns := make([]TDNParams, 1+NumMatchings(nRacks))
+	tdns[0] = packet
+	for k := 1; k < len(tdns); k++ {
+		tdns[k] = optical
+	}
+	return tdns
+}
+
+// validateRotor checks that every optical TDN a schedule references has a
+// matching defined for the given rack count.
+func validateRotor(nRacks int, sch *Schedule) error {
+	if max := sch.NumTDNs() - 1; max > NumMatchings(nRacks) {
+		return fmt.Errorf("rdcn: schedule references optical TDN %d but %d racks define only %d matchings",
+			max, nRacks, NumMatchings(nRacks))
+	}
+	return nil
+}

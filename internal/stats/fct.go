@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/rdcn-net/tdtcp/internal/sim"
+)
+
+// FCT size-bucket boundaries, the conventional datacenter split: mice under
+// 100 KB, elephants of 10 MB and more, everything else medium.
+const (
+	ShortFlowMax = 100e3
+	LongFlowMin  = 10e6
+)
+
+// SizeBucket names the bucket a flow of the given byte size falls into.
+func SizeBucket(size int64) string {
+	switch {
+	case size < ShortFlowMax:
+		return "short"
+	case size >= LongFlowMin:
+		return "long"
+	default:
+		return "medium"
+	}
+}
+
+// FCT collects flow completion times for a workload run, split by flow size
+// bucket for the usual mice-vs-elephants analysis.
+type FCT struct {
+	sizes  []int64
+	fctsUs []float64
+}
+
+// Record adds one completed flow.
+func (f *FCT) Record(size int64, start, end sim.Time) {
+	f.sizes = append(f.sizes, size)
+	f.fctsUs = append(f.fctsUs, end.Sub(start).Microseconds())
+}
+
+// N returns the number of recorded flows.
+func (f *FCT) N() int { return len(f.sizes) }
+
+// CDF returns the completion-time distribution (microseconds) of the flows
+// in the named bucket, or of all flows when bucket is "all".
+func (f *FCT) CDF(bucket string) *CDF {
+	var samples []float64
+	for i, sz := range f.sizes {
+		if bucket == "all" || SizeBucket(sz) == bucket {
+			samples = append(samples, f.fctsUs[i])
+		}
+	}
+	return NewCDF(samples)
+}
+
+// FCTSummary condenses one size bucket: flow count, mean and tail completion
+// time in microseconds.
+type FCTSummary struct {
+	Bucket string
+	N      int
+	MeanUs float64
+	P99Us  float64
+}
+
+// Buckets in reporting order.
+var fctBuckets = [...]string{"all", "short", "medium", "long"}
+
+// Summaries reports mean and p99 FCT for every size bucket (empty buckets
+// report zero flows and NaN-free zeros).
+func (f *FCT) Summaries() []FCTSummary {
+	out := make([]FCTSummary, 0, len(fctBuckets))
+	for _, b := range fctBuckets {
+		c := f.CDF(b)
+		s := FCTSummary{Bucket: b, N: c.N()}
+		if c.N() > 0 {
+			var sum float64
+			for i, sz := range f.sizes {
+				if b == "all" || SizeBucket(sz) == b {
+					sum += f.fctsUs[i]
+				}
+			}
+			s.MeanUs = sum / float64(c.N())
+			s.P99Us = c.Percentile(99)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// String renders the summaries as an aligned table.
+func (f *FCT) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %8s %14s %14s\n", "bucket", "flows", "mean FCT (us)", "p99 FCT (us)")
+	for _, s := range f.Summaries() {
+		fmt.Fprintf(&b, "%-8s %8d %14.1f %14.1f\n", s.Bucket, s.N, s.MeanUs, s.P99Us)
+	}
+	return b.String()
+}

@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/rdcn-net/tdtcp/internal/sim"
+)
+
+func TestSizeBucket(t *testing.T) {
+	for _, tc := range []struct {
+		size int64
+		want string
+	}{
+		{1, "short"}, {99_999, "short"}, {100_000, "medium"},
+		{9_999_999, "medium"}, {10_000_000, "long"}, {1 << 40, "long"},
+	} {
+		if got := SizeBucket(tc.size); got != tc.want {
+			t.Errorf("SizeBucket(%d) = %q, want %q", tc.size, got, tc.want)
+		}
+	}
+}
+
+func TestFCTSummaries(t *testing.T) {
+	var f FCT
+	// Ten short flows at 100 µs, one long elephant at 10 ms.
+	for i := 0; i < 10; i++ {
+		f.Record(10e3, 0, sim.Time(100*sim.Microsecond))
+	}
+	f.Record(20e6, sim.Time(1*sim.Microsecond), sim.Time(1*sim.Microsecond).Add(10*sim.Millisecond))
+	if f.N() != 11 {
+		t.Fatalf("N = %d", f.N())
+	}
+	byBucket := map[string]FCTSummary{}
+	for _, s := range f.Summaries() {
+		byBucket[s.Bucket] = s
+	}
+	if s := byBucket["short"]; s.N != 10 || s.MeanUs != 100 || s.P99Us != 100 {
+		t.Fatalf("short = %+v", s)
+	}
+	if s := byBucket["long"]; s.N != 1 || s.MeanUs != 10000 {
+		t.Fatalf("long = %+v", s)
+	}
+	if s := byBucket["medium"]; s.N != 0 || s.MeanUs != 0 || s.P99Us != 0 {
+		t.Fatalf("medium = %+v", s)
+	}
+	all := byBucket["all"]
+	if all.N != 11 || all.MeanUs <= 100 || all.MeanUs >= 10000 {
+		t.Fatalf("all = %+v", all)
+	}
+	if !strings.Contains(f.String(), "bucket") || !strings.Contains(f.String(), "short") {
+		t.Fatalf("String() = %q", f.String())
+	}
+}
+
+func TestFCTCDF(t *testing.T) {
+	var f FCT
+	f.Record(1e3, 0, sim.Time(50*sim.Microsecond))
+	f.Record(1e3, 0, sim.Time(150*sim.Microsecond))
+	c := f.CDF("short")
+	if c.N() != 2 || c.Min() != 50 || c.Max() != 150 {
+		t.Fatalf("short CDF n=%d min=%v max=%v", c.N(), c.Min(), c.Max())
+	}
+	if f.CDF("long").N() != 0 {
+		t.Fatal("long bucket should be empty")
+	}
+}

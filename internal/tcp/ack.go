@@ -219,6 +219,9 @@ func (c *Conn) processAck(s *packet.Segment) {
 		c.tlpInFlight = false
 		if c.state == stFinWait && c.sndUna == c.sndNxt && c.rtx.empty() {
 			c.state = stDone
+			if c.OnDone != nil {
+				c.OnDone(now)
+			}
 		}
 	} else if ack == c.sndUna && h.PayloadLen == 0 && newlySacked == 0 {
 		// Classic duplicate ACK.

@@ -206,6 +206,10 @@ type Conn struct {
 	// OnDelivered, if set, is called whenever in-order delivery advances:
 	// the receiver-side sequence progress of the paper's figures.
 	OnDelivered func(now sim.Time, total int64)
+	// OnDone, if set, is called once when the sender has delivered all
+	// offered data and its FIN is acknowledged — the flow-completion
+	// instant FCT accounting measures against.
+	OnDone func(now sim.Time)
 	// OnStateSwitch, if set, observes active-path-state switches (TDTCP).
 	OnStateSwitch func(now sim.Time, from, to int)
 	// OnSendBlocked, if set, is called when the sender wants to transmit

@@ -60,6 +60,27 @@ func (c *Conn) CheckInvariants() error {
 	if walkErr != nil {
 		return walkErr
 	}
+	// SACK bound: the scoreboard can never cover data the sender has not
+	// offered — every SACKed byte lies inside the outstanding window
+	// [snd_una, snd_nxt).
+	var sackedBytes int64
+	c.rtx.forEach(func(seg *TxSeg) bool {
+		if seg.Sacked {
+			sackedBytes += int64(seg.Len)
+			if seqLT(seg.Seq, c.sndUna) || seqGT(seg.End(), c.sndNxt) {
+				walkErr = fmt.Errorf("tcp: SACKed segment [%d,%d) outside outstanding window [%d,%d)",
+					c.RelSeq(seg.Seq), c.RelSeq(seg.End()), c.sndUna-c.iss, c.sndNxt-c.iss)
+				return false
+			}
+		}
+		return true
+	})
+	if walkErr != nil {
+		return walkErr
+	}
+	if outstanding := int64(seqDiff(c.sndNxt, c.sndUna)); sackedBytes > outstanding {
+		return fmt.Errorf("tcp: SACK scoreboard covers %d bytes, only %d outstanding", sackedBytes, outstanding)
+	}
 	if head := c.rtx.headSeg(); head != nil {
 		if seqGT(head.Seq, c.sndUna) || seqLEQ(head.End(), c.sndUna) {
 			return fmt.Errorf("tcp: snd_una %d outside head segment [%d,%d)",

@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/rdcn-net/tdtcp/internal/sim"
+)
+
+func TestParseFlowSizeCDF(t *testing.T) {
+	c, err := ParseFlowSizeCDF("t", "10K:0.5, 1M:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MaxSize() != 1e6 {
+		t.Fatalf("MaxSize = %d, want 1e6", c.MaxSize())
+	}
+	// atom 10K*0.5 + trapezoid 0.5*(10K+1M)/2
+	want := 10e3*0.5 + 0.5*(10e3+1e6)/2
+	if got := c.MeanSize(); math.Abs(got-want) > 1 {
+		t.Fatalf("MeanSize = %v, want %v", got, want)
+	}
+}
+
+func TestParseFlowSizeCDFErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",                    // empty
+		"10K",                 // not size:frac
+		"10K:0.5",             // does not reach 1
+		"10K:0.5 5K:1",        // sizes not increasing
+		"10K:0.5 20K:0.5",     // zero-mass bin
+		"10K:0.6 20K:0.5",     // non-monotone
+		"10K:0 20K:1",         // zero first mass
+		"10K:1.5",             // frac beyond 1
+		"0:1",                 // zero size
+		"-5:1",                // negative size
+		"x:1",                 // bad size
+		"10K:x",               // bad frac
+		"10K:NaN",             // NaN frac
+		"9999999999G:1",       // size overflow
+		"10K:0.5 1M:0.9 2M:2", // ends beyond 1
+	} {
+		if _, err := ParseFlowSizeCDF("t", bad); err == nil {
+			t.Errorf("ParseFlowSizeCDF(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSampleBoundsAndDeterminism(t *testing.T) {
+	for _, c := range []*FlowSizeCDF{WebSearch(), DataMining()} {
+		rng := rand.New(rand.NewSource(42))
+		var sizes []int64
+		for i := 0; i < 10000; i++ {
+			s := c.Sample(rng)
+			if s < 1 || s > c.MaxSize() {
+				t.Fatalf("%s: sample %d out of [1,%d]", c.Name, s, c.MaxSize())
+			}
+			sizes = append(sizes, s)
+		}
+		// Same seed, same draw sequence.
+		rng2 := rand.New(rand.NewSource(42))
+		for i := 0; i < 10000; i++ {
+			if s := c.Sample(rng2); s != sizes[i] {
+				t.Fatalf("%s: draw %d = %d, want %d (non-deterministic)", c.Name, i, s, sizes[i])
+			}
+		}
+		// The sample mean should land near the analytic mean.
+		var sum float64
+		for _, s := range sizes {
+			sum += float64(s)
+		}
+		mean, want := sum/float64(len(sizes)), c.MeanSize()
+		if math.Abs(mean-want)/want > 0.15 {
+			t.Errorf("%s: sample mean %.0f vs analytic %.0f", c.Name, mean, want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"websearch", "datamining"} {
+		c, err := ByName(name)
+		if err != nil || c.Name != name {
+			t.Fatalf("ByName(%q) = %v, %v", name, c, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("ByName accepted unknown name")
+	}
+}
+
+func TestInterarrival(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mean := 100 * sim.Microsecond
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		d := Interarrival(rng, mean)
+		if d <= 0 {
+			t.Fatalf("non-positive gap %v", d)
+		}
+		sum += float64(d)
+	}
+	if got := sum / n; math.Abs(got-float64(mean))/float64(mean) > 0.05 {
+		t.Fatalf("mean gap %.0f, want ~%d", got, mean)
+	}
+}
+
+func TestMeanInterarrival(t *testing.T) {
+	c := MustFlowSizeCDF("t", "1000:1") // every flow exactly 1000 bytes
+	// Load 0.5 on 10 Gbps: 625 MB/s of offered bytes, 1000-byte flows
+	// → 625k flows/s → 1.6 µs mean gap.
+	gap := MeanInterarrival(c, 0.5, 10*sim.Gbps)
+	if want := sim.Duration(1600); gap != want {
+		t.Fatalf("gap = %d, want %d", gap, want)
+	}
+	if g := MeanInterarrival(c, 0, 10*sim.Gbps); g != sim.Second {
+		t.Fatalf("zero-load gap = %v", g)
+	}
+}
+
+// FuzzFlowSizeCDF feeds the parser arbitrary tables: malformed input must
+// error, and every accepted table must yield a sampler that terminates and
+// stays within its own bounds.
+func FuzzFlowSizeCDF(f *testing.F) {
+	f.Add("10K:0.15 30K:0.3 200K:0.6 1M:0.8 10M:1")
+	f.Add("100:0.1 300:0.3 1K:0.5 2K:0.6 10K:0.8 100K:0.9 1M:0.95 10M:0.98 100M:1")
+	f.Add("10K:0.5 20K:0.5")
+	f.Add("1:1")
+	f.Add(":::,,,")
+	f.Add("10K:0.5 5K:1")
+	f.Add("9223372036854775807:1")
+	f.Add("-1:1")
+	f.Add("1:0.0000000000000001 2:1")
+	f.Fuzz(func(t *testing.T, text string) {
+		c, err := ParseFlowSizeCDF("fuzz", text)
+		if err != nil {
+			return
+		}
+		// Accepted tables must be well-formed enough to sample safely.
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 64; i++ {
+			s := c.Sample(rng)
+			if s < 1 || s > c.MaxSize() {
+				t.Fatalf("sample %d outside [1,%d] for %q", s, c.MaxSize(), text)
+			}
+		}
+		if m := c.MeanSize(); math.IsNaN(m) || m < 0 || m > float64(c.MaxSize()) {
+			t.Fatalf("mean %v out of range for %q", m, text)
+		}
+		if strings.TrimSpace(text) == "" {
+			t.Fatalf("empty table accepted: %q", text)
+		}
+	})
+}

@@ -231,6 +231,58 @@ func SweepMatrix(base RunConfig, variants []Variant, seeds []int64) []RunConfig 
 // returns results in input order.
 func Sweep(cfgs []RunConfig, workers int) []SweepResult { return experiments.Sweep(cfgs, workers) }
 
+// Flow workloads and FCT accounting (multi-rack evaluation).
+type (
+	// WorkloadConfig specifies an open-loop flow workload run.
+	WorkloadConfig = experiments.WorkloadConfig
+	// WorkloadResult carries one workload run's outcome.
+	WorkloadResult = experiments.WorkloadResult
+	// WorkloadSweepResult pairs one workload sweep cell with its outcome.
+	WorkloadSweepResult = experiments.WorkloadSweepResult
+	// FlowSizeCDF is an empirical flow-size distribution.
+	FlowSizeCDF = workload.FlowSizeCDF
+	// FCT collects flow completion times by size bucket.
+	FCT = stats.FCT
+	// FCTSummary condenses one FCT size bucket.
+	FCTSummary = stats.FCTSummary
+)
+
+// RunWorkload executes one open-loop flow-workload experiment.
+func RunWorkload(cfg WorkloadConfig) (*WorkloadResult, error) { return experiments.RunWorkload(cfg) }
+
+// SweepWorkload executes every workload config (workers in parallel) and
+// returns results in input order.
+func SweepWorkload(cfgs []WorkloadConfig, workers int) []WorkloadSweepResult {
+	return experiments.SweepWorkload(cfgs, workers)
+}
+
+// WebSearchCDF is the web-search flow-size distribution (DCTCP paper).
+func WebSearchCDF() *FlowSizeCDF { return workload.WebSearch() }
+
+// DataMiningCDF is the data-mining flow-size distribution (VL2 paper).
+func DataMiningCDF() *FlowSizeCDF { return workload.DataMining() }
+
+// ParseFlowSizeCDF parses a "size:frac size:frac ..." distribution table.
+func ParseFlowSizeCDF(name, text string) (*FlowSizeCDF, error) {
+	return workload.ParseFlowSizeCDF(name, text)
+}
+
+// FlowSizeCDFByName resolves a named built-in distribution ("websearch",
+// "datamining").
+func FlowSizeCDFByName(name string) (*FlowSizeCDF, error) { return workload.ByName(name) }
+
+// Rotor topology helpers (multi-rack RDCN).
+func RotorWeek(nRacks, packetDays int, day, night Duration) *Schedule {
+	return rdcn.RotorWeek(nRacks, packetDays, day, night)
+}
+
+// RotorPeer returns the rack matched with rack on optical day (1-based);
+// -1 when the rack sits out (odd rack counts).
+func RotorPeer(nRacks, day, rack int) int { return rdcn.RotorPeer(nRacks, day, rack) }
+
+// NumMatchings is the optical-day count of an n-rack rotor week.
+func NumMatchings(n int) int { return rdcn.NumMatchings(n) }
+
 // Scenario constructors (§5.2's three settings).
 func HybridScenario() Scenario { return experiments.Hybrid() }
 
@@ -239,6 +291,9 @@ func BandwidthOnlyScenario() Scenario { return experiments.BandwidthOnly() }
 
 // LatencyOnlyScenario varies only the latency (Figs. 9, 14).
 func LatencyOnlyScenario(rate Rate) Scenario { return experiments.LatencyOnly(rate) }
+
+// MultiRackScenario scales the hybrid setting to an n-rack rotor RDCN.
+func MultiRackScenario(n int) Scenario { return experiments.MultiRack(n) }
 
 // Figure reproductions, one per paper figure (see DESIGN.md's index).
 func Fig2(o FigureOptions) (*Figure, error) { return experiments.Fig2(o) }
@@ -269,6 +324,12 @@ func Headline(o FigureOptions) (*Figure, error) { return experiments.Headline(o)
 
 // Ablation quantifies each TDTCP mechanism's contribution.
 func Ablation(o FigureOptions) (*Figure, error) { return experiments.Ablation(o) }
+
+// FigRotor compares the rotor-capable variants on an N-rack fabric.
+func FigRotor(o FigureOptions) (*Figure, error) { return experiments.FigRotor(o) }
+
+// FigMultiRack runs the open-loop flow workload on an N-rack fabric.
+func FigMultiRack(o FigureOptions) (*Figure, error) { return experiments.FigMultiRack(o) }
 
 // Figures maps figure IDs ("fig2" … "headline", "ablation") to runners.
 var Figures = experiments.Figures
