@@ -213,6 +213,12 @@ func BenchmarkEventLoop(b *testing.B) { bench.EventLoop(b) }
 // the two should differ only by the enabled tracer's encoding cost.
 func BenchmarkSimulatedWeek(b *testing.B) { bench.SimulatedWeek(b) }
 
+// BenchmarkSimulatedWeekFlight is BenchmarkSimulatedWeek with the always-on
+// flight recorder attached (the experiments.Run default): the per-event ring
+// write is the only added cost, budgeted at <5% events/sec with a zero
+// allocs/op delta.
+func BenchmarkSimulatedWeekFlight(b *testing.B) { bench.SimulatedWeekFlight(b) }
+
 // BenchmarkSimulatedWeekTraced is BenchmarkSimulatedWeek with a full-mask
 // JSONL tracer attached (writing to io.Discard), measuring the enabled-path
 // tracing overhead on the end-to-end experiment.

@@ -10,8 +10,9 @@ test -z "$(gofmt -l . | tee /dev/stderr)"
 go vet ./...
 
 # tdlint enforces the contracts the compiler cannot see: determinism, RFC 1982
-# sequence arithmetic, hook nil-safety, trace categories, metric naming.
-# Exit 1 = findings, exit 2 = load failure; either fails the gate.
+# sequence arithmetic, hook nil-safety, trace categories, metric naming, and
+# causal-span Begin/End pairing. Exit 1 = findings, exit 2 = load failure;
+# either fails the gate.
 go run ./cmd/tdlint ./...
 
 go build ./...
@@ -26,6 +27,11 @@ go tool cover -func=artifacts/cover.out | tee artifacts/coverage.txt
 # bit-identical to the sequential path (goroutines are legal only in
 # internal/experiments; the simulation core below it is single-threaded).
 go test -race -run TestSweepParallelMatchesSequential ./internal/experiments/
+
+# Progress-reporter gate: the live meters are read by a wall-clock goroutine
+# while the simulation writes them, so the obs package must stay race-clean
+# under concurrent Line/FlowStarted/FlowDone against a running loop.
+go test -race -run 'TestMeterConcurrentReads|TestReporter' ./internal/obs/
 
 # Golden-figure regression gate under the race detector: figure orderings,
 # goodput bands, the 8-rack determinism trace, the workload sweep parity

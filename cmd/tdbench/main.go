@@ -45,6 +45,7 @@ var headline = []struct {
 }{
 	{"EventLoop", bench.EventLoop},
 	{"SimulatedWeek", bench.SimulatedWeek},
+	{"SimulatedWeekFlight", bench.SimulatedWeekFlight},
 }
 
 func main() {

@@ -1,7 +1,7 @@
 // Command tdlint runs the repository's static analyzer suite over Go package
 // patterns and reports contract violations the compiler cannot see:
 // determinism, RFC 1982 sequence arithmetic, hook nil-safety, trace
-// categories, and metric naming (see internal/lint).
+// categories, metric naming, and causal-span pairing (see internal/lint).
 //
 // Usage:
 //

@@ -8,8 +8,10 @@
 //	tdsim -run tdtcp -weeks 20      # single-variant run with counters
 //	tdsim -run tdtcp -trace out.jsonl -metrics out.json
 //	                                # + JSONL event trace and metrics JSON
-//	tdsim -sweep tdtcp,cubic -seeds 4 -parallel 8
-//	                                # variants x seeds matrix, 8 workers
+//	tdsim -run tdtcp -progress      # live events/sec + sim/wall on stderr
+//	tdsim -sweep tdtcp,cubic -seeds 4 -parallel 8 -progress
+//	                                # variants x seeds matrix, 8 workers,
+//	                                # per-worker cell status on stderr
 //
 // Figures: fig2 fig7 fig8 fig9 fig10 fig11 fig13 fig14 headline ablation,
 // plus the multi-rack rotor figures:
@@ -19,7 +21,8 @@
 //	                                # open-loop flow workload with FCTs
 //
 // Traces are post-processed with the tdtrace command (summary, filtering,
-// Chrome trace-viewer export).
+// Chrome trace-viewer export) and the tdprof command (span stats, per-flow
+// timelines, histogram summaries).
 package main
 
 import (
@@ -31,6 +34,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	tdtcp "github.com/rdcn-net/tdtcp"
 	"github.com/rdcn-net/tdtcp/internal/stats"
@@ -44,24 +48,28 @@ func main() {
 		warmup = flag.Int("warmup", 0, "warmup weeks excluded from measurement (0 = default 3)")
 		weeks  = flag.Int("weeks", 0, "measurement weeks (0 = default 20)")
 		seed   = flag.Int64("seed", 1, "simulation seed")
-		quick  = flag.Bool("quick", false, "shrink runs for a fast smoke pass")
-		csvDir = flag.String("csv", "", "directory to write plottable CSV series into")
+		quick  = flag.Bool("quick", false, "shrink runs for a fast smoke pass (-fig and -sweep; -run sizes via -warmup/-weeks)")
+		csvDir = flag.String("csv", "", "directory to write plottable CSV series into (-fig only)")
 
 		racks    = flag.Int("racks", 0, "rack count for the multi-rack figures (rotor, multirack; 0 = default 4)")
 		workload = flag.String("workload", "", "flow-size distribution for the workload figures (websearch, datamining)")
 
-		traceOut  = flag.String("trace", "", "write a JSONL event trace to this file (-run only; '-' = stdout)")
-		traceCats = flag.String("tracecats", "tcp,cc,tdn,voq,rdcn,fault", "trace categories (comma-separated; 'all' adds the chatty sim loop)")
-		metricsFn = flag.String("metrics", "", "write run metrics as JSON to this file (-run only; '-' = stdout)")
+		traceOut  = flag.String("trace", "", "write a JSONL event trace (point events and causal spans) to this file (-run only; '-' = stdout)")
+		traceCats = flag.String("tracecats", "tcp,cc,tdn,voq,rdcn,fault", "trace categories for -trace (comma-separated; 'all' adds the chatty sim loop; ignored without -trace)")
+		metricsFn = flag.String("metrics", "", "write run counters, gauges and histogram summaries as JSON to this file (-run only; '-' = stdout)")
 
 		sweepSpec = flag.String("sweep", "", "sweep a comma-separated variant list (or 'all') over -seeds seeds")
-		seeds     = flag.Int("seeds", 4, "number of seeds per sweep cell (1..N)")
+		seeds     = flag.Int("seeds", 4, "number of seeds per sweep cell (-sweep only; < 1 = 1)")
 		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent runs in a sweep (1 = sequential)")
 
-		faultSpec  = flag.String("fault", "", "fault-injection plan, e.g. 'nloss=0.1,drop=0.01,flaps=2' (-run only)")
-		faultSeed  = flag.Int64("faultseed", 1, "fault-injection seed, independent of -seed")
-		invariants = flag.Bool("invariants", false, "check connection/network invariants after every event (-run only)")
+		faultSpec  = flag.String("fault", "", "fault-injection plan, e.g. 'nloss=0.1,drop=0.01,flaps=2' (-run only; seeded by -faultseed)")
+		faultSeed  = flag.Int64("faultseed", 1, "fault-injection seed, independent of -seed (-run only)")
+		invariants = flag.Bool("invariants", false, "check connection/network invariants after every event and dump the flight recorder on violation (-run only)")
 		schedSpec  = flag.String("sched", "", "override the optical schedule, e.g. '6x(0:180us,-:20us),1:180us,-:20us' (-run only)")
+
+		progress  = flag.Bool("progress", false, "print live progress to stderr: events/sec and sim/wall ratio (-run), per-worker cell status (-sweep)")
+		flightLen = flag.Int("flightrec", tdtcp.DefaultFlightLen,
+			"flight-recorder ring length: recent events kept for failure dumps (-run/-sweep; 0 = disable)")
 	)
 	flag.Parse()
 
@@ -79,7 +87,7 @@ func main() {
 		}
 		if err := runSweep(*sweepSpec, *seeds, *parallel, tdtcp.RunConfig{
 			Flows: *flows, WarmupWeeks: w, MeasureWeeks: m,
-		}); err != nil {
+		}, *flightLen, *progress); err != nil {
 			fatal(err)
 		}
 	case *runVar != "":
@@ -111,7 +119,8 @@ func main() {
 			cfg.Scenario = tdtcp.HybridScenario()
 			cfg.Scenario.Schedule = sched
 		}
-		if err := runOne(cfg, *traceOut, *traceCats, *metricsFn); err != nil {
+		configureFlight(&cfg, *flightLen)
+		if err := runOne(cfg, *traceOut, *traceCats, *metricsFn, *progress); err != nil {
 			fatal(err)
 		}
 	case *figID != "":
@@ -161,7 +170,19 @@ func outFile(path string) (w io.Writer, closeFn func() error, err error) {
 	return f, f.Close, nil
 }
 
-func runOne(cfg tdtcp.RunConfig, traceOut, traceCats, metricsFn string) error {
+// configureFlight applies the -flightrec flag to one run configuration. Each
+// run gets its own ring (recorders are never shared across sweep cells); the
+// default length needs no explicit recorder — Run creates one.
+func configureFlight(cfg *tdtcp.RunConfig, n int) {
+	switch {
+	case n <= 0:
+		cfg.DisableFlight = true
+	case n != tdtcp.DefaultFlightLen:
+		cfg.Flight = tdtcp.NewFlightRecorder(n, tdtcp.DefaultFlightCats)
+	}
+}
+
+func runOne(cfg tdtcp.RunConfig, traceOut, traceCats, metricsFn string, progress bool) error {
 	var closeTrace func() error
 	if traceOut != "" {
 		mask, err := tdtcp.ParseTraceCategories(traceCats)
@@ -178,7 +199,17 @@ func runOne(cfg tdtcp.RunConfig, traceOut, traceCats, metricsFn string) error {
 	if metricsFn != "" {
 		cfg.Metrics = tdtcp.NewMetricsRegistry()
 	}
+	var rep *tdtcp.ProgressReporter
+	if progress {
+		meter := tdtcp.NewProgressMeter()
+		cfg.Meter = meter
+		rep = tdtcp.NewProgressReporter(os.Stderr, time.Second, meter.Line)
+		rep.Start()
+	}
 	res, err := tdtcp.Run(cfg)
+	if rep != nil {
+		rep.Stop()
+	}
 	if err != nil {
 		return err
 	}
@@ -244,7 +275,7 @@ func runOne(cfg tdtcp.RunConfig, traceOut, traceCats, metricsFn string) error {
 // runSweep executes a variants x seeds matrix across workers and prints one
 // line per cell (input order, so output is deterministic regardless of the
 // worker count) plus a per-variant mean.
-func runSweep(spec string, nseeds, workers int, base tdtcp.RunConfig) error {
+func runSweep(spec string, nseeds, workers int, base tdtcp.RunConfig, flightLen int, progress bool) error {
 	var variants []tdtcp.Variant
 	if spec == "all" {
 		variants = append(variants, tdtcp.AllVariants...)
@@ -261,9 +292,23 @@ func runSweep(spec string, nseeds, workers int, base tdtcp.RunConfig) error {
 		seeds[i] = int64(i + 1)
 	}
 	cfgs := tdtcp.SweepMatrix(base, variants, seeds)
+	for i := range cfgs {
+		configureFlight(&cfgs[i], flightLen)
+	}
 	fmt.Fprintf(os.Stderr, "tdsim: sweeping %d configs (%d variants x %d seeds) on %d workers\n",
 		len(cfgs), len(variants), nseeds, workers)
-	results := tdtcp.Sweep(cfgs, workers)
+	var obs tdtcp.SweepObserver
+	var rep *tdtcp.ProgressReporter
+	if progress {
+		sm := tdtcp.NewSweepProgressMeter(len(cfgs), workers)
+		rep = tdtcp.NewProgressReporter(os.Stderr, time.Second, sm.Line)
+		rep.Start()
+		obs = sm
+	}
+	results := tdtcp.SweepWithObserver(cfgs, workers, obs)
+	if rep != nil {
+		rep.Stop()
+	}
 
 	fmt.Printf("%-10s %5s %12s %12s %12s\n", "variant", "seed", "goodput", "retrans", "loss-marks")
 	means := map[tdtcp.Variant]float64{}

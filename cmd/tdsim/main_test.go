@@ -80,6 +80,60 @@ func TestMultiRackFigureRuns(t *testing.T) {
 	}
 }
 
+// TestProgressFlagStreamsToStderr: -progress must emit at least the final
+// progress line on stderr (stdout stays the machine-readable report), and the
+// run must still exit 0.
+func TestProgressFlagStreamsToStderr(t *testing.T) {
+	bin := buildBinary(t)
+	stdout, stderr, code := runSim(t, bin,
+		"-run", "tdtcp", "-flows", "2", "-warmup", "1", "-weeks", "1", "-progress")
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "progress:") || !strings.Contains(stderr, "ev/s") {
+		t.Errorf("stderr missing progress line, got: %s", stderr)
+	}
+	if strings.Contains(stdout, "progress:") {
+		t.Errorf("progress leaked onto stdout:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "goodput") {
+		t.Errorf("run report missing from stdout:\n%s", stdout)
+	}
+}
+
+// TestFlightrecFlag pins both edges of -flightrec: a custom ring length and 0
+// (disabled) must both run cleanly, and a negative exit is reserved for real
+// failures.
+func TestFlightrecFlag(t *testing.T) {
+	bin := buildBinary(t)
+	for _, n := range []string{"64", "0"} {
+		stdout, stderr, code := runSim(t, bin,
+			"-run", "tdtcp", "-flows", "2", "-warmup", "1", "-weeks", "1", "-flightrec", n)
+		if code != 0 {
+			t.Fatalf("-flightrec %s: exit %d\nstderr: %s", n, code, stderr)
+		}
+		if !strings.Contains(stdout, "goodput") {
+			t.Errorf("-flightrec %s: report missing:\n%s", n, stdout)
+		}
+	}
+}
+
+// TestUsageListsObservabilityFlags: the new flags must appear in -help output
+// alongside the audited trace/metrics/fault strings.
+func TestUsageListsObservabilityFlags(t *testing.T) {
+	bin := buildBinary(t)
+	_, stderr, code := runSim(t, bin, "-help")
+	if code != 0 && code != 2 {
+		t.Fatalf("-help: exit %d", code)
+	}
+	for _, want := range []string{"-progress", "-flightrec", "-trace", "-tracecats", "-metrics", "-fault", "-invariants",
+		"flight recorder", "histogram"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("usage missing %q:\n%s", want, stderr)
+		}
+	}
+}
+
 // TestBadWorkloadExitsNonZero covers the workload-resolution error path.
 func TestBadWorkloadExitsNonZero(t *testing.T) {
 	bin := buildBinary(t)

@@ -14,6 +14,7 @@ import (
 	"github.com/rdcn-net/tdtcp/internal/experiments"
 	"github.com/rdcn-net/tdtcp/internal/rdcn"
 	"github.com/rdcn-net/tdtcp/internal/sim"
+	"github.com/rdcn-net/tdtcp/internal/trace"
 )
 
 // EventLoop measures raw event-loop throughput: a single self-rescheduling
@@ -53,6 +54,45 @@ func SimulatedWeek(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			fl.Start(-1)
+		}
+		end := sim.Time(cfg.Schedule.Week())
+		net.Start(end)
+		loop.RunUntil(end)
+		fired += loop.Fired()
+	}
+	b.ReportMetric(float64(fired)/float64(b.N), "events/op")
+}
+
+// SimulatedWeekFlight is SimulatedWeek with the always-on flight recorder
+// attached, the default experiments.Run configuration: every instrumented
+// site records into the fixed ring through a flight-only tracer (no JSONL
+// encoding). The ring and tracer are allocated once outside the timed loop
+// and the ring is Reset per iteration, so the measured steady state is the
+// pure ring-write cost — budgeted at <5% events/sec and a zero allocs/op
+// delta against SimulatedWeek (tracked in BENCH_simcore.json).
+func SimulatedWeekFlight(b *testing.B) {
+	flight := trace.NewFlight(trace.DefaultFlightLen, trace.DefaultFlightCats)
+	tr := (*trace.Tracer)(nil).WithFlight(flight)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var fired uint64
+	for i := 0; i < b.N; i++ {
+		flight.Reset()
+		loop := sim.NewLoop(int64(i + 1))
+		loop.SetTracer(tr)
+		cfg := rdcn.DefaultConfig()
+		net, err := rdcn.New(loop, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		net.SetTracer(tr)
+		for f := 0; f < cfg.HostsPerRack; f++ {
+			fl, err := experiments.BuildFlow(loop, net, f, experiments.TDTCP, experiments.FlowOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			fl.SetTracer(tr, f)
 			fl.Start(-1)
 		}
 		end := sim.Time(cfg.Schedule.Week())

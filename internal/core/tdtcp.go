@@ -65,6 +65,12 @@ type TDTCP struct {
 	c      *tcp.Conn
 	active int
 
+	// DeadmanLag, when non-nil, records the notification gap (nanoseconds
+	// since the last delivered notification) at every deadman engagement —
+	// the tail of this histogram is how far behind the schedule a flow ran
+	// while its control channel was dark.
+	DeadmanLag *trace.Histogram
+
 	// changePtr is the TDN change pointer (§3.4): the first sequence
 	// number transmitted after the most recent TDN switch.
 	changePtr    uint32
@@ -147,6 +153,7 @@ func (p *TDTCP) deadmanFire() {
 		return
 	} else if tdn, ok := p.opts.DeadmanSchedule(now); ok && tdn >= 0 && tdn < p.numTDNs && tdn != p.active {
 		p.deadmanEngaged++
+		p.DeadmanLag.Record(int64(gap))
 		if tr := p.c.Tracer; tr.Enabled(trace.CatTDN) {
 			tr.Emit(trace.CatTDN, int64(now), "tdn_deadman",
 				p.c.FlowID, tdn, float64(p.active), float64(gap), "")
@@ -189,8 +196,14 @@ func (p *TDTCP) switchTo(tdn int) {
 	p.haveChange = true
 	p.lastSwitchAt = p.c.Loop.Now()
 	if tr := p.c.Tracer; tr.Enabled(trace.CatTDN) {
-		tr.Emit(trace.CatTDN, int64(p.c.Loop.Now()), "tdn_switch",
+		now := int64(p.c.Loop.Now())
+		tr.Emit(trace.CatTDN, now, "tdn_switch",
 			p.c.FlowID, tdn, float64(from), float64(p.c.RelSeq(p.changePtr)), "")
+		// The swap itself is instantaneous; a zero-length span (rather than
+		// a point event) carries the parent link that chains it under the
+		// notification that caused it: epoch -> notify -> cwnd_swap.
+		sp := tr.BeginSpan(trace.CatTDN, now, "cwnd_swap", p.c.FlowID, tdn, tr.Parent())
+		tr.EndSpan(trace.CatTDN, now, "cwnd_swap", p.c.FlowID, tdn, sp, float64(from), float64(p.c.RelSeq(p.changePtr)))
 	}
 	if p.c.OnStateSwitch != nil {
 		p.c.OnStateSwitch(p.c.Loop.Now(), from, tdn)

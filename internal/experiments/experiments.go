@@ -2,10 +2,13 @@ package experiments
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"github.com/rdcn-net/tdtcp/internal/core"
 	"github.com/rdcn-net/tdtcp/internal/fault"
 	"github.com/rdcn-net/tdtcp/internal/invariant"
+	"github.com/rdcn-net/tdtcp/internal/obs"
 	"github.com/rdcn-net/tdtcp/internal/rdcn"
 	"github.com/rdcn-net/tdtcp/internal/sim"
 	"github.com/rdcn-net/tdtcp/internal/stats"
@@ -103,8 +106,26 @@ type RunConfig struct {
 	Tracer *trace.Tracer
 	// Metrics, when non-nil, is populated with run-level counters and
 	// gauges before Run returns (see the "Observability" section of
-	// DESIGN.md for the key taxonomy).
+	// DESIGN.md for the key taxonomy), plus the run's zero-allocation
+	// histograms: per-TDN RTT ("tcp.rtt_tdn<k>_ns"), per-rack VOQ occupancy
+	// ("voq.r<k>.occ_pkts"), epoch-switch latency ("rdcn.notify_lat_ns"),
+	// and deadman engagement lag ("tdtcp.deadman_lag_ns").
 	Metrics *trace.Registry
+
+	// Flight, when non-nil, attaches the given flight recorder to the run's
+	// tracer. When nil (and DisableFlight is unset) Run creates one with the
+	// trace-package defaults, so the most recent events are always in hand
+	// even with JSONL tracing off. The ring is dumped to stderr when an
+	// invariant check fails, the conservation ledger fails, or the run
+	// panics; Result.Flight exposes it afterwards.
+	Flight *trace.Flight
+	// DisableFlight turns the always-on flight recorder off entirely (the
+	// benchmark A/B baseline; there is no other reason to disable it).
+	DisableFlight bool
+	// Meter, when non-nil, taps the run for live progress (events/sec,
+	// sim/wall ratio): attach an obs.Reporter to stream it. Pure observer —
+	// results and traces are identical with or without one.
+	Meter *obs.Meter
 
 	// Fault, when non-nil and enabled, injects the plan's faults into the
 	// run, driven by FaultSeed (default 1) independently of Seed. TDTCP
@@ -193,12 +214,79 @@ type Result struct {
 	// when RunConfig.Invariants was set.
 	InvariantChecks uint64
 	Violations      []invariant.Violation
+	// Flight is the run's flight recorder (nil when disabled): the most
+	// recent trace events, recorded regardless of JSONL tracing.
+	Flight *trace.Flight
+	// FlightSnapshot holds the ring contents frozen at the first invariant
+	// violation (nil on clean or unchecked runs).
+	FlightSnapshot []trace.Event
+}
+
+// dumpFlight writes the flight recorder's ring as JSONL behind a banner line
+// naming the reason. Used on the failure paths (conservation failure, panic;
+// the invariant checker dumps through its own hook) so a post-mortem always
+// has the last events in hand.
+func dumpFlight(w io.Writer, f *trace.Flight, reason string) {
+	if f == nil || f.Len() == 0 {
+		return
+	}
+	fmt.Fprintf(w, "== flight recorder dump (%s): last %d events ==\n", reason, f.Len())
+	_ = f.Dump(w)
+}
+
+// wireFlowHists attaches the registry's per-TDN RTT and deadman-lag
+// histograms to a flow's connections (both directions; every MPTCP subflow).
+// Handles resolve once here — Conn and TDTCP record into them lock-free.
+func wireFlowHists(m *trace.Registry, f *Flow, ntdns int) {
+	if m == nil {
+		return
+	}
+	rtts := make([]*trace.Histogram, ntdns)
+	for k := range rtts {
+		rtts[k] = m.Hist(fmt.Sprintf("tcp.rtt_tdn%d_ns", k))
+	}
+	lag := m.Hist("tdtcp.deadman_lag_ns")
+	wire := func(c *tcp.Conn) {
+		if c == nil {
+			return
+		}
+		c.RTTHists = rtts
+		if p, ok := c.Config().Policy.(*core.TDTCP); ok {
+			p.DeadmanLag = lag
+		}
+	}
+	if f.MSnd != nil {
+		for _, sub := range f.MSnd.Subflows() {
+			wire(sub)
+		}
+		for _, sub := range f.MRcv.Subflows() {
+			wire(sub)
+		}
+		return
+	}
+	wire(f.Snd)
+	wire(f.Rcv)
 }
 
 // Run executes one experiment and returns its measurements.
 func Run(cfg RunConfig) (*Result, error) {
 	cfg.fillDefaults()
+	flight := cfg.Flight
+	if flight == nil && !cfg.DisableFlight {
+		flight = trace.NewFlight(trace.DefaultFlightLen, trace.DefaultFlightCats)
+	}
+	// tracer carries the flight recorder alongside any caller-supplied JSONL
+	// tracer; it is what every layer below gets wired with. JSONL output is
+	// byte-identical with or without the recorder attached.
+	tracer := cfg.Tracer.WithFlight(flight)
+	defer func() {
+		if r := recover(); r != nil {
+			dumpFlight(os.Stderr, flight, fmt.Sprintf("panic: %v", r))
+			panic(r)
+		}
+	}()
 	loop := sim.NewLoop(cfg.Seed)
+	cfg.Meter.Attach(loop)
 
 	racks := cfg.Scenario.Racks
 	if racks == 0 {
@@ -237,13 +325,24 @@ func Run(cfg RunConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	loop.SetTracer(cfg.Tracer)
-	net.SetTracer(cfg.Tracer)
+	loop.SetTracer(tracer)
+	net.SetTracer(tracer)
+	if m := cfg.Metrics; m != nil {
+		// Histogram handles resolve here, at setup; the hot-path Record is
+		// lock-free and allocation-free.
+		net.NotifyLat = m.Hist("rdcn.notify_lat_ns")
+		for _, rack := range net.Racks {
+			occ := m.Hist(fmt.Sprintf("voq.r%d.occ_pkts", rack.ID))
+			for _, v := range rack.VOQs() {
+				v.OccHist = occ
+			}
+		}
+	}
 
 	var inj *fault.Injector
 	if cfg.Fault != nil && cfg.Fault.Enabled() {
 		inj = fault.New(loop, *cfg.Fault, cfg.FaultSeed)
-		inj.SetTracer(cfg.Tracer)
+		inj.SetTracer(tracer)
 		inj.SetMetrics(cfg.Metrics)
 		inj.Install(net)
 		if cfg.Variant == TDTCP && cfg.Flow.TDTCPOpts.DeadmanHorizon == 0 {
@@ -253,8 +352,9 @@ func Run(cfg RunConfig) (*Result, error) {
 	var chk *invariant.Checker
 	if cfg.Invariants {
 		chk = invariant.New(loop)
-		chk.SetTracer(cfg.Tracer)
+		chk.SetTracer(tracer)
 		chk.SetMetrics(cfg.Metrics)
+		chk.SetFlight(flight, os.Stderr)
 		chk.WatchNetwork(net)
 	}
 
@@ -268,7 +368,8 @@ func Run(cfg RunConfig) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			f.SetTracer(cfg.Tracer, i)
+			f.SetTracer(tracer, i)
+			wireFlowHists(cfg.Metrics, f, len(cfg.Scenario.TDNs))
 			flows[i] = f
 		}
 	} else {
@@ -277,7 +378,8 @@ func Run(cfg RunConfig) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			f.SetTracer(cfg.Tracer, i)
+			f.SetTracer(tracer, i)
+			wireFlowHists(cfg.Metrics, f, len(cfg.Scenario.TDNs))
 			flows[i] = f
 		}
 	}
@@ -330,7 +432,11 @@ func Run(cfg RunConfig) (*Result, error) {
 		rtBuckets.Close(rt)
 	}
 
-	for _, f := range flows {
+	// Each flow's lifetime is a causal span: child events (recovery episodes,
+	// cwnd swaps) hang off it in the Chrome view.
+	flowSpans := make([]trace.SpanID, len(flows))
+	for i, f := range flows {
+		flowSpans[i] = tracer.BeginSpan(trace.CatTCP, int64(loop.Now()), "flow", i, -1, 0)
 		f.Start(-1)
 	}
 
@@ -340,6 +446,10 @@ func Run(cfg RunConfig) (*Result, error) {
 		func() float64 { return delivered() - baseline })
 	voq := stats.NewSampler(loop, string(cfg.Variant), cfg.SampleEvery, end, voqLen)
 	loop.RunUntil(end)
+	for i, f := range flows {
+		tracer.EndSpan(trace.CatTCP, int64(loop.Now()), "flow", i, -1,
+			flowSpans[i], float64(f.Delivered()), 0)
+	}
 
 	measureDur := end.Sub(measureStart)
 	res := &Result{
@@ -374,6 +484,7 @@ func Run(cfg RunConfig) (*Result, error) {
 	}
 	res.FramesSent, res.FramesDelivered, res.FramesMisrouted = net.FrameLedger()
 	if err := net.CheckConservation(); err != nil {
+		dumpFlight(os.Stderr, flight, fmt.Sprintf("conservation failure: %v", err))
 		return nil, fmt.Errorf("experiments: %s on %s: %w", cfg.Variant, cfg.Scenario.Name, err)
 	}
 	if inj != nil {
@@ -382,7 +493,9 @@ func Run(cfg RunConfig) (*Result, error) {
 	if chk != nil {
 		res.InvariantChecks = chk.Checks()
 		res.Violations = chk.Violations()
+		res.FlightSnapshot = chk.FlightSnapshot()
 	}
+	res.Flight = flight
 	// The VOQ series gets its label from the variant but its own axis: fix
 	// labels for clarity.
 	res.Seq.Label = string(cfg.Variant)

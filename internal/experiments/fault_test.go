@@ -6,11 +6,13 @@ import (
 	"testing"
 
 	"github.com/rdcn-net/tdtcp/internal/fault"
+	"github.com/rdcn-net/tdtcp/internal/obs"
 	"github.com/rdcn-net/tdtcp/internal/trace"
 )
 
 // shortRun executes a 2-flow, 1+2-week run of the given variant under plan
-// (nil = clean) with the invariant checker attached.
+// (nil = clean) with the invariant checker attached. Any failure in the
+// calling test logs the run's flight recorder.
 func shortRun(t *testing.T, v Variant, plan *fault.Plan) *Result {
 	t.Helper()
 	res, err := Run(RunConfig{
@@ -25,6 +27,7 @@ func shortRun(t *testing.T, v Variant, plan *fault.Plan) *Result {
 	if err != nil {
 		t.Fatalf("Run(%s): %v", v, err)
 	}
+	obs.DumpOnFailure(t, res.Flight)
 	return res
 }
 
@@ -154,6 +157,7 @@ func TestDeadmanEngagesUnderNotificationLoss(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
+	obs.DumpOnFailure(t, res.Flight)
 	if res.FaultStats.NotifyDropped == 0 {
 		t.Fatal("plan dropped no notifications")
 	}

@@ -30,6 +30,15 @@ func Matrix(base RunConfig, variants []Variant, seeds []int64) []RunConfig {
 	return cfgs
 }
 
+// SweepObserver receives worker-lifecycle callbacks from an observed sweep:
+// CellStart when a worker picks up input cell (the sequential path is worker
+// 0), CellDone when the run returns. Both may be called from any worker
+// goroutine concurrently; obs.SweepMeter is the standard implementation.
+type SweepObserver interface {
+	CellStart(worker, cell int)
+	CellDone(worker, cell int, err error)
+}
+
 // Sweep executes every configuration and returns results indexed by input
 // position, so the output order is deterministic regardless of which run
 // finishes first. workers bounds how many simulations run concurrently;
@@ -40,11 +49,27 @@ func Matrix(base RunConfig, variants []Variant, seeds []int64) []RunConfig {
 // Configurations must not share a Tracer or Metrics registry when workers
 // exceeds 1 — those sinks are not synchronized.
 func Sweep(cfgs []RunConfig, workers int) []SweepResult {
+	return SweepWithObserver(cfgs, workers, nil)
+}
+
+// SweepWithObserver is Sweep with per-cell progress callbacks (nil obs =
+// plain Sweep). Observation cannot change results: the observer sees indexes
+// and errors only, never the configurations or measurements.
+func SweepWithObserver(cfgs []RunConfig, workers int, obs SweepObserver) []SweepResult {
 	out := make([]SweepResult, len(cfgs))
+	runCell := func(worker, i int) {
+		if obs != nil {
+			obs.CellStart(worker, i)
+		}
+		res, err := Run(cfgs[i])
+		out[i] = SweepResult{Cfg: cfgs[i], Res: res, Err: err}
+		if obs != nil {
+			obs.CellDone(worker, i, err)
+		}
+	}
 	if workers <= 1 {
-		for i, cfg := range cfgs {
-			res, err := Run(cfg)
-			out[i] = SweepResult{Cfg: cfg, Res: res, Err: err}
+		for i := range cfgs {
+			runCell(0, i)
 		}
 		return out
 	}
@@ -55,13 +80,12 @@ func Sweep(cfgs []RunConfig, workers int) []SweepResult {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range idx {
-				res, err := Run(cfgs[i])
-				out[i] = SweepResult{Cfg: cfgs[i], Res: res, Err: err}
+				runCell(worker, i)
 			}
-		}()
+		}(w)
 	}
 	for i := range cfgs {
 		idx <- i

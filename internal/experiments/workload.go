@@ -2,9 +2,11 @@ package experiments
 
 import (
 	"fmt"
+	"os"
 	"sync"
 
 	"github.com/rdcn-net/tdtcp/internal/netem"
+	"github.com/rdcn-net/tdtcp/internal/obs"
 	"github.com/rdcn-net/tdtcp/internal/packet"
 	"github.com/rdcn-net/tdtcp/internal/rdcn"
 	"github.com/rdcn-net/tdtcp/internal/sim"
@@ -153,6 +155,21 @@ type WorkloadConfig struct {
 	Notify     *rdcn.NotifyProfile
 	Flow       FlowOptions
 	Tracer     *trace.Tracer
+	// Metrics, when non-nil, is populated with run-level counters plus the
+	// run's histograms: flow completion times ("fct.ns") and the same
+	// per-TDN RTT / VOQ occupancy / notification-latency / deadman-lag
+	// histograms as RunConfig.Metrics.
+	Metrics *trace.Registry
+	// Flight and DisableFlight mirror RunConfig: the always-on flight
+	// recorder, created by default, dumped to stderr on conservation failure
+	// or panic. Parallel sweeps give every run its own recorder, like the
+	// Tracer contract.
+	Flight        *trace.Flight
+	DisableFlight bool
+	// Meter, when non-nil, taps the run for live progress (see
+	// RunConfig.Meter); workload runs additionally count flow arrivals and
+	// completions through it.
+	Meter *obs.Meter
 	// DisableFramePool turns off wire-buffer recycling (determinism probe,
 	// see RunConfig.DisableFramePool).
 	DisableFramePool bool
@@ -212,6 +229,8 @@ type WorkloadResult struct {
 	MeanVOQ     float64
 	// Frame-conservation ledger at the horizon (see rdcn.FrameLedger).
 	FramesSent, FramesDelivered, FramesMisrouted uint64
+	// Flight is the run's flight recorder (nil when disabled).
+	Flight *trace.Flight
 }
 
 // RunWorkload executes one open-loop workload experiment. Flow arrivals are a
@@ -231,7 +250,20 @@ func RunWorkload(cfg WorkloadConfig) (*WorkloadResult, error) {
 		return nil, fmt.Errorf("experiments: variant %s is not supported by RunWorkload", cfg.Variant)
 	}
 
+	flight := cfg.Flight
+	if flight == nil && !cfg.DisableFlight {
+		flight = trace.NewFlight(trace.DefaultFlightLen, trace.DefaultFlightCats)
+	}
+	tracer := cfg.Tracer.WithFlight(flight)
+	defer func() {
+		if r := recover(); r != nil {
+			dumpFlight(os.Stderr, flight, fmt.Sprintf("panic: %v", r))
+			panic(r)
+		}
+	}()
+
 	loop := sim.NewLoop(cfg.Seed)
+	cfg.Meter.Attach(loop)
 	ncfg := rdcn.DefaultConfig()
 	ncfg.Racks = racks
 	ncfg.HostsPerRack = cfg.Hosts
@@ -247,8 +279,18 @@ func RunWorkload(cfg WorkloadConfig) (*WorkloadResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	loop.SetTracer(cfg.Tracer)
-	net.SetTracer(cfg.Tracer)
+	loop.SetTracer(tracer)
+	net.SetTracer(tracer)
+	if m := cfg.Metrics; m != nil {
+		net.NotifyLat = m.Hist("rdcn.notify_lat_ns")
+		for _, rack := range net.Racks {
+			occ := m.Hist(fmt.Sprintf("voq.r%d.occ_pkts", rack.ID))
+			for _, v := range rack.VOQs() {
+				v.OccHist = occ
+			}
+		}
+	}
+	fctHist := cfg.Metrics.Hist("fct.ns")
 	mn := newMuxNet(net)
 
 	week := cfg.Scenario.Schedule.Week()
@@ -282,14 +324,22 @@ func RunWorkload(cfg WorkloadConfig) (*WorkloadResult, error) {
 			return
 		}
 		id := res.FlowsStarted
-		f.SetTracer(cfg.Tracer, id)
+		f.SetTracer(tracer, id)
+		wireFlowHists(cfg.Metrics, f, len(cfg.Scenario.TDNs))
 		start := loop.Now()
 		res.FlowsStarted++
 		res.BytesOffered += size
+		cfg.Meter.FlowStarted()
+		// The flow's lifetime (arrival to FIN-ack) is a causal span; flows
+		// still open at the horizon leave theirs unclosed.
+		sp := tracer.BeginSpan(trace.CatTCP, int64(start), "flow", id, -1, 0)
 		f.Snd.OnDone = func(now sim.Time) {
 			res.FlowsCompleted++
+			cfg.Meter.FlowDone()
+			tracer.EndSpan(trace.CatTCP, int64(now), "flow", id, -1, sp, float64(size), 0)
 			if start >= measureStart {
 				res.FCT.Record(size, start, now)
+				fctHist.Record(int64(now.Sub(start)))
 			}
 		}
 		flows = append(flows, f)
@@ -326,7 +376,18 @@ func RunWorkload(cfg WorkloadConfig) (*WorkloadResult, error) {
 	res.MeanVOQ = voq.Series.Mean()
 	res.FramesSent, res.FramesDelivered, res.FramesMisrouted = net.FrameLedger()
 	if err := net.CheckConservation(); err != nil {
+		dumpFlight(os.Stderr, flight, fmt.Sprintf("conservation failure: %v", err))
 		return nil, fmt.Errorf("experiments: workload run %s: %w", cfg.Scenario.Name, err)
+	}
+	res.Flight = flight
+	if m := cfg.Metrics; m != nil {
+		m.Set("workload.goodput_gbps", res.GoodputGbps)
+		m.Set("workload.mean_voq_pkts", res.MeanVOQ)
+		m.Add("workload.flows_started", int64(res.FlowsStarted))
+		m.Add("workload.flows_completed", int64(res.FlowsCompleted))
+		m.Add("workload.bytes_offered", res.BytesOffered)
+		m.Add("sim.events_fired", int64(loop.Fired()))
+		m.Set("sim.virtual_seconds", float64(loop.Now())/1e9)
 	}
 	return res, nil
 }
@@ -340,14 +401,30 @@ type WorkloadSweepResult struct {
 
 // SweepWorkload executes every configuration, workers at a time, with results
 // indexed by input position (see Sweep for the concurrency contract; runs
-// share no state, and configurations must not share a Tracer when workers
-// exceeds 1).
+// share no state, and configurations must not share a Tracer, Metrics
+// registry, or Flight recorder when workers exceeds 1 — the default
+// per-run flight recorder is always private).
 func SweepWorkload(cfgs []WorkloadConfig, workers int) []WorkloadSweepResult {
+	return SweepWorkloadWithObserver(cfgs, workers, nil)
+}
+
+// SweepWorkloadWithObserver is SweepWorkload with per-cell progress callbacks
+// (see SweepWithObserver; nil obs = plain SweepWorkload).
+func SweepWorkloadWithObserver(cfgs []WorkloadConfig, workers int, obs SweepObserver) []WorkloadSweepResult {
 	out := make([]WorkloadSweepResult, len(cfgs))
+	runCell := func(worker, i int) {
+		if obs != nil {
+			obs.CellStart(worker, i)
+		}
+		res, err := RunWorkload(cfgs[i])
+		out[i] = WorkloadSweepResult{Cfg: cfgs[i], Res: res, Err: err}
+		if obs != nil {
+			obs.CellDone(worker, i, err)
+		}
+	}
 	if workers <= 1 {
-		for i, cfg := range cfgs {
-			res, err := RunWorkload(cfg)
-			out[i] = WorkloadSweepResult{Cfg: cfg, Res: res, Err: err}
+		for i := range cfgs {
+			runCell(0, i)
 		}
 		return out
 	}
@@ -358,13 +435,12 @@ func SweepWorkload(cfgs []WorkloadConfig, workers int) []WorkloadSweepResult {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range idx {
-				res, err := RunWorkload(cfgs[i])
-				out[i] = WorkloadSweepResult{Cfg: cfgs[i], Res: res, Err: err}
+				runCell(worker, i)
 			}
-		}()
+		}(w)
 	}
 	for i := range cfgs {
 		idx <- i

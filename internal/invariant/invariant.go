@@ -14,6 +14,7 @@ package invariant
 
 import (
 	"fmt"
+	"io"
 
 	"github.com/rdcn-net/tdtcp/internal/rdcn"
 	"github.com/rdcn-net/tdtcp/internal/sim"
@@ -43,6 +44,13 @@ type watchedNet struct {
 	failed bool
 }
 
+type watchedFunc struct {
+	site   string
+	flow   int
+	fn     func() error
+	failed bool
+}
+
 // Checker validates watched objects after every simulation event. Construct
 // with New (which installs the loop hook), then register sites with
 // WatchConn/WatchNetwork at any point.
@@ -50,9 +58,12 @@ type Checker struct {
 	loop    *sim.Loop
 	tracer  *trace.Tracer
 	metrics *trace.Registry
+	flight  *trace.Flight
+	dumpTo  io.Writer
 
 	conns []watchedConn
 	nets  []watchedNet
+	funcs []watchedFunc
 
 	// Every checks only every n-th event when > 1 (a throttle for very long
 	// runs; the default 1 checks after every event).
@@ -61,6 +72,7 @@ type Checker struct {
 	events     uint64
 	checks     uint64
 	violations []Violation
+	flightSnap []trace.Event
 }
 
 // New returns a checker hooked into loop's post-event point. An existing
@@ -83,6 +95,18 @@ func (c *Checker) SetTracer(tr *trace.Tracer) { c.tracer = tr }
 // SetMetrics attaches a registry; violations bump "invariant.violations".
 func (c *Checker) SetMetrics(reg *trace.Registry) { c.metrics = reg }
 
+// SetFlight attaches a flight recorder: the first violation snapshots its
+// ring (see FlightSnapshot) and, when w is non-nil, dumps it as JSONL with a
+// banner line — the post-mortem view of the events leading into the failure.
+func (c *Checker) SetFlight(f *trace.Flight, w io.Writer) {
+	c.flight = f
+	c.dumpTo = w
+}
+
+// FlightSnapshot returns the flight recorder's contents captured at the
+// first violation (nil when no violation occurred or no recorder attached).
+func (c *Checker) FlightSnapshot() []trace.Event { return c.flightSnap }
+
 // WatchConn registers a connection; flow labels its violations.
 func (c *Checker) WatchConn(conn *tcp.Conn, flow int) {
 	c.conns = append(c.conns, watchedConn{conn: conn, flow: flow})
@@ -91,6 +115,15 @@ func (c *Checker) WatchConn(conn *tcp.Conn, flow int) {
 // WatchNetwork registers a network.
 func (c *Checker) WatchNetwork(n *rdcn.Network) {
 	c.nets = append(c.nets, watchedNet{net: n})
+}
+
+// WatchFunc registers an arbitrary invariant: fn runs on every sweep and a
+// non-nil return is a violation at site (flow labels it; pass -1 for
+// non-flow sites). Like the built-in sites, a failed func is latched out of
+// further checking. This is the seam for experiment-specific invariants the
+// core does not know about.
+func (c *Checker) WatchFunc(site string, flow int, fn func() error) {
+	c.funcs = append(c.funcs, watchedFunc{site: site, flow: flow, fn: fn})
 }
 
 // Checks reports how many post-event sweeps have run.
@@ -137,6 +170,16 @@ func (c *Checker) step() {
 			c.report("network", -1, err)
 		}
 	}
+	for i := range c.funcs {
+		w := &c.funcs[i]
+		if w.failed {
+			continue
+		}
+		if err := w.fn(); err != nil {
+			w.failed = true
+			c.report(w.site, w.flow, err)
+		}
+	}
 }
 
 func (c *Checker) report(site string, flow int, err error) {
@@ -146,5 +189,15 @@ func (c *Checker) report(site string, flow int, err error) {
 	if c.tracer.Enabled(trace.CatFault) {
 		c.tracer.Emit(trace.CatFault, int64(now), "invariant_violation",
 			flow, -1, float64(len(c.violations)), 0, err.Error())
+	}
+	if c.flight != nil && c.flightSnap == nil {
+		// First violation: freeze the post-mortem view before further events
+		// push the interesting records out of the ring.
+		c.flightSnap = c.flight.Events()
+		if c.dumpTo != nil {
+			fmt.Fprintf(c.dumpTo, "== flight recorder dump (invariant violation, %s at %v): last %d events ==\n",
+				site, now, c.flight.Len())
+			_ = c.flight.Dump(c.dumpTo) // best-effort post-mortem
+		}
 	}
 }

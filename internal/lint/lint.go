@@ -3,7 +3,8 @@
 // see: byte-identical replay from a seed (the paper's controlled-repetition
 // methodology), RFC 1982 serial-number arithmetic on wrapping 32-bit
 // sequence/epoch counters, nil-safety of the fault/trace hook fields, total
-// trace-category filtering, and the pkg.snake_case metric-name convention.
+// trace-category filtering, the pkg.snake_case metric-name convention, and
+// the Begin/End pairing discipline of causal spans.
 //
 // The framework is deliberately go/packages-free: packages are loaded by
 // shelling out to `go list -json -export -deps` (see loader.go) and
@@ -95,6 +96,7 @@ func All() []*Check {
 		NilHookCheck(),
 		TraceCatCheck(),
 		MetricNameCheck(),
+		SpanPairCheck(),
 	}
 }
 

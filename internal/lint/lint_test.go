@@ -123,6 +123,10 @@ func TestMetricNameFixture(t *testing.T) {
 	checkFixture(t, selectChecks(t, "metricname"), "d/trace", "d/metrics")
 }
 
+func TestSpanPairFixture(t *testing.T) {
+	checkFixture(t, selectChecks(t, "spanpair"), "d/trace", "d/spans")
+}
+
 func TestSuppressionFixture(t *testing.T) {
 	checkFixture(t, selectChecks(t, "seqarith"), "f/internal/tcp")
 }

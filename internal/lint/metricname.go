@@ -24,13 +24,14 @@ var (
 )
 
 // MetricNameCheck enforces the pkg.snake_case convention on names passed to
-// the trace Registry's Add and Set. Names that do not parse as
+// the trace Registry's Add, Set and Hist. Names that do not parse as
 // "prefix.segment[.segment...]" fall out of every dashboard grouping, and
-// fully dynamic names make cardinality unbounded.
+// fully dynamic names make cardinality unbounded — doubly so for histograms,
+// where every name is a full bucket array.
 func MetricNameCheck() *Check {
 	c := &Check{
 		Name: "metricname",
-		Doc:  "metric names passed to Registry.Add/Set must follow the pkg.snake_case convention with a constant prefix",
+		Doc:  "metric names passed to Registry.Add/Set/Hist must follow the pkg.snake_case convention with a constant prefix",
 	}
 	c.Run = func(prog *Program) []Diagnostic {
 		var diags []Diagnostic
@@ -60,15 +61,15 @@ func MetricNameCheck() *Check {
 	return c
 }
 
-// isRegistryAddSet reports whether call invokes method Add or Set on the
-// trace package's Registry type.
+// isRegistryAddSet reports whether call invokes method Add, Set or Hist on
+// the trace package's Registry type.
 func isRegistryAddSet(pkg *Package, call *ast.CallExpr) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return false
 	}
 	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
-	if !ok || (fn.Name() != "Add" && fn.Name() != "Set") {
+	if !ok || (fn.Name() != "Add" && fn.Name() != "Set" && fn.Name() != "Hist") {
 		return false
 	}
 	if fn.Pkg() == nil || fn.Pkg().Name() != "trace" {

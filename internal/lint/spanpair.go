@@ -1,0 +1,248 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SpanPairCheck enforces the causal-span lifecycle contract on the trace
+// package's BeginSpan/EndSpan: a BeginSpan id that is discarded can never be
+// ended (the span stays open in every export forever), and an id stored to a
+// variable, slice element, or struct field must reach a matching EndSpan —
+// in the same function for locals, anywhere in the package for fields, which
+// is how cross-method lifecycles (recovery episodes, epoch occupancy) close
+// their spans. Span categories must be built from the trace Cat* constants,
+// mirroring the tracecat rule, or the span is invisible to every documented
+// filter. Ids that escape via return or as a call argument are trusted: the
+// receiver owns the End.
+func SpanPairCheck() *Check {
+	c := &Check{
+		Name: "spanpair",
+		Doc:  "every trace BeginSpan id must reach an EndSpan (discarded ids never close), with categories from trace.Cat* constants",
+	}
+	c.Run = func(prog *Program) []Diagnostic {
+		var diags []Diagnostic
+		for _, pkg := range prog.Pkgs {
+			ends := collectEndSinks(pkg)
+			for _, f := range pkg.Syntax {
+				walkWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if catPkg, ok := spanCallCategoryPkg(pkg, call, "EndSpan"); ok {
+						diags = append(diags, checkSpanCategory(prog, pkg, c.Name, call, catPkg)...)
+						return true
+					}
+					catPkg, ok := spanCallCategoryPkg(pkg, call, "BeginSpan")
+					if !ok {
+						return true
+					}
+					diags = append(diags, checkSpanCategory(prog, pkg, c.Name, call, catPkg)...)
+					if msg, bad := beginSinkUnpaired(pkg, call, stack, ends); bad {
+						diags = append(diags, Diagnostic{
+							Pos:     prog.Fset.Position(call.Pos()),
+							Check:   c.Name,
+							Message: msg,
+						})
+					}
+					return true
+				})
+			}
+		}
+		return diags
+	}
+	return c
+}
+
+// checkSpanCategory validates the category argument of a Begin/EndSpan call
+// against the same constant-expression rule tracecat applies to Emit.
+func checkSpanCategory(prog *Program, pkg *Package, check string, call *ast.CallExpr, catPkg *types.Package) []Diagnostic {
+	if len(call.Args) == 0 || validCategoryArg(pkg, call.Args[0], catPkg) {
+		return nil
+	}
+	return []Diagnostic{{
+		Pos:     prog.Fset.Position(call.Args[0].Pos()),
+		Check:   check,
+		Message: "span category must be a constant expression over the " + catPkg.Name() + ".Cat* constants; ad-hoc categories defeat trace filtering",
+	}}
+}
+
+// endSinks indexes, per package, every expression shape that ever feeds the
+// id parameter of an EndSpan call: bare variables, struct fields, and the
+// base slices of indexed ids. Object identity scopes locals to their
+// function for free — a local's *types.Var cannot be referenced elsewhere.
+type endSinks struct {
+	vars   map[types.Object]bool // id
+	fields map[types.Object]bool // x.id
+	bases  map[types.Object]bool // ids[i]
+}
+
+func collectEndSinks(pkg *Package) endSinks {
+	ends := endSinks{
+		vars:   map[types.Object]bool{},
+		fields: map[types.Object]bool{},
+		bases:  map[types.Object]bool{},
+	}
+	for _, f := range pkg.Syntax {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if _, ok := spanCallCategoryPkg(pkg, call, "EndSpan"); !ok {
+				return true
+			}
+			arg := spanIDArg(pkg, call)
+			if arg == nil {
+				return true
+			}
+			switch e := ast.Unparen(arg).(type) {
+			case *ast.Ident:
+				if obj := pkg.Info.Uses[e]; obj != nil {
+					ends.vars[obj] = true
+				}
+			case *ast.SelectorExpr:
+				if obj := pkg.Info.Uses[e.Sel]; obj != nil {
+					ends.fields[obj] = true
+				}
+			case *ast.IndexExpr:
+				if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+					if obj := pkg.Info.Uses[id]; obj != nil {
+						ends.bases[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return ends
+}
+
+// beginSinkUnpaired classifies where a BeginSpan call's id goes and reports
+// when that sink provably never reaches an EndSpan.
+func beginSinkUnpaired(pkg *Package, call *ast.CallExpr, stack []ast.Node, ends endSinks) (string, bool) {
+	if len(stack) == 0 {
+		return "", false
+	}
+	const discarded = "BeginSpan id is discarded; the span can never be ended and stays open in every export"
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.ExprStmt:
+		return discarded, true
+	case *ast.AssignStmt:
+		lhs := assignTarget(parent, call)
+		if lhs == nil {
+			return "", false
+		}
+		switch e := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			if e.Name == "_" {
+				return discarded, true
+			}
+			obj := pkg.Info.Defs[e]
+			if obj == nil {
+				obj = pkg.Info.Uses[e]
+			}
+			if obj != nil && !ends.vars[obj] {
+				return "span id " + e.Name + " never reaches an EndSpan in this function", true
+			}
+		case *ast.SelectorExpr:
+			if obj := pkg.Info.Uses[e.Sel]; obj != nil && !ends.fields[obj] {
+				return "span id stored in " + e.Sel.Name + " never reaches an EndSpan in this package", true
+			}
+		case *ast.IndexExpr:
+			if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+				if obj := pkg.Info.Uses[id]; obj != nil && !ends.bases[obj] {
+					return "span ids stored in " + id.Name + " never reach an EndSpan in this package", true
+				}
+			}
+		}
+	case *ast.ValueSpec:
+		for i, v := range parent.Values {
+			if ast.Unparen(v) != call || i >= len(parent.Names) {
+				continue
+			}
+			name := parent.Names[i]
+			if name.Name == "_" {
+				return discarded, true
+			}
+			if obj := pkg.Info.Defs[name]; obj != nil && !ends.vars[obj] {
+				return "span id " + name.Name + " never reaches an EndSpan in this function", true
+			}
+		}
+	}
+	// Returns, call arguments, and composite shapes hand the id to an owner
+	// this check cannot follow; trust them rather than guess.
+	return "", false
+}
+
+// assignTarget returns the LHS expression an assignment stores call's result
+// into, or nil when the shapes do not line up one-to-one.
+func assignTarget(as *ast.AssignStmt, call *ast.CallExpr) ast.Expr {
+	if len(as.Lhs) != len(as.Rhs) {
+		return nil
+	}
+	for i, r := range as.Rhs {
+		if ast.Unparen(r) == call {
+			return as.Lhs[i]
+		}
+	}
+	return nil
+}
+
+// spanCallCategoryPkg reports whether call invokes a function or method with
+// the given name, declared in a package named "trace", whose first parameter
+// has named type Category — and if so, which package declares Category.
+func spanCallCategoryPkg(pkg *Package, call *ast.CallExpr, name string) (*types.Package, bool) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return nil, false
+	}
+	fn, ok := pkg.Info.Uses[id].(*types.Func)
+	if !ok || fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Name() != "trace" {
+		return nil, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return nil, false
+	}
+	named, ok := sig.Params().At(0).Type().(*types.Named)
+	if !ok || named.Obj().Name() != "Category" {
+		return nil, false
+	}
+	return named.Obj().Pkg(), true
+}
+
+// spanIDArg returns the argument bound to the call's SpanID parameter (the
+// id of an EndSpan), located by parameter type rather than position.
+func spanIDArg(pkg *Package, call *ast.CallExpr) ast.Expr {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return nil
+	}
+	fn, ok := pkg.Info.Uses[id].(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < sig.Params().Len() && i < len(call.Args); i++ {
+		named, ok := sig.Params().At(i).Type().(*types.Named)
+		if ok && named.Obj().Name() == "SpanID" {
+			return call.Args[i]
+		}
+	}
+	return nil
+}

@@ -17,4 +17,9 @@ func record(m *trace.Registry, rack int, kind string) {
 	m.Add("fault."+kind, 1)                    // constant prefix: allowed
 	m.Add(kind+".count", 1)                    // want "must start with a constant"
 	m.Set(kind, 1)                             // want "entirely dynamic"
+
+	_ = m.Hist("tcp.rtt_tdn0_ns")                     // allowed
+	_ = m.Hist(fmt.Sprintf("voq.r%d.occ_pkts", rack)) // constant prefix and fragments: allowed
+	_ = m.Hist("RTT histogram")                       // want "does not match the pkg.snake_case convention"
+	_ = m.Hist(kind)                                  // want "entirely dynamic"
 }

@@ -1,0 +1,63 @@
+// Package spans is the spanpair-check fixture: every BeginSpan id must reach
+// an EndSpan (same function for locals, same package for fields), and span
+// categories must come from the trace Cat* constants.
+package spans
+
+import "d/trace"
+
+// conn mirrors the cross-method span lifecycle: rec is closed by endRec,
+// leaked is never closed anywhere in the package.
+type conn struct {
+	rec    trace.SpanID
+	leaked trace.SpanID
+}
+
+func localPaired(ts int64) {
+	id := trace.BeginSpan(trace.CatTCP, ts, "recovery", 1, 0, 0) // allowed
+	trace.EndSpan(trace.CatTCP, ts+1, "recovery", 1, 0, id, 0, 0)
+}
+
+func slicePaired(ts int64) {
+	ids := make([]trace.SpanID, 4)
+	for i := range ids {
+		ids[i] = trace.BeginSpan(trace.CatTCP, ts, "flow", i, 0, 0) // allowed
+	}
+	for i := range ids {
+		trace.EndSpan(trace.CatTCP, ts+1, "flow", i, 0, ids[i], 0, 0)
+	}
+}
+
+func (c *conn) beginRec(ts int64) {
+	c.rec = trace.BeginSpan(trace.CatTCP, ts, "recovery", 1, 0, 0) // allowed: endRec closes it
+}
+
+func (c *conn) endRec(ts int64) {
+	trace.EndSpan(trace.CatTCP, ts, "recovery", 1, 0, c.rec, 0, 0)
+}
+
+// escapes hands the id to the caller, which owns the End.
+func escapes(ts int64) trace.SpanID {
+	return trace.BeginSpan(trace.CatRDCN, ts, "notify", -1, 0, 0) // allowed
+}
+
+func discarded(ts int64) {
+	trace.BeginSpan(trace.CatTCP, ts, "flow", 1, 0, 0) // want "discarded"
+}
+
+func blanked(ts int64) {
+	_ = trace.BeginSpan(trace.CatTCP, ts, "flow", 1, 0, 0) // want "discarded"
+}
+
+func neverEnded(ts int64) trace.SpanID {
+	id := trace.BeginSpan(trace.CatTCP, ts, "flow", 1, 0, 0) // want "never reaches an EndSpan in this function"
+	return id + 1
+}
+
+func (c *conn) fieldNeverEnded(ts int64) {
+	c.leaked = trace.BeginSpan(trace.CatTCP, ts, "flow", 1, 0, 0) // want "never reaches an EndSpan in this package"
+}
+
+func adHocCategory(ts int64) {
+	id := trace.BeginSpan(7, ts, "flow", 1, 0, 0) // want "constant expression over the trace.Cat"
+	trace.EndSpan(7, ts, "flow", 1, 0, id, 0, 0)  // want "constant expression over the trace.Cat"
+}

@@ -22,3 +22,18 @@ func (r *Registry) Add(name string, delta int64) {}
 
 // Set records the named gauge.
 func (r *Registry) Set(name string, v float64) {}
+
+// Histogram mirrors the real zero-alloc histogram's shape.
+type Histogram struct{}
+
+// Hist returns a handle on the named histogram.
+func (r *Registry) Hist(name string) *Histogram { return nil }
+
+// SpanID names one causal span.
+type SpanID uint64
+
+// BeginSpan opens a causal span and returns its id.
+func BeginSpan(c Category, ts int64, name string, flow, tdn int, parent SpanID) SpanID { return 0 }
+
+// EndSpan closes span id opened by BeginSpan.
+func EndSpan(c Category, ts int64, name string, flow, tdn int, id SpanID, a, b float64) {}

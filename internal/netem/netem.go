@@ -313,6 +313,11 @@ type VOQ struct {
 	Label  string
 	TDN    int
 
+	// OccHist, when non-nil, records the post-enqueue occupancy (packets)
+	// of every accepted frame — the distributional companion of the Monitor
+	// point samples, at zero allocation per enqueue.
+	OccHist *trace.Histogram
+
 	enq, deq, drops, marks uint64
 }
 
@@ -380,6 +385,7 @@ func (v *VOQ) Enqueue(f Frame) bool {
 	}
 	v.q = append(v.q, f)
 	v.enq++
+	v.OccHist.Record(int64(v.Len()))
 	v.emit("voq_enq", float64(v.Len()), float64(v.cap))
 	v.sample()
 	if v.OnEnqueue != nil {

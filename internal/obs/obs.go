@@ -1,0 +1,140 @@
+// Package obs is the live-observability layer: real-time progress meters for
+// single runs and sweeps, a periodic stderr reporter, and a flight-recorder
+// test helper. It sits OUTSIDE the determinism boundary — everything here
+// reads the wall clock and is touched from more than one goroutine — so
+// nothing in this package may ever feed a value back into the simulation.
+// Meters tap the loop through the same chained PostEvent hook the invariant
+// checker uses and publish through atomics; attaching one changes no
+// simulated behaviour and no trace byte.
+package obs
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"github.com/rdcn-net/tdtcp/internal/sim"
+)
+
+// Meter is a lock-free progress tap on one simulation run. The sim goroutine
+// writes through Attach's PostEvent hook and the flow callbacks; any other
+// goroutine may call Snapshot or Line concurrently. The zero value is ready;
+// a nil *Meter is a no-op on every method, so call sites need no guards.
+type Meter struct {
+	events     atomic.Uint64
+	simNow     atomic.Int64
+	flowsDone  atomic.Int64
+	flowsTotal atomic.Int64
+	wallStart  atomic.Int64 // UnixNano of the first Attach, 0 = never attached
+}
+
+// NewMeter returns an empty meter.
+func NewMeter() *Meter { return &Meter{} }
+
+// Attach chains loop's PostEvent hook (never clobbering an existing one, like
+// the invariant checker) so every executed event bumps the meter. The first
+// Attach starts the wall clock. Costs two atomic stores per event — only runs
+// that asked for progress pay it.
+func (m *Meter) Attach(loop *sim.Loop) {
+	if m == nil || loop == nil {
+		return
+	}
+	m.wallStart.CompareAndSwap(0, time.Now().UnixNano())
+	prev := loop.PostEvent
+	loop.PostEvent = func() {
+		if prev != nil {
+			prev()
+		}
+		m.events.Add(1)
+		m.simNow.Store(int64(loop.Now()))
+	}
+}
+
+// FlowStarted bumps the flow-arrival count.
+func (m *Meter) FlowStarted() {
+	if m != nil {
+		m.flowsTotal.Add(1)
+	}
+}
+
+// FlowDone bumps the flow-completion count.
+func (m *Meter) FlowDone() {
+	if m != nil {
+		m.flowsDone.Add(1)
+	}
+}
+
+// Snapshot is one consistent-enough read of a meter: each field is atomically
+// read, and rates derived from it are cumulative since the first Attach.
+type Snapshot struct {
+	Events     uint64
+	SimNow     sim.Time
+	Wall       time.Duration
+	FlowsDone  int64
+	FlowsTotal int64
+}
+
+// Snapshot reads the meter. Safe from any goroutine; the zero Snapshot comes
+// back from a nil or never-attached meter.
+func (m *Meter) Snapshot() Snapshot {
+	if m == nil {
+		return Snapshot{}
+	}
+	s := Snapshot{
+		Events:     m.events.Load(),
+		SimNow:     sim.Time(m.simNow.Load()),
+		FlowsDone:  m.flowsDone.Load(),
+		FlowsTotal: m.flowsTotal.Load(),
+	}
+	if start := m.wallStart.Load(); start != 0 {
+		s.Wall = time.Duration(time.Now().UnixNano() - start)
+	}
+	return s
+}
+
+// EventsPerSec is the cumulative event rate (0 before any wall time elapses).
+func (s Snapshot) EventsPerSec() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Events) / s.Wall.Seconds()
+}
+
+// SimWallRatio is how much faster than real time the simulation runs
+// (virtual seconds per wall second; 0 before any wall time elapses).
+func (s Snapshot) SimWallRatio() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return (float64(s.SimNow) / 1e9) / s.Wall.Seconds()
+}
+
+// Line renders the progress line a Reporter prints:
+//
+//	progress: 1.4M events (612k ev/s), sim 12.600s (x3150 wall), flows 37/52
+//
+// The flow counts are omitted while no flow has been registered.
+func (m *Meter) Line() string {
+	s := m.Snapshot()
+	line := fmt.Sprintf("progress: %s events (%s ev/s), sim %.3fs (x%.0f wall)",
+		siCount(s.Events), siCount(uint64(s.EventsPerSec())),
+		float64(s.SimNow)/1e9, s.SimWallRatio())
+	if s.FlowsTotal > 0 {
+		line += fmt.Sprintf(", flows %d/%d", s.FlowsDone, s.FlowsTotal)
+	}
+	return line
+}
+
+// siCount renders a count with a k/M/G suffix, keeping progress lines short.
+func siCount(n uint64) string {
+	switch {
+	case n >= 1e9:
+		return fmt.Sprintf("%.1fG", float64(n)/1e9)
+	case n >= 1e6:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 1e3:
+		return fmt.Sprintf("%.0fk", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/rdcn-net/tdtcp/internal/sim"
+)
+
+func TestMeterCountsEvents(t *testing.T) {
+	loop := sim.NewLoop(1)
+	m := NewMeter()
+	m.Attach(loop)
+	for i := 0; i < 10; i++ {
+		loop.After(sim.Duration(i+1)*sim.Microsecond, func() {})
+	}
+	loop.RunUntil(sim.Time(time.Millisecond))
+	s := m.Snapshot()
+	if s.Events != 10 {
+		t.Fatalf("Events = %d, want 10", s.Events)
+	}
+	if s.SimNow != sim.Time(10*sim.Microsecond) {
+		t.Fatalf("SimNow = %v, want 10µs", s.SimNow)
+	}
+	if s.Wall <= 0 {
+		t.Fatalf("Wall = %v, want > 0", s.Wall)
+	}
+}
+
+func TestMeterChainsPostEvent(t *testing.T) {
+	loop := sim.NewLoop(1)
+	var prevCalls int
+	loop.PostEvent = func() { prevCalls++ }
+	m := NewMeter()
+	m.Attach(loop)
+	loop.After(sim.Microsecond, func() {})
+	loop.RunUntil(sim.Time(sim.Millisecond))
+	if prevCalls != 1 {
+		t.Fatalf("existing PostEvent hook called %d times, want 1", prevCalls)
+	}
+	if got := m.Snapshot().Events; got != 1 {
+		t.Fatalf("Events = %d, want 1", got)
+	}
+}
+
+func TestNilMeterIsNoOp(t *testing.T) {
+	var m *Meter
+	m.Attach(sim.NewLoop(1))
+	m.FlowStarted()
+	m.FlowDone()
+	if s := m.Snapshot(); s != (Snapshot{}) {
+		t.Fatalf("nil meter snapshot = %+v, want zero", s)
+	}
+}
+
+// TestMeterConcurrentReads drives a simulation while another goroutine reads
+// progress lines — the contract the Reporter relies on. Run under -race this
+// is the data-race gate for the whole meter surface.
+func TestMeterConcurrentReads(t *testing.T) {
+	loop := sim.NewLoop(1)
+	m := NewMeter()
+	m.Attach(loop)
+	var tick func(sim.Time)
+	tick = func(now sim.Time) {
+		if now < sim.Time(10*sim.Millisecond) {
+			loop.After(sim.Microsecond, func() { tick(loop.Now()) })
+		}
+	}
+	tick(0)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = m.Line()
+				m.FlowStarted()
+				m.FlowDone()
+			}
+		}
+	}()
+	loop.RunUntil(sim.Time(20 * sim.Millisecond))
+	close(stop)
+	wg.Wait()
+	if got := m.Snapshot().Events; got == 0 {
+		t.Fatal("no events metered")
+	}
+}
+
+func TestSnapshotRates(t *testing.T) {
+	s := Snapshot{Events: 1000, SimNow: sim.Time(2 * sim.Second), Wall: time.Second}
+	if got := s.EventsPerSec(); got != 1000 {
+		t.Fatalf("EventsPerSec = %v, want 1000", got)
+	}
+	if got := s.SimWallRatio(); got != 2 {
+		t.Fatalf("SimWallRatio = %v, want 2", got)
+	}
+	if (Snapshot{}).EventsPerSec() != 0 || (Snapshot{}).SimWallRatio() != 0 {
+		t.Fatal("zero snapshot must report zero rates")
+	}
+}
+
+func TestReporterPrintsAndStops(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	n := 0
+	r := NewReporter(w, time.Millisecond, func() string { n++; return "line" })
+	r.Start()
+	time.Sleep(20 * time.Millisecond)
+	r.Stop()
+	r.Stop() // idempotent
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	if !strings.Contains(out, "line") {
+		t.Fatalf("no lines printed: %q", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines < 2 {
+		t.Fatalf("want >= 2 lines (ticks + final), got %d: %q", lines, out)
+	}
+	after := n
+	time.Sleep(5 * time.Millisecond)
+	if n != after {
+		t.Fatal("reporter kept producing after Stop")
+	}
+}
+
+func TestReporterStopBeforeStart(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewReporter(&buf, time.Second, func() string { return "final" })
+	r.Stop()
+	if got := buf.String(); got != "final\n" {
+		t.Fatalf("Stop before Start printed %q, want one final line", got)
+	}
+}
+
+func TestSweepMeter(t *testing.T) {
+	s := NewSweepMeter(4, 2)
+	s.CellStart(0, 0)
+	s.CellStart(1, 1)
+	line := s.Line()
+	if !strings.Contains(line, "0/4 cells done") || !strings.Contains(line, "w0:c0") || !strings.Contains(line, "w1:c1") {
+		t.Fatalf("unexpected line %q", line)
+	}
+	s.CellDone(0, 0, nil)
+	s.CellDone(1, 1, errors.New("boom"))
+	done, failed := s.Done()
+	if done != 2 || failed != 1 {
+		t.Fatalf("Done() = (%d, %d), want (2, 1)", done, failed)
+	}
+	if line := s.Line(); !strings.Contains(line, "2/4 cells done, 1 failed") || !strings.Contains(line, "w0:-") {
+		t.Fatalf("unexpected line %q", line)
+	}
+	var nilMeter *SweepMeter
+	nilMeter.CellStart(0, 0)
+	nilMeter.CellDone(0, 0, nil)
+	_ = nilMeter.Line()
+}
+
+func TestDumpOnFailureOnlyOnFailure(t *testing.T) {
+	// Passing case: the cleanup must log nothing.
+	ftb := &fakeTB{}
+	DumpOnFailure(ftb, nil)
+	ftb.runCleanups()
+	if len(ftb.logs) != 0 {
+		t.Fatalf("clean pass logged %v", ftb.logs)
+	}
+	// Failing case with a nil recorder: still nothing (no panic).
+	ftb = &fakeTB{failed: true}
+	DumpOnFailure(ftb, nil)
+	ftb.runCleanups()
+	if len(ftb.logs) != 0 {
+		t.Fatalf("nil recorder logged %v", ftb.logs)
+	}
+}
+
+type fakeTB struct {
+	failed   bool
+	logs     []string
+	cleanups []func()
+}
+
+func (f *fakeTB) Helper()      {}
+func (f *fakeTB) Failed() bool { return f.failed }
+func (f *fakeTB) Logf(format string, args ...any) {
+	f.logs = append(f.logs, format)
+}
+func (f *fakeTB) Cleanup(fn func()) { f.cleanups = append(f.cleanups, fn) }
+func (f *fakeTB) runCleanups() {
+	for i := len(f.cleanups) - 1; i >= 0; i-- {
+		f.cleanups[i]()
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (w writerFunc) Write(p []byte) (int, error) { return w(p) }

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Reporter prints a status line to w every interval on its own goroutine,
+// pulling the text from line() — a Meter.Line or SweepMeter.Line in practice,
+// but any concurrency-safe producer works. Stop flushes one final line, so
+// even runs shorter than the interval report once.
+type Reporter struct {
+	w     io.Writer
+	every time.Duration
+	line  func() string
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	done    chan struct{}
+	stopped bool
+}
+
+// NewReporter builds a reporter; every <= 0 defaults to one second. Call
+// Start to begin printing.
+func NewReporter(w io.Writer, every time.Duration, line func() string) *Reporter {
+	if every <= 0 {
+		every = time.Second
+	}
+	return &Reporter{w: w, every: every, line: line}
+}
+
+// Start launches the printing goroutine. Starting twice is a no-op.
+func (r *Reporter) Start() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stop != nil || r.stopped {
+		return
+	}
+	r.stop = make(chan struct{})
+	r.done = make(chan struct{})
+	go r.run(r.stop, r.done)
+}
+
+func (r *Reporter) run(stop, done chan struct{}) {
+	defer close(done)
+	t := time.NewTicker(r.every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			fmt.Fprintln(r.w, r.line())
+		case <-stop:
+			return
+		}
+	}
+}
+
+// Stop halts the goroutine, waits for it to exit, and prints one final line
+// (the run's closing state). Idempotent; safe to call before Start.
+func (r *Reporter) Stop() {
+	r.mu.Lock()
+	stop, done := r.stop, r.done
+	already := r.stopped
+	r.stopped = true
+	r.stop = nil
+	r.mu.Unlock()
+	if already {
+		return
+	}
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	fmt.Fprintln(r.w, r.line())
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// SweepMeter tracks a parallel sweep: cells done/failed and which cell each
+// worker is on right now. It implements the experiments.SweepObserver
+// callback surface, so pass one to SweepWithObserver and hand its Line to a
+// Reporter. All methods are safe from any goroutine; a nil *SweepMeter is a
+// no-op everywhere.
+type SweepMeter struct {
+	total   int
+	done    atomic.Int64
+	failed  atomic.Int64
+	current []atomic.Int64 // per-worker: cell index + 1, 0 = idle
+}
+
+// NewSweepMeter sizes a meter for total cells across workers goroutines
+// (workers < 1 is treated as 1).
+func NewSweepMeter(total, workers int) *SweepMeter {
+	if workers < 1 {
+		workers = 1
+	}
+	return &SweepMeter{total: total, current: make([]atomic.Int64, workers)}
+}
+
+// CellStart records that worker picked up cell.
+func (s *SweepMeter) CellStart(worker, cell int) {
+	if s == nil || worker < 0 || worker >= len(s.current) {
+		return
+	}
+	s.current[worker].Store(int64(cell) + 1)
+}
+
+// CellDone records that worker finished cell (err non-nil = the run failed).
+func (s *SweepMeter) CellDone(worker, cell int, err error) {
+	if s == nil {
+		return
+	}
+	s.done.Add(1)
+	if err != nil {
+		s.failed.Add(1)
+	}
+	if worker >= 0 && worker < len(s.current) {
+		s.current[worker].CompareAndSwap(int64(cell)+1, 0)
+	}
+}
+
+// Done returns how many cells have finished and how many of those failed.
+func (s *SweepMeter) Done() (done, failed int) {
+	if s == nil {
+		return 0, 0
+	}
+	return int(s.done.Load()), int(s.failed.Load())
+}
+
+// Line renders the sweep status line a Reporter prints:
+//
+//	sweep: 7/24 cells done, 1 failed [w0:c9 w1:- w2:c11]
+func (s *SweepMeter) Line() string {
+	if s == nil {
+		return "sweep: (no meter)"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "sweep: %d/%d cells done", s.done.Load(), s.total)
+	if f := s.failed.Load(); f > 0 {
+		fmt.Fprintf(&b, ", %d failed", f)
+	}
+	b.WriteString(" [")
+	for w := range s.current {
+		if w > 0 {
+			b.WriteByte(' ')
+		}
+		if c := s.current[w].Load(); c > 0 {
+			fmt.Fprintf(&b, "w%d:c%d", w, c-1)
+		} else {
+			fmt.Fprintf(&b, "w%d:-", w)
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}

@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"strings"
+
+	"github.com/rdcn-net/tdtcp/internal/trace"
+)
+
+// TB is the slice of testing.TB that DumpOnFailure needs. Declaring it here
+// keeps package testing (and its flag registration) out of the non-test
+// binaries that import obs.
+type TB interface {
+	Helper()
+	Failed() bool
+	Logf(format string, args ...any)
+	Cleanup(func())
+}
+
+// DumpOnFailure arranges for the flight recorder's ring to be logged through
+// tb if — and only if — the test ends up failing, so every failure report
+// carries the last events leading into it. Call it right after the recorder
+// exists; nil recorders and empty rings log nothing.
+func DumpOnFailure(tb TB, f *trace.Flight) {
+	tb.Helper()
+	tb.Cleanup(func() {
+		if !tb.Failed() || f == nil || f.Len() == 0 {
+			return
+		}
+		var b strings.Builder
+		_ = f.Dump(&b)
+		tb.Logf("flight recorder (last %d events):\n%s", f.Len(), b.String())
+	})
+}

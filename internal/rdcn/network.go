@@ -248,6 +248,17 @@ type Network struct {
 	// OnTransition, if set, is called at the start of every day with the
 	// new TDN (after drainers are kicked, before notifications are sent).
 	OnTransition func(tdn int)
+
+	// NotifyLat, when non-nil, records the epoch-switch latency of every
+	// delivered TDN-change notification: nanoseconds from the schedule
+	// transition to the instant the host swaps state (delivery and swap are
+	// synchronous). Faulted deliveries include their injected Extra delay.
+	NotifyLat *trace.Histogram
+
+	// epochSpan is the open "epoch" occupancy span for the current day
+	// (0 during nights); epochTDN labels it for the closing record.
+	epochSpan trace.SpanID
+	epochTDN  int
 }
 
 // SetTracer attaches a tracer to the network's control plane (CatRDCN
@@ -259,7 +270,6 @@ func (n *Network) SetTracer(t *trace.Tracer) {
 	for _, rack := range n.Racks {
 		for k, v := range rack.voqs {
 			v.Tracer = t
-			v.Label = fmt.Sprintf("r%dq%d", rack.ID, k)
 			if n.Cfg.PinnedVOQs {
 				v.TDN = k
 			} else {
@@ -327,6 +337,7 @@ func New(loop *sim.Loop, cfg Config) (*Network, error) {
 		rack := &Rack{net: n, ID: r}
 		for k := 0; k < nvoq; k++ {
 			voq := netem.NewVOQ(loop, cfg.VOQCap, cfg.MarkThresh)
+			voq.Label = fmt.Sprintf("r%dq%d", rack.ID, k)
 			var pf netem.PathFunc
 			dst := rack.qDst(k)
 			if cfg.PinnedVOQs {
@@ -513,8 +524,16 @@ func (n *Network) scheduleTransition(t sim.Time) {
 		tdn, ok, slotEnd := n.Cfg.Schedule.At(now)
 		n.epoch++
 		n.KickAll()
+		if n.epochSpan != 0 {
+			// Close the previous day's occupancy span; A carries the epoch
+			// counter that opened it.
+			n.tracer.EndSpan(trace.CatRDCN, int64(now), "epoch", -1, n.epochTDN, n.epochSpan, float64(n.epoch-1), 0)
+			n.epochSpan = 0
+		}
 		if ok {
 			n.emit("day", tdn, float64(n.epoch), float64(slotEnd.Sub(now)))
+			n.epochSpan = n.tracer.BeginSpan(trace.CatRDCN, int64(now), "epoch", -1, tdn, 0)
+			n.epochTDN = tdn
 			if n.OnTransition != nil {
 				n.OnTransition(tdn)
 			}
@@ -635,23 +654,39 @@ func (n *Network) notifyAll(tdn int, epoch uint32) {
 			}
 			f := netem.NewFrame(n.Loop, seg)
 			if !fate.Drop {
-				n.deliverNotify(h, f.Wire, d+fate.Extra)
+				n.deliverNotify(h, f.Wire, d+fate.Extra, n.beginNotifySpan(tdn, epoch))
 			}
 			if fate.Dup {
-				n.deliverNotify(h, f.Wire, d+fate.DupExtra)
+				n.deliverNotify(h, f.Wire, d+fate.DupExtra, n.beginNotifySpan(tdn, epoch))
 			}
 		}
 	}
 }
 
-// deliverNotify schedules one ICMP notification delivery d from now.
-func (n *Network) deliverNotify(h *Host, wire []byte, d sim.Duration) {
+// beginNotifySpan opens one per-delivery "notify" span, parented on the
+// current epoch-occupancy span so the causal chain
+// epoch -> notify -> cwnd_swap is explicit in the trace. Each delivery
+// attempt (including a duplicated notification's stale copy) gets its own
+// span, so B/E records always pair one-to-one.
+func (n *Network) beginNotifySpan(tdn int, epoch uint32) trace.SpanID {
+	return n.tracer.BeginSpan(trace.CatRDCN, int64(n.Loop.Now()), "notify", -1, tdn, n.epochSpan)
+}
+
+// deliverNotify schedules one ICMP notification delivery d from now, closing
+// span sp at the delivery instant and exposing it as the implicit parent of
+// whatever the host does in response (the TDTCP cwnd swap parents onto it).
+func (n *Network) deliverNotify(h *Host, wire []byte, d sim.Duration, sp trace.SpanID) {
 	n.Loop.After(d, func() {
 		var s packet.Segment
 		if err := packet.Parse(wire, &s); err != nil || h.NotifyTDN == nil {
 			return
 		}
+		now := n.Loop.Now()
+		n.tracer.EndSpan(trace.CatRDCN, int64(now), "notify", -1, int(s.ICMP.ActiveTDN), sp, float64(s.ICMP.Epoch), float64(d))
+		n.NotifyLat.Record(int64(d))
+		n.tracer.PushParent(sp)
 		h.NotifyTDN(int(s.ICMP.ActiveTDN), s.ICMP.Epoch)
+		n.tracer.PopParent()
 	})
 }
 

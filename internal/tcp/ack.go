@@ -242,7 +242,11 @@ func (c *Conn) processAck(s *packet.Segment) {
 	// --- RTT sampling (Karn + §4.4 TDN matching) ---------------------------
 	if rttCand != nil {
 		if idx, ok := c.policy.RTTTarget(rttCand.TDN, ackTDN); ok {
-			c.states[idx].ObserveRTT(now.Sub(rttCand.SentAt), c.cfg.MinRTO, c.cfg.MaxRTO)
+			sample := now.Sub(rttCand.SentAt)
+			c.states[idx].ObserveRTT(sample, c.cfg.MinRTO, c.cfg.MaxRTO)
+			if idx < len(c.RTTHists) {
+				c.RTTHists[idx].Record(int64(sample))
+			}
 			c.Stats.RTTSamples++
 		} else {
 			c.Stats.RTTSamplesDropped++
@@ -296,6 +300,7 @@ func (c *Conn) processAck(s *packet.Segment) {
 				st.DupAcks = 0
 				st.undoPossible = false
 				st.CC.OnRecoveryExit(now)
+				c.endRecoverySpan(st, false)
 			}
 		case CAOpen:
 			if st.SackedOut > 0 {
@@ -369,6 +374,7 @@ func (c *Conn) markLost(seg *TxSeg, now sim.Time) {
 		st.undoRetrans = 0
 		st.enterRecoveryPRR()
 		st.CC.OnEnterRecovery(now, st.InFlight())
+		c.beginRecoverySpan(st)
 		c.emitCA(st, from)
 	}
 }
@@ -462,6 +468,7 @@ func (c *Conn) onDSACK(now sim.Time) {
 				st.DupAcks = 0
 				st.undoPossible = false
 				c.Stats.Undos++
+				c.endRecoverySpan(st, true)
 			}
 			return
 		}

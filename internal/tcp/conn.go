@@ -229,6 +229,11 @@ type Conn struct {
 	Tracer *trace.Tracer
 	// FlowID labels this connection's trace events (-1 = unlabeled).
 	FlowID int
+	// RTTHists, when populated, records every accepted RTT sample
+	// (nanoseconds) into the histogram at the sample's target state index
+	// (one per TDN under TDTCP). Entries may be nil and the slice may be
+	// shorter than the state count; unmatched samples are simply unrecorded.
+	RTTHists []*trace.Histogram
 }
 
 // NewConn constructs a connection. out transmits serialized segments toward
@@ -266,7 +271,10 @@ func (c *Conn) SetTracer(tr *trace.Tracer, flow int) {
 		if !ok {
 			continue
 		}
-		if tr == nil {
+		if !tr.Enabled(trace.CatCC) {
+			// No sink will ever see CatCC (flight-only tracers exclude it
+			// by default): skip the closure so attaching the always-on
+			// flight recorder stays allocation-free.
 			hook.SetTrace(nil)
 			continue
 		}
@@ -293,6 +301,32 @@ func (c *Conn) emitCA(st *PathState, from CAState) {
 		c.Tracer.Emit(trace.CatTCP, int64(c.Loop.Now()), "ca_state",
 			c.FlowID, int(st.TDN), float64(from), float64(st.CA), st.CA.String())
 	}
+}
+
+// beginRecoverySpan opens the per-state "recovery" causal span at a
+// Recovery/Loss entry. Idempotent across a Recovery -> Loss escalation: the
+// episode stays one span until endRecoverySpan closes it.
+func (c *Conn) beginRecoverySpan(st *PathState) {
+	if st.recSpan == 0 {
+		st.recSpan = c.Tracer.BeginSpan(trace.CatTCP, int64(c.Loop.Now()),
+			"recovery", c.FlowID, int(st.TDN), c.Tracer.Parent())
+	}
+}
+
+// endRecoverySpan closes the state's recovery span. The E payload carries
+// the CA state the episode ends in (A) and whether it was a D-SACK undo (B:
+// 1 = spurious episode undone, 0 = genuine recovery completed).
+func (c *Conn) endRecoverySpan(st *PathState, undo bool) {
+	if st.recSpan == 0 {
+		return
+	}
+	b := 0.0
+	if undo {
+		b = 1.0
+	}
+	c.Tracer.EndSpan(trace.CatTCP, int64(c.Loop.Now()),
+		"recovery", c.FlowID, int(st.TDN), st.recSpan, float64(st.CA), b)
+	st.recSpan = 0
 }
 
 // States exposes the path states (read-mostly; policies mutate them).
@@ -855,6 +889,7 @@ func (c *Conn) fireRTO() {
 			st.undoPossible = false
 			st.enterRecoveryPRR()
 			st.CC.OnRTO(now, st.InFlight())
+			c.beginRecoverySpan(st)
 			c.emitCA(st, from)
 		}
 	}

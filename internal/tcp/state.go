@@ -17,6 +17,7 @@ import (
 	"github.com/rdcn-net/tdtcp/internal/cc"
 	"github.com/rdcn-net/tdtcp/internal/packet"
 	"github.com/rdcn-net/tdtcp/internal/sim"
+	"github.com/rdcn-net/tdtcp/internal/trace"
 )
 
 // Sequence-number arithmetic on the wrapping 32-bit space: thin aliases of
@@ -93,6 +94,12 @@ type PathState struct {
 	recoverFS    int
 	// prrAllowance is the unspent send allowance of the most recent ACK.
 	prrAllowance int
+
+	// recSpan is the open "recovery" causal span for the current
+	// Recovery/Loss episode (0 = none). Opened on the Open/Disorder ->
+	// Recovery/Loss entry, kept open across a Recovery -> Loss escalation,
+	// and closed on recovery exit or D-SACK undo; see Conn.beginRecoverySpan.
+	recSpan trace.SpanID
 }
 
 // updatePRR recomputes the recovery send allowance on an ACK that delivered

@@ -18,6 +18,9 @@ import (
 //   - cc events and voq_enq/voq_deq become counter ("C") tracks — cwnd and
 //     ssthresh per flow/TDN, occupancy per queue — rendered as the familiar
 //     sawtooth graphs.
+//   - causal spans (records with ph "B"/"E") become async duration events
+//     ("b"/"e") keyed by span id, so flow lifetimes, epoch occupancy, and
+//     recovery episodes render as real duration bars that may overlap.
 //   - everything else becomes a thread-scoped instant ("i") event with its
 //     payload in args.
 //
@@ -32,6 +35,7 @@ type chromeEvent struct {
 	Dur  float64        `json:"dur,omitempty"`
 	PID  int            `json:"pid"`
 	TID  int            `json:"tid"`
+	ID   int64          `json:"id,omitempty"`
 	S    string         `json:"s,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
@@ -103,6 +107,25 @@ func Chrome(r io.Reader, w io.Writer) error {
 
 		var ce chromeEvent
 		switch {
+		case ev.Ph == "B" || ev.Ph == "E":
+			// Causal spans become async duration events ("b"/"e") keyed by
+			// span id, so overlapping spans on one track (two recovery
+			// episodes, a flow crossing epochs) pair correctly where
+			// stack-scoped B/E events would be forced to nest.
+			ph := "b"
+			args := map[string]any{}
+			if ev.Ph == "E" {
+				ph = "e"
+				args["a"] = ev.A
+				args["b"] = ev.B
+			} else if ev.Parent != 0 {
+				args["parent"] = ev.Parent
+			}
+			if ev.TDN >= 0 {
+				args["tdn"] = ev.TDN
+			}
+			ce = chromeEvent{Name: ev.Name, Cat: ev.Cat, Ph: ph, TS: ts,
+				PID: pid, TID: tid, ID: ev.Span, Args: args}
 		case ev.Cat == "rdcn" && (ev.Name == "day" || ev.Name == "night"):
 			// B carries the slot duration in nanoseconds.
 			ce = chromeEvent{Name: ev.Name, Cat: ev.Cat, Ph: "X", TS: ts, Dur: ev.B / 1e3,

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFlightNilSafe(t *testing.T) {
+	var f *Flight
+	if f.Count() != 0 || f.Len() != 0 || f.Mask() != 0 {
+		t.Fatal("nil flight not inert")
+	}
+	f.Reset()
+	if f.Events() != nil || f.Tail(3) != nil {
+		t.Fatal("nil flight has events")
+	}
+	if err := f.Dump(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	var tr *Tracer
+	if got := tr.WithFlight(nil); got != nil {
+		t.Fatal("nil.WithFlight(nil) should stay nil")
+	}
+	if tr.FlightRecorder() != nil {
+		t.Fatal("nil tracer has flight")
+	}
+}
+
+// TestFlightOnlyTracer pins the always-on contract: with JSONL tracing off
+// (nil base tracer), a flight-attached tracer still reports Enabled and
+// still records, and nothing is written anywhere until Dump.
+func TestFlightOnlyTracer(t *testing.T) {
+	f := NewFlight(4, CatTCP|CatTDN)
+	tr := (*Tracer)(nil).WithFlight(f)
+	if !tr.Enabled(CatTCP) || !tr.Enabled(CatTDN) {
+		t.Fatal("flight categories not enabled")
+	}
+	if tr.Enabled(CatSim) {
+		t.Fatal("category outside flight mask enabled")
+	}
+	for i := 0; i < 6; i++ {
+		tr.Emit(CatTCP, int64(i), "ev", 1, 0, float64(i), 0, "")
+	}
+	tr.Emit(CatSim, 99, "fire", -1, -1, 0, 0, "") // outside the mask
+	if f.Count() != 6 || f.Len() != 4 {
+		t.Fatalf("Count=%d Len=%d, want 6/4", f.Count(), f.Len())
+	}
+	evs := f.Events()
+	if len(evs) != 4 || evs[0].TS != 2 || evs[3].TS != 5 {
+		t.Fatalf("ring order wrong: %+v", evs)
+	}
+	if evs[0].Cat != "tcp" {
+		t.Fatalf("category not rendered: %+v", evs[0])
+	}
+	if tail := f.Tail(2); len(tail) != 2 || tail[1].TS != 5 {
+		t.Fatalf("Tail wrong: %+v", tail)
+	}
+	var buf bytes.Buffer
+	if err := f.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("Dump wrote %d lines, want 4", len(lines))
+	}
+	var ev Event
+	if err := ParseLine([]byte(lines[0]), &ev); err != nil || ev.TS != 2 || ev.Name != "ev" {
+		t.Fatalf("dump line malformed (%v): %+v", err, ev)
+	}
+	f.Reset()
+	if f.Len() != 0 || f.Count() != 0 {
+		t.Fatal("Reset did not empty the ring")
+	}
+}
+
+// TestFlightTeesWithStreaming checks that a streaming tracer with a flight
+// attached records to both, and that span records carry their ids through
+// the ring.
+func TestFlightTeesWithStreaming(t *testing.T) {
+	var buf bytes.Buffer
+	f := NewFlight(8, CatAll)
+	tr := New(&buf, CatTCP).WithFlight(f)
+	tr.Emit(CatTCP, 1, "both", 0, 0, 0, 0, "")
+	tr.Emit(CatVOQ, 2, "flight_only", 0, 0, 0, 0, "")
+	id := tr.BeginSpan(CatTCP, 3, "recovery", 0, 1, 0)
+	tr.EndSpan(CatTCP, 7, "recovery", 0, 1, id, 2, 0)
+	tr.Flush()
+	if got := strings.Count(buf.String(), "\n"); got != 3 {
+		t.Fatalf("streamed %d lines, want 3 (mask excludes voq): %s", got, buf.String())
+	}
+	evs := f.Events()
+	if len(evs) != 4 {
+		t.Fatalf("flight holds %d, want 4", len(evs))
+	}
+	if evs[2].Ph != "B" || evs[2].Span != int64(id) || evs[3].Ph != "E" || evs[3].Span != int64(id) {
+		t.Fatalf("span records wrong: %+v", evs[2:])
+	}
+}

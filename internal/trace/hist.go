@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Log-linear histogram (HDR-style): a fixed array of buckets whose widths
+// grow geometrically, giving a bounded relative error (~1/histSub ≈ 3%)
+// across the full non-negative int64 range with no allocation on Record and
+// no map in sight. Values are dimensionless int64s; by convention the
+// metric name carries the unit suffix ("…_ns", "…_pkts").
+//
+// Layout: values below histSub land in one-wide linear buckets; above
+// that, each power-of-two octave is split into histSub linear sub-buckets.
+
+const (
+	histSubBits = 5
+	histSub     = 1 << histSubBits // 32 sub-buckets per octave
+	// 63-bit values span octaves histSubBits+1..63, each contributing
+	// histSub buckets on top of the histSub linear ones.
+	histBuckets = histSub + (63-histSubBits)*histSub
+)
+
+// histIndex maps a non-negative value to its bucket.
+func histIndex(v int64) int {
+	if v < histSub {
+		return int(v)
+	}
+	k := bits.Len64(uint64(v)) // position of the MSB, ≥ histSubBits+1
+	sub := int(v>>uint(k-1-histSubBits)) & (histSub - 1)
+	return (k-histSubBits)<<histSubBits + sub
+}
+
+// histValue returns the lower bound of bucket idx, the value reported for
+// quantiles that land in it.
+func histValue(idx int) int64 {
+	if idx < histSub {
+		return int64(idx)
+	}
+	o := idx >> histSubBits
+	sub := idx & (histSub - 1)
+	return int64(histSub+sub) << uint(o-1)
+}
+
+// Histogram is one named log-linear latency/size distribution. Obtain
+// handles from Registry.Hist at setup time and Record into them on the hot
+// path: Record is a few atomic adds, allocation-free and safe for
+// concurrent use. A nil *Histogram is the disabled histogram; Record and
+// all accessors are no-ops on it, matching the nil-Tracer contract.
+type Histogram struct {
+	name    string
+	count   uint64
+	sum     int64
+	max     int64
+	buckets [histBuckets]uint64
+}
+
+// Name returns the histogram's registry name.
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// Record adds one observation. Negative values clamp to zero.
+func (h *Histogram) Record(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	atomic.AddUint64(&h.buckets[histIndex(v)], 1)
+	atomic.AddUint64(&h.count, 1)
+	atomic.AddInt64(&h.sum, v)
+	for {
+		old := atomic.LoadInt64(&h.max)
+		if v <= old || atomic.CompareAndSwapInt64(&h.max, old, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return atomic.LoadUint64(&h.count)
+}
+
+// Max returns the largest recorded observation (0 when empty).
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&h.max)
+}
+
+// Mean returns the arithmetic mean of the observations (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h == nil {
+		return 0
+	}
+	n := atomic.LoadUint64(&h.count)
+	if n == 0 {
+		return 0
+	}
+	return float64(atomic.LoadInt64(&h.sum)) / float64(n)
+}
+
+// Quantile returns the value at quantile q in [0, 1]: the lower bound of
+// the bucket holding the ⌈q·count⌉-th observation, clamped to Max for the
+// top bucket so Quantile(1) is exact. Returns 0 when empty. The walk reads
+// buckets without a snapshot; for the single-goroutine simulation this is
+// exact, under concurrent recording it is approximate.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	n := atomic.LoadUint64(&h.count)
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(q*float64(n) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	var seen uint64
+	for i := 0; i < histBuckets; i++ {
+		c := atomic.LoadUint64(&h.buckets[i])
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen >= rank {
+			v := histValue(i)
+			if max := atomic.LoadInt64(&h.max); v > max {
+				v = max
+			}
+			return v
+		}
+	}
+	return atomic.LoadInt64(&h.max)
+}

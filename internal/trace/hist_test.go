@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestHistNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Record(5)
+	if h.Count() != 0 || h.Max() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Name() != "" {
+		t.Fatal("nil histogram not inert")
+	}
+	var r *Registry
+	if r.Hist("x") != nil {
+		t.Fatal("nil registry returned a histogram")
+	}
+}
+
+func TestHistIndexRoundTrip(t *testing.T) {
+	// Every bucket's lower bound must map back to that bucket, and indexes
+	// must be monotone in the value.
+	for i := 0; i < histBuckets; i++ {
+		if got := histIndex(histValue(i)); got != i {
+			t.Fatalf("histIndex(histValue(%d)) = %d", i, got)
+		}
+	}
+	prev := -1
+	for _, v := range []int64{0, 1, 31, 32, 33, 63, 64, 100, 1 << 20, 1<<62 + 12345, math.MaxInt64} {
+		idx := histIndex(v)
+		if idx < prev || idx >= histBuckets {
+			t.Fatalf("histIndex(%d) = %d (prev %d, buckets %d)", v, idx, prev, histBuckets)
+		}
+		prev = idx
+	}
+}
+
+func TestHistQuantiles(t *testing.T) {
+	h := &Histogram{name: "t"}
+	for v := int64(1); v <= 1000; v++ {
+		h.Record(v * 1000) // 1us .. 1ms in ns
+	}
+	if h.Count() != 1000 || h.Max() != 1000000 {
+		t.Fatalf("count=%d max=%d", h.Count(), h.Max())
+	}
+	if mean := h.Mean(); math.Abs(mean-500500) > 1 {
+		t.Fatalf("mean = %f", mean)
+	}
+	// Log-linear relative error is bounded by one sub-bucket (~1/32), and
+	// quantiles report bucket lower bounds, so allow a one-sided 2/32 band.
+	for _, tc := range []struct{ q, want float64 }{{0.50, 500000}, {0.90, 900000}, {0.99, 990000}, {1.0, 1000000}} {
+		got := float64(h.Quantile(tc.q))
+		if got > tc.want || got < tc.want*(1-2.0/histSub) {
+			t.Fatalf("Quantile(%v) = %v, want within [%v, %v]", tc.q, got, tc.want*(1-2.0/histSub), tc.want)
+		}
+	}
+	if h.Quantile(0) == 0 {
+		t.Fatal("Quantile(0) should be the smallest bucket, not 0, after records")
+	}
+	h.Record(-5) // clamps to 0
+	if h.Quantile(0) != 0 {
+		t.Fatal("negative record did not clamp to zero bucket")
+	}
+}
+
+func TestRegistryHistJSON(t *testing.T) {
+	r := NewRegistry()
+	if r.Hist("b.lat_ns") != r.Hist("b.lat_ns") {
+		t.Fatal("Hist not idempotent")
+	}
+	r.Hist("a.empty_ns")
+	h := r.Hist("b.lat_ns")
+	for i := int64(1); i <= 100; i++ {
+		h.Record(i)
+	}
+	r.Add("c.count", 1)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("invalid JSON: %s", buf.String())
+	}
+	var parsed struct {
+		Histograms map[string]struct {
+			Count uint64 `json:"count"`
+			P50   int64  `json:"p50"`
+			P90   int64  `json:"p90"`
+			P99   int64  `json:"p99"`
+			Max   int64  `json:"max"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Histograms) != 2 {
+		t.Fatalf("histogram sections: %+v", parsed.Histograms)
+	}
+	bh := parsed.Histograms["b.lat_ns"]
+	if bh.Count != 100 || bh.Max != 100 || bh.P50 == 0 || bh.P99 < bh.P50 {
+		t.Fatalf("summary wrong: %+v", bh)
+	}
+	if e := parsed.Histograms["a.empty_ns"]; e.Count != 0 || e.Max != 0 {
+		t.Fatalf("empty histogram should render zeros: %+v", e)
+	}
+	// Byte-stability: two renders are identical.
+	var again bytes.Buffer
+	if err := r.WriteJSON(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("WriteJSON not byte-stable")
+	}
+	// Nil registry now includes the (empty) histograms section.
+	buf.Reset()
+	if err := (*Registry)(nil).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"histograms":{}`)) {
+		t.Fatalf("nil registry output: %s", buf.String())
+	}
+}

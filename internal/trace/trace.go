@@ -35,6 +35,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Category is a bitmask selecting which layers of the stack emit events.
@@ -120,22 +121,39 @@ func ParseCategories(s string) (Category, error) {
 // "cwnd" decisions A is the congestion window and B the slow-start
 // threshold, for "voq_*" events A is the post-operation occupancy, and so
 // on. Flow is -1 for network-level events; TDN is -1 when no TDN applies.
+//
+// Span records additionally carry Ph ("B" begin / "E" end), the span id,
+// and for begins the parent span id (0 = root). Point events leave all
+// three zero, so their encoding is unchanged.
 type Event struct {
-	TS   int64   `json:"ts"` // virtual time, nanoseconds since sim start
-	Cat  string  `json:"cat"`
-	Name string  `json:"name"`
-	Flow int     `json:"flow"`
-	TDN  int     `json:"tdn"`
-	A    float64 `json:"a"`
-	B    float64 `json:"b"`
-	S    string  `json:"s,omitempty"`
+	TS     int64   `json:"ts"` // virtual time, nanoseconds since sim start
+	Cat    string  `json:"cat"`
+	Name   string  `json:"name"`
+	Flow   int     `json:"flow"`
+	TDN    int     `json:"tdn"`
+	A      float64 `json:"a"`
+	B      float64 `json:"b"`
+	S      string  `json:"s,omitempty"`
+	Ph     string  `json:"ph,omitempty"`     // "B" or "E" for span records
+	Span   int64   `json:"span,omitempty"`   // span id, unique within a run
+	Parent int64   `json:"parent,omitempty"` // parent span id on "B" records
 }
 
 // ParseLine decodes one JSONL trace line into an Event.
 func ParseLine(line []byte, ev *Event) error {
-	ev.S = ""
+	ev.S, ev.Ph, ev.Span, ev.Parent = "", "", 0, 0
 	return json.Unmarshal(line, ev)
 }
+
+// SpanID names one causal span within a run. Ids are allocated by BeginSpan
+// from a per-tracer counter, so runs with the same seed and the same tracer
+// configuration allocate identical ids. The zero SpanID means "no span":
+// EndSpan(0) is a no-op and parent 0 marks a root span.
+type SpanID int64
+
+// maxSpanDepth bounds the implicit parent stack (PushParent/PopParent).
+// The deepest chain in the tree today is epoch -> notify -> cwnd_swap.
+const maxSpanDepth = 8
 
 // Tracer collects events. Construct with New (streaming JSONL) or NewRing
 // (in-memory ring buffer); a nil *Tracer is the disabled tracer and every
@@ -143,7 +161,20 @@ func ParseLine(line []byte, ev *Event) error {
 // simulation itself is single-goroutine, but analysis tools and tests may
 // emit from several goroutines at once.
 type Tracer struct {
-	mask Category
+	mask   Category
+	flight *Flight // always-on ring, bypasses mask; see flight.go
+
+	// spanSeq is the span id allocator; atomic so concurrent emitters stay
+	// race-free. The sim itself is single-goroutine, so allocation order
+	// (and therefore every id) is deterministic for a given seed.
+	spanSeq int64
+
+	// parents is the implicit parent-span stack for cross-layer causality:
+	// a caller that is about to hand control to a lower layer pushes its
+	// span so the callee can parent onto it without widening every
+	// signature in between. Fixed-size: depth saturates, never allocates.
+	parents  [maxSpanDepth]SpanID
+	nparents int
 
 	mu    sync.Mutex
 	w     *bufio.Writer
@@ -170,11 +201,43 @@ func NewRing(n int, mask Category) *Tracer {
 	return &Tracer{mask: mask, ring: make([]Event, 0, n)}
 }
 
-// Enabled reports whether events in category c are being recorded. This is
-// the hot-path gate: on a nil (disabled) tracer it is a nil check and a
-// branch, nothing more.
+// Enabled reports whether events in category c are being recorded — by the
+// mask (JSONL/ring output) or by an attached flight recorder. This is the
+// hot-path gate: on a nil (disabled) tracer it is a nil check and a branch,
+// nothing more.
 func (t *Tracer) Enabled(c Category) bool {
-	return t != nil && t.mask&c != 0
+	if t == nil {
+		return false
+	}
+	if t.mask&c != 0 {
+		return true
+	}
+	return t.flight != nil && t.flight.mask&c != 0
+}
+
+// WithFlight attaches flight recorder f and returns the resulting tracer:
+// the receiver itself when non-nil (mutated in place), or a new flight-only
+// tracer when the receiver is nil. Events in f's category mask are recorded
+// into the ring regardless of the tracer's own mask, so the flight recorder
+// stays on even when JSONL tracing is off. Attach before the run starts;
+// attaching concurrently with Emit is a race.
+func (t *Tracer) WithFlight(f *Flight) *Tracer {
+	if f == nil {
+		return t
+	}
+	if t == nil {
+		return &Tracer{flight: f}
+	}
+	t.flight = f
+	return t
+}
+
+// FlightRecorder returns the attached flight recorder, if any.
+func (t *Tracer) FlightRecorder() *Flight {
+	if t == nil {
+		return nil
+	}
+	return t.flight
 }
 
 // Count returns the number of events accepted so far.
@@ -202,14 +265,29 @@ func (t *Tracer) Err() error {
 // nanoseconds; flow/tdn label the event (-1 = not applicable); a and b are
 // per-name numeric payloads and s an optional string payload.
 func (t *Tracer) Emit(c Category, ts int64, name string, flow, tdn int, a, b float64, s string) {
-	if t == nil || t.mask&c == 0 {
+	if t == nil {
 		return
 	}
+	if f := t.flight; f != nil && f.mask&c != 0 {
+		f.record(c, ts, name, flow, tdn, 0, 0, 0, a, b, s)
+	}
+	if t.mask&c == 0 {
+		return
+	}
+	t.record(c, ts, name, flow, tdn, "", 0, 0, a, b, s)
+}
+
+// record is the masked-output half of Emit: ring or JSONL, under the lock.
+func (t *Tracer) record(c Category, ts int64, name string, flow, tdn int, ph string, span, parent SpanID, a, b float64, s string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.count++
 	if t.ring != nil || t.w == nil {
-		ev := Event{TS: ts, Cat: c.String(), Name: name, Flow: flow, TDN: tdn, A: a, B: b, S: s}
+		ev := Event{TS: ts, Cat: c.String(), Name: name, Flow: flow, TDN: tdn,
+			A: a, B: b, S: s, Ph: ph, Span: int64(span), Parent: int64(parent)}
+		if t.ring == nil {
+			return // mask set but no destination: count only
+		}
 		if len(t.ring) < cap(t.ring) {
 			t.ring = append(t.ring, ev)
 		} else {
@@ -222,17 +300,91 @@ func (t *Tracer) Emit(c Category, ts int64, name string, flow, tdn int, a, b flo
 		}
 		return
 	}
-	t.buf = appendEvent(t.buf[:0], c, ts, name, flow, tdn, a, b, s)
+	t.buf = appendEvent(t.buf[:0], c, ts, name, flow, tdn, ph, int64(span), int64(parent), a, b, s)
 	if _, err := t.w.Write(t.buf); err != nil && t.err == nil {
 		t.err = err
 	}
+}
+
+// BeginSpan opens a causal span and returns its id, or 0 when category c is
+// recorded nowhere (nil tracer, or outside both the mask and the flight
+// recorder's mask). parent links the span into a causal chain (0 = root);
+// use Parent() to pick up the innermost implicit parent. Pass the returned
+// id to EndSpan on every path out of the spanned region.
+func (t *Tracer) BeginSpan(c Category, ts int64, name string, flow, tdn int, parent SpanID) SpanID {
+	if t == nil {
+		return 0
+	}
+	toFlight := t.flight != nil && t.flight.mask&c != 0
+	toMask := t.mask&c != 0
+	if !toFlight && !toMask {
+		return 0
+	}
+	id := SpanID(atomic.AddInt64(&t.spanSeq, 1))
+	if toFlight {
+		t.flight.record(c, ts, name, flow, tdn, 'B', int64(id), int64(parent), 0, 0, "")
+	}
+	if toMask {
+		t.record(c, ts, name, flow, tdn, "B", id, parent, 0, 0, "")
+	}
+	return id
+}
+
+// EndSpan closes span id opened by BeginSpan with the same category and
+// name. a and b are per-name numeric payloads summarizing the span (for a
+// "flow" span, bytes delivered; for an "epoch" span, frames carried).
+// EndSpan(…, 0, …) is a no-op, so call sites never need to check whether
+// the begin was recorded.
+func (t *Tracer) EndSpan(c Category, ts int64, name string, flow, tdn int, id SpanID, a, b float64) {
+	if t == nil || id == 0 {
+		return
+	}
+	if f := t.flight; f != nil && f.mask&c != 0 {
+		f.record(c, ts, name, flow, tdn, 'E', int64(id), 0, a, b, "")
+	}
+	if t.mask&c != 0 {
+		t.record(c, ts, name, flow, tdn, "E", id, 0, a, b, "")
+	}
+}
+
+// PushParent makes id the innermost implicit parent span. Callers pair it
+// with PopParent around handing control to a lower layer, so the callee's
+// BeginSpan(…, tr.Parent()) links across signatures that do not carry span
+// ids. The stack is fixed-size and saturates silently beyond maxSpanDepth.
+// Like the simulation itself, the parent stack is single-goroutine state.
+func (t *Tracer) PushParent(id SpanID) {
+	if t == nil {
+		return
+	}
+	if t.nparents < maxSpanDepth {
+		t.parents[t.nparents] = id
+	}
+	t.nparents++
+}
+
+// PopParent undoes the matching PushParent.
+func (t *Tracer) PopParent() {
+	if t == nil || t.nparents == 0 {
+		return
+	}
+	t.nparents--
+}
+
+// Parent returns the innermost implicit parent span, or 0 when none is set.
+func (t *Tracer) Parent() SpanID {
+	if t == nil || t.nparents == 0 || t.nparents > maxSpanDepth {
+		return 0
+	}
+	return t.parents[t.nparents-1]
 }
 
 // appendEvent encodes one event as a JSONL line. Hand-rolled (no maps, no
 // reflection) so output is deterministic and allocation-free after warmup.
 // Non-finite floats serialize as -1: JSON has no Inf/NaN, and the only
 // non-finite value in practice is the "no threshold yet" +Inf ssthresh.
-func appendEvent(b []byte, c Category, ts int64, name string, flow, tdn int, a, bb float64, s string) []byte {
+// Span fields (ph/span/parent) are emitted only when ph is set, so point
+// events encode byte-identically to the pre-span format.
+func appendEvent(b []byte, c Category, ts int64, name string, flow, tdn int, ph string, span, parent int64, a, bb float64, s string) []byte {
 	b = append(b, `{"ts":`...)
 	b = strconv.AppendInt(b, ts, 10)
 	b = append(b, `,"cat":"`...)
@@ -250,6 +402,16 @@ func appendEvent(b []byte, c Category, ts int64, name string, flow, tdn int, a, 
 	if s != "" {
 		b = append(b, `,"s":`...)
 		b = strconv.AppendQuote(b, s)
+	}
+	if ph != "" {
+		b = append(b, `,"ph":`...)
+		b = strconv.AppendQuote(b, ph)
+		b = append(b, `,"span":`...)
+		b = strconv.AppendInt(b, span, 10)
+		if parent != 0 {
+			b = append(b, `,"parent":`...)
+			b = strconv.AppendInt(b, parent, 10)
+		}
 	}
 	b = append(b, "}\n"...)
 	return b
@@ -292,7 +454,7 @@ func (t *Tracer) Dump(w io.Writer) error {
 	var buf []byte
 	for _, ev := range t.Events() {
 		mask, _ := ParseCategories(ev.Cat)
-		buf = appendEvent(buf[:0], mask, ev.TS, ev.Name, ev.Flow, ev.TDN, ev.A, ev.B, ev.S)
+		buf = appendEvent(buf[:0], mask, ev.TS, ev.Name, ev.Flow, ev.TDN, ev.Ph, ev.Span, ev.Parent, ev.A, ev.B, ev.S)
 		if _, err := w.Write(buf); err != nil {
 			return err
 		}

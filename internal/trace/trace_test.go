@@ -243,6 +243,149 @@ func TestChromeExport(t *testing.T) {
 	}
 }
 
+// TestSpanRoundTrip pins the span JSONL encoding: deterministic ids, the
+// parent link on begins, payloads on ends, and the rule that point events
+// encode without any span fields.
+func TestSpanRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf, CatAll)
+	root := tr.BeginSpan(CatRDCN, 0, "epoch", -1, 0, 0)
+	child := tr.BeginSpan(CatRDCN, 10, "notify", -1, 0, root)
+	tr.Emit(CatTCP, 15, "point", 1, 0, 1, 2, "")
+	tr.EndSpan(CatRDCN, 20, "notify", -1, 0, child, 0, 0)
+	tr.EndSpan(CatRDCN, 30, "epoch", -1, 0, root, 7, 0)
+	tr.Flush()
+	if root != 1 || child != 2 {
+		t.Fatalf("span ids = %d, %d; want 1, 2", root, child)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5", len(lines))
+	}
+	var ev Event
+	if err := ParseLine([]byte(lines[1]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Ph != "B" || ev.Span != 2 || ev.Parent != 1 || ev.Name != "notify" {
+		t.Fatalf("child begin wrong: %+v", ev)
+	}
+	if err := ParseLine([]byte(lines[2]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Ph != "" || ev.Span != 0 || strings.Contains(lines[2], "ph") {
+		t.Fatalf("point event grew span fields: %s", lines[2])
+	}
+	if err := ParseLine([]byte(lines[4]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Ph != "E" || ev.Span != 1 || ev.A != 7 || ev.Parent != 0 {
+		t.Fatalf("root end wrong: %+v", ev)
+	}
+}
+
+func TestSpanDisabled(t *testing.T) {
+	var nilTr *Tracer
+	if id := nilTr.BeginSpan(CatTCP, 0, "x", 0, 0, 0); id != 0 {
+		t.Fatalf("nil tracer allocated span %d", id)
+	}
+	nilTr.EndSpan(CatTCP, 1, "x", 0, 0, 0, 0, 0) // must not panic
+	nilTr.PushParent(3)
+	nilTr.PopParent()
+	if nilTr.Parent() != 0 {
+		t.Fatal("nil tracer has a parent span")
+	}
+
+	tr := NewRing(4, CatTCP)
+	if id := tr.BeginSpan(CatVOQ, 0, "x", 0, 0, 0); id != 0 {
+		t.Fatal("masked-out span allocated an id")
+	}
+	tr.EndSpan(CatVOQ, 1, "x", 0, 0, 0, 0, 0)
+	if tr.Count() != 0 {
+		t.Fatal("masked-out span recorded events")
+	}
+	// Masked-out spans must not consume ids: the next recorded span still
+	// gets id 1, keeping ids deterministic per tracer configuration.
+	if id := tr.BeginSpan(CatTCP, 2, "y", 0, 0, 0); id != 1 {
+		t.Fatalf("first recorded span id = %d, want 1", id)
+	}
+}
+
+func TestParentStack(t *testing.T) {
+	tr := NewRing(4, CatAll)
+	if tr.Parent() != 0 {
+		t.Fatal("fresh tracer has a parent")
+	}
+	tr.PushParent(5)
+	tr.PushParent(9)
+	if tr.Parent() != 9 {
+		t.Fatalf("Parent = %d, want 9", tr.Parent())
+	}
+	tr.PopParent()
+	if tr.Parent() != 5 {
+		t.Fatalf("Parent = %d, want 5", tr.Parent())
+	}
+	// Saturation: pushes beyond the fixed depth are dropped but stay
+	// balanced with their pops.
+	for i := 0; i < maxSpanDepth+3; i++ {
+		tr.PushParent(SpanID(100 + i))
+	}
+	if tr.Parent() != 0 {
+		t.Fatal("saturated stack should report no parent")
+	}
+	for i := 0; i < maxSpanDepth+3; i++ {
+		tr.PopParent()
+	}
+	if tr.Parent() != 5 {
+		t.Fatalf("unbalanced after saturation: %d", tr.Parent())
+	}
+	tr.PopParent()
+	tr.PopParent() // extra pop on empty stack must be safe
+	if tr.Parent() != 0 {
+		t.Fatal("stack not empty")
+	}
+}
+
+func TestChromeSpanExport(t *testing.T) {
+	var jsonl bytes.Buffer
+	tr := New(&jsonl, CatAll)
+	id := tr.BeginSpan(CatTCP, 1000, "recovery", 2, 1, 0)
+	tr.EndSpan(CatTCP, 5000, "recovery", 2, 1, id, 3, 0)
+	tr.Flush()
+	var out bytes.Buffer
+	if err := Chrome(&jsonl, &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string  `json:"ph"`
+			ID   int64   `json:"id"`
+			Name string  `json:"name"`
+			TS   float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var b, e int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "b":
+			b++
+			if ev.ID != int64(id) || ev.Name != "recovery" || ev.TS != 1 {
+				t.Fatalf("begin wrong: %+v", ev)
+			}
+		case "e":
+			e++
+			if ev.ID != int64(id) || ev.TS != 5 {
+				t.Fatalf("end wrong: %+v", ev)
+			}
+		}
+	}
+	if b != 1 || e != 1 {
+		t.Fatalf("b/e counts = %d/%d, want 1/1", b, e)
+	}
+}
+
 func TestChromeRejectsCorruptLine(t *testing.T) {
 	in := strings.NewReader("{\"ts\":1,\"cat\":\"tcp\",\"name\":\"x\",\"flow\":0,\"tdn\":0,\"a\":0,\"b\":0}\nnot json\n")
 	if err := Chrome(in, &bytes.Buffer{}); err == nil {

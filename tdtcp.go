@@ -27,6 +27,7 @@ package tdtcp
 
 import (
 	"io"
+	"time"
 
 	"github.com/rdcn-net/tdtcp/internal/cc"
 	"github.com/rdcn-net/tdtcp/internal/core"
@@ -34,6 +35,7 @@ import (
 	"github.com/rdcn-net/tdtcp/internal/fault"
 	"github.com/rdcn-net/tdtcp/internal/invariant"
 	"github.com/rdcn-net/tdtcp/internal/mptcp"
+	"github.com/rdcn-net/tdtcp/internal/obs"
 	"github.com/rdcn-net/tdtcp/internal/packet"
 	"github.com/rdcn-net/tdtcp/internal/rdcn"
 	"github.com/rdcn-net/tdtcp/internal/sim"
@@ -345,6 +347,24 @@ type (
 	TraceCategory = trace.Category
 	// MetricsRegistry collects named counters and gauges.
 	MetricsRegistry = trace.Registry
+	// Histogram is a zero-allocation log-linear latency/occupancy histogram
+	// (see MetricsRegistry.Hist).
+	Histogram = trace.Histogram
+	// SpanID names one causal span within a run (Tracer.BeginSpan/EndSpan).
+	SpanID = trace.SpanID
+	// FlightRecorder is the always-on fixed-size ring of recent trace
+	// events, dumped on invariant/conservation failures and panics.
+	FlightRecorder = trace.Flight
+	// ProgressMeter is a lock-free live-progress tap on a run (events/sec,
+	// sim/wall ratio, flows); pure observer, wall-clock based.
+	ProgressMeter = obs.Meter
+	// ProgressReporter prints a meter's status line periodically.
+	ProgressReporter = obs.Reporter
+	// SweepProgressMeter tracks a parallel sweep's per-worker status; it
+	// implements SweepObserver.
+	SweepProgressMeter = obs.SweepMeter
+	// SweepObserver receives per-cell callbacks from SweepWithObserver.
+	SweepObserver = experiments.SweepObserver
 )
 
 // Trace categories, one bit per subsystem.
@@ -374,6 +394,40 @@ func ParseTraceCategories(s string) (TraceCategory, error) { return trace.ParseC
 
 // ChromeTrace converts JSONL trace events (r) to Chrome trace-viewer JSON (w).
 func ChromeTrace(r io.Reader, w io.Writer) error { return trace.Chrome(r, w) }
+
+// Flight-recorder defaults (ring length, recorded categories).
+const (
+	DefaultFlightLen  = trace.DefaultFlightLen
+	DefaultFlightCats = trace.DefaultFlightCats
+)
+
+// NewFlightRecorder returns a ring recorder keeping the last n events whose
+// category is in mask.
+func NewFlightRecorder(n int, mask TraceCategory) *FlightRecorder { return trace.NewFlight(n, mask) }
+
+// NewProgressMeter returns an empty live-progress meter (RunConfig.Meter).
+func NewProgressMeter() *ProgressMeter { return obs.NewMeter() }
+
+// NewProgressReporter prints line() to w every interval (<= 0 = 1s) once
+// started; Stop flushes a final line.
+func NewProgressReporter(w io.Writer, every time.Duration, line func() string) *ProgressReporter {
+	return obs.NewReporter(w, every, line)
+}
+
+// NewSweepProgressMeter sizes a sweep meter for total cells over workers.
+func NewSweepProgressMeter(total, workers int) *SweepProgressMeter {
+	return obs.NewSweepMeter(total, workers)
+}
+
+// SweepWithObserver is Sweep with per-cell progress callbacks.
+func SweepWithObserver(cfgs []RunConfig, workers int, o SweepObserver) []SweepResult {
+	return experiments.SweepWithObserver(cfgs, workers, o)
+}
+
+// SweepWorkloadWithObserver is SweepWorkload with per-cell callbacks.
+func SweepWorkloadWithObserver(cfgs []WorkloadConfig, workers int, o SweepObserver) []WorkloadSweepResult {
+	return experiments.SweepWorkloadWithObserver(cfgs, workers, o)
+}
 
 // Fault injection and invariant checking (see DESIGN.md "Fault model &
 // graceful degradation").
