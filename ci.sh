@@ -38,6 +38,14 @@ go test -race -run 'TestMeterConcurrentReads|TestReporter' ./internal/obs/
 # check, and the conservation property suite.
 go test -race -run 'TestGolden|TestConservation' ./internal/experiments/
 
+# Service-lifecycle gate: the serve package is the one place where goroutines,
+# wall clocks, and shared mutable job state meet, so its admission / retry /
+# panic-isolation / drain tests must stay race-clean. The cmd/tdserve run is
+# the shutdown-drain smoke against the real binary: SIGTERM with a running
+# job must cancel it through the stop seam and exit 0 inside the budget.
+go test -race ./internal/serve/
+go test -run 'TestServeSubmitResultAndDrain|TestServeDrainCancelsRunningJob' ./cmd/tdserve/
+
 # Bench smoke: one iteration of every benchmark, so the harness itself (and
 # the alloc-free fast paths it pins down) cannot silently rot. Numbers from
 # -benchtime=1x are meaningless; tracked measurements come from cmd/tdbench.

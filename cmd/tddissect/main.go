@@ -28,34 +28,41 @@ func main() {
 		runDemo()
 		return
 	}
+	failed := false
 	args := flag.Args()
 	if len(args) > 0 {
 		for _, a := range args {
-			dissect(a)
+			if !dissect(a) {
+				failed = true
+			}
 		}
-		return
+	} else {
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line != "" && !dissect(line) {
+				failed = true
+			}
+		}
 	}
-	sc := bufio.NewScanner(os.Stdin)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line != "" {
-			dissect(line)
-		}
+	if failed {
+		os.Exit(1)
 	}
 }
 
-func dissect(hexStr string) {
+func dissect(hexStr string) bool {
 	b, err := hex.DecodeString(strings.TrimPrefix(hexStr, "0x"))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tddissect: bad hex:", err)
-		return
+		return false
 	}
 	var s packet.Segment
 	if err := packet.Parse(b, &s); err != nil {
 		fmt.Fprintln(os.Stderr, "tddissect: parse:", err)
-		return
+		return false
 	}
 	fmt.Println(s.Dissect())
+	return true
 }
 
 func runDemo() {

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// buildBinary compiles tddissect once into a temp dir so the exit-code and
+// output contracts are pinned against the real process boundary.
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "tddissect")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// runDissect executes the binary and returns stdout, stderr, and exit code.
+func runDissect(t *testing.T, bin string, stdin string, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	if stdin != "" {
+		cmd.Stdin = strings.NewReader(stdin)
+	}
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("run: %v", err)
+		}
+		code = ee.ExitCode()
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+// demoLineRE matches the -demo output shape: a hex wire dump line followed by
+// an indented dissection line.
+var demoLineRE = regexp.MustCompile(`(?m)^[0-9a-f]+\n  -> .+$`)
+
+// TestDemoExitsZeroAndShowsAllPacketTypes pins the -demo contract: exit 0
+// and one hex+dissection pair per sample, covering the Fig. 5 formats.
+func TestDemoExitsZeroAndShowsAllPacketTypes(t *testing.T) {
+	bin := buildBinary(t)
+	stdout, stderr, code := runDissect(t, bin, "", "-demo")
+	if code != 0 {
+		t.Fatalf("-demo: exit %d\nstderr: %s", code, stderr)
+	}
+	if got := len(demoLineRE.FindAllString(stdout, -1)); got != 4 {
+		t.Errorf("-demo printed %d hex/dissection pairs, want 4:\n%s", got, stdout)
+	}
+	for _, want := range []string{"td_capable{", "[S]", "td_data_ack{", "sack=[", "ICMP tdn-change"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("-demo output missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+// TestRoundTripArgAndStdin: a wire dump emitted by -demo must dissect
+// identically whether passed as an argument or piped on stdin.
+func TestRoundTripArgAndStdin(t *testing.T) {
+	bin := buildBinary(t)
+	demoOut, _, code := runDissect(t, bin, "", "-demo")
+	if code != 0 {
+		t.Fatalf("-demo: exit %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(demoOut), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("-demo output too short:\n%s", demoOut)
+	}
+	wire := lines[0]
+	wantDissect := strings.TrimPrefix(strings.TrimSpace(lines[1]), "-> ")
+
+	fromArg, stderr, code := runDissect(t, bin, "", wire)
+	if code != 0 {
+		t.Fatalf("arg dissect: exit %d\nstderr: %s", code, stderr)
+	}
+	if got := strings.TrimSpace(fromArg); got != wantDissect {
+		t.Errorf("arg dissect = %q, want %q", got, wantDissect)
+	}
+
+	fromStdin, stderr, code := runDissect(t, bin, wire+"\n")
+	if code != 0 {
+		t.Fatalf("stdin dissect: exit %d\nstderr: %s", code, stderr)
+	}
+	if fromStdin != fromArg {
+		t.Errorf("stdin dissect = %q, arg dissect = %q", fromStdin, fromArg)
+	}
+}
+
+// TestBadInputExitsOne pins the failure contract: undecodable hex or an
+// unparseable packet exits 1 with a diagnostic on stderr.
+func TestBadInputExitsOne(t *testing.T) {
+	bin := buildBinary(t)
+	cases := []struct {
+		name  string
+		arg   string
+		diags string
+	}{
+		{"bad hex", "zzzz", "bad hex"},
+		{"truncated packet", "45", "parse"},
+	}
+	for _, tc := range cases {
+		stdout, stderr, code := runDissect(t, bin, "", tc.arg)
+		if code != 1 {
+			t.Errorf("%s: exit %d, want 1\nstdout: %s\nstderr: %s", tc.name, code, stdout, stderr)
+		}
+		if !strings.Contains(stderr, tc.diags) {
+			t.Errorf("%s: stderr missing %q: %s", tc.name, tc.diags, stderr)
+		}
+	}
+}
+
+// TestMixedInputStillFails: one good and one bad argument dissects the good
+// one but still exits 1 overall.
+func TestMixedInputStillFails(t *testing.T) {
+	bin := buildBinary(t)
+	demoOut, _, code := runDissect(t, bin, "", "-demo")
+	if code != 0 {
+		t.Fatalf("-demo: exit %d", code)
+	}
+	wire := strings.Split(demoOut, "\n")[0]
+
+	stdout, stderr, code := runDissect(t, bin, "", wire, "zzzz")
+	if code != 1 {
+		t.Errorf("mixed input: exit %d, want 1\nstderr: %s", code, stderr)
+	}
+	if strings.TrimSpace(stdout) == "" {
+		t.Errorf("good argument was not dissected:\nstderr: %s", stderr)
+	}
+}

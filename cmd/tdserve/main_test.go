@@ -1,0 +1,225 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildBinary compiles tdserve once into a temp dir so drain and exit-code
+// behavior is asserted against the real process boundary.
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "tdserve")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startServer launches tdserve on a free port and returns its base URL, the
+// running command, and a stderr capture.
+func startServer(t *testing.T, bin string, extraArgs ...string) (string, *exec.Cmd, *strings.Builder) {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+		}
+	})
+	// First stdout line is the startup handshake with the bound address.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("no startup line; stderr: %s", stderr.String())
+	}
+	line := sc.Text()
+	const prefix = "tdserve listening on "
+	if !strings.HasPrefix(line, prefix) {
+		t.Fatalf("unexpected startup line %q", line)
+	}
+	go func() { // keep draining stdout so the child never blocks on a full pipe
+		for sc.Scan() {
+		}
+	}()
+	return "http://" + strings.TrimPrefix(line, prefix), cmd, &stderr
+}
+
+func getJSON(t *testing.T, url string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var m map[string]any
+	_ = json.Unmarshal(raw, &m)
+	return resp.StatusCode, m
+}
+
+// TestServeSubmitResultAndDrain is the shutdown-drain smoke against the real
+// binary: start, submit a real (tiny) scenario, wait for its result, hit the
+// cache with a resubmit, SIGTERM, and require a clean exit 0.
+func TestServeSubmitResultAndDrain(t *testing.T) {
+	bin := buildBinary(t)
+	base, cmd, stderr := startServer(t, bin, "-workers", "2", "-drain", "30s")
+
+	if code, m := getJSON(t, base+"/healthz"); code != 200 || m["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", code, m)
+	}
+
+	spec := `{"kind":"run","variant":"tdtcp","flows":2,"warmup_weeks":1,"measure_weeks":1,"seed":7}`
+	resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d\n%s", resp.StatusCode, raw)
+	}
+	var sub struct {
+		Disposition string `json:"disposition"`
+		Job         struct {
+			ID string `json:"id"`
+		} `json:"job"`
+	}
+	if err := json.Unmarshal(raw, &sub); err != nil {
+		t.Fatal(err)
+	}
+
+	code, m := getJSON(t, fmt.Sprintf("%s/jobs/%s/result?wait=30s", base, sub.Job.ID))
+	if code != 200 || m["state"] != "done" {
+		t.Fatalf("result: %d %v", code, m)
+	}
+	out := m["outcome"].(map[string]any)
+	if out["goodput_gbps"].(float64) <= 0 {
+		t.Fatalf("outcome: %v", out)
+	}
+
+	// Identical resubmission must be served from the cache without running.
+	resp, err = http.Post(base+"/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var hit struct {
+		Disposition string `json:"disposition"`
+	}
+	if err := json.Unmarshal(raw, &hit); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || hit.Disposition != "cache_hit" {
+		t.Fatalf("resubmit: %d disposition=%q\n%s", resp.StatusCode, hit.Disposition, raw)
+	}
+
+	// SIGTERM: drain must complete and the process must exit 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("tdserve exited dirty: %v\nstderr: %s", err, stderr.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatalf("tdserve did not exit after SIGTERM\nstderr: %s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "draining") {
+		t.Errorf("stderr missing drain notice: %s", stderr.String())
+	}
+}
+
+// TestServeDrainCancelsRunningJob: SIGTERM with a running never-ending job
+// (huge horizon) must still exit 0 within the drain budget, cancelling the
+// job through the simulator's stop seam.
+func TestServeDrainCancelsRunningJob(t *testing.T) {
+	bin := buildBinary(t)
+	base, cmd, stderr := startServer(t, bin, "-workers", "1", "-drain", "10s")
+
+	// ~hours of simulated time: cannot finish; the drain must cut it. The
+	// horizon lives in the warmup leg so the run holds no growing sampler
+	// state while it waits to be cancelled.
+	spec := `{"kind":"run","variant":"cubic","flows":8,"warmup_weeks":100000,"measure_weeks":1,"seed":3}`
+	resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+
+	start := time.Now()
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("drain with running job exited dirty: %v\nstderr: %s", err, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("drain did not complete\nstderr: %s", stderr.String())
+	}
+	if d := time.Since(start); d > 20*time.Second {
+		t.Fatalf("drain took %v, budget was 10s", d)
+	}
+}
+
+// TestServeUsageErrors pins the exit-2 usage contract.
+func TestServeUsageErrors(t *testing.T) {
+	bin := buildBinary(t)
+	for _, args := range [][]string{
+		{"positional"},
+		{"-drain", "-1s"},
+	} {
+		cmd := exec.Command(bin, args...)
+		var stderr strings.Builder
+		cmd.Stderr = &stderr
+		err := cmd.Run()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 2 {
+			t.Errorf("args %v: err=%v, want exit 2 (stderr: %s)", args, err, stderr.String())
+		}
+	}
+}
+
+// TestServeBadAddrExits1: an unbindable address is a runtime error, exit 1.
+func TestServeBadAddrExits1(t *testing.T) {
+	bin := buildBinary(t)
+	cmd := exec.Command(bin, "-addr", "256.0.0.1:99999")
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("bad addr: err=%v, want exit 1 (stderr: %s)", err, stderr.String())
+	}
+}

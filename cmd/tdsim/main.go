@@ -9,6 +9,8 @@
 //	tdsim -run tdtcp -trace out.jsonl -metrics out.json
 //	                                # + JSONL event trace and metrics JSON
 //	tdsim -run tdtcp -progress      # live events/sec + sim/wall on stderr
+//	tdsim -run tdtcp -deadline 5s   # wall-clock budget; cooperative cancel,
+//	                                # exit 3 (trace stays a valid prefix)
 //	tdsim -sweep tdtcp,cubic -seeds 4 -parallel 8 -progress
 //	                                # variants x seeds matrix, 8 workers,
 //	                                # per-worker cell status on stderr
@@ -26,6 +28,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -66,6 +69,8 @@ func main() {
 		faultSeed  = flag.Int64("faultseed", 1, "fault-injection seed, independent of -seed (-run only)")
 		invariants = flag.Bool("invariants", false, "check connection/network invariants after every event and dump the flight recorder on violation (-run only)")
 		schedSpec  = flag.String("sched", "", "override the optical schedule, e.g. '6x(0:180us,-:20us),1:180us,-:20us' (-run only)")
+
+		deadline = flag.Duration("deadline", 0, "wall-clock budget for the run; on expiry the run is cancelled through the cooperative stop seam and tdsim exits 3 (-run only; 0 = none)")
 
 		progress  = flag.Bool("progress", false, "print live progress to stderr: events/sec and sim/wall ratio (-run), per-worker cell status (-sweep)")
 		flightLen = flag.Int("flightrec", tdtcp.DefaultFlightLen,
@@ -120,7 +125,18 @@ func main() {
 			cfg.Scenario.Schedule = sched
 		}
 		configureFlight(&cfg, *flightLen)
+		if *deadline > 0 {
+			// The wall-clock budget rides the cooperative stop seam: polled
+			// between simulation events, so an interrupted run's trace is a
+			// byte-identical prefix of the full run's.
+			at := time.Now().Add(*deadline)
+			cfg.Stop = func() bool { return !time.Now().Before(at) }
+		}
 		if err := runOne(cfg, *traceOut, *traceCats, *metricsFn, *progress); err != nil {
+			if errors.Is(err, tdtcp.ErrRunCancelled) {
+				fmt.Fprintf(os.Stderr, "tdsim: deadline %v exceeded: %v\n", *deadline, err)
+				os.Exit(3)
+			}
 			fatal(err)
 		}
 	case *figID != "":

@@ -145,3 +145,38 @@ func TestBadWorkloadExitsNonZero(t *testing.T) {
 		t.Errorf("stderr should name the unknown workload, got: %s", stderr)
 	}
 }
+
+// TestDeadlineFlagExits3 pins the -deadline contract: a run whose horizon
+// cannot fit the wall-clock budget is cancelled through the cooperative stop
+// seam and exits 3 (distinct from error exit 1), naming the deadline on
+// stderr.
+func TestDeadlineFlagExits3(t *testing.T) {
+	bin := buildBinary(t)
+	stdout, stderr, code := runSim(t, bin,
+		"-run", "cubic", "-flows", "8", "-warmup", "100000", "-weeks", "1",
+		"-deadline", "300ms")
+	if code != 3 {
+		t.Fatalf("deadline run: exit %d, want 3\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stderr, "deadline") || !strings.Contains(stderr, "cancelled") {
+		t.Errorf("stderr should explain the cancellation, got: %s", stderr)
+	}
+	if strings.Contains(stdout, "goodput") {
+		t.Errorf("cancelled run printed a result report:\n%s", stdout)
+	}
+}
+
+// TestDeadlineFlagGenerousBudgetExits0: a budget the run fits inside must
+// not change the success path.
+func TestDeadlineFlagGenerousBudgetExits0(t *testing.T) {
+	bin := buildBinary(t)
+	stdout, stderr, code := runSim(t, bin,
+		"-run", "tdtcp", "-flows", "2", "-warmup", "1", "-weeks", "1",
+		"-deadline", "5m")
+	if code != 0 {
+		t.Fatalf("generous deadline: exit %d\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "goodput") {
+		t.Errorf("report missing from stdout:\n%s", stdout)
+	}
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/rdcn-net/tdtcp/internal/trace"
+)
+
+// cancelTraceMask is every category except the chatty per-event sim loop, so
+// the prefix comparison covers all of the layered emissions (TCP, CC, TDN,
+// VOQ, RDCN, fault) without gigabytes of "fire" lines.
+const cancelTraceMask = trace.CatAll &^ trace.CatSim
+
+// afterPolls returns a Stop func that requests cancellation on the n-th poll.
+func afterPolls(n int) func() bool {
+	polls := 0
+	return func() bool {
+		polls++
+		return polls >= n
+	}
+}
+
+// traceLinesValid asserts buf is newline-terminated JSONL where every line
+// parses as a trace event — the "truncated-but-valid" half of the contract.
+func traceLinesValid(t *testing.T, buf []byte) {
+	t.Helper()
+	if len(buf) == 0 {
+		t.Fatal("cancelled run emitted no trace at all")
+	}
+	if buf[len(buf)-1] != '\n' {
+		t.Fatal("cancelled trace does not end on a line boundary")
+	}
+	var ev trace.Event
+	for i, line := range bytes.Split(bytes.TrimSuffix(buf, []byte("\n")), []byte("\n")) {
+		if err := trace.ParseLine(line, &ev); err != nil {
+			t.Fatalf("line %d of cancelled trace is not valid JSON: %v\n%s", i, err, line)
+		}
+	}
+}
+
+// TestCancelledRunTraceIsPrefix is the determinism argument for the stop
+// seam, asserted at the system level: cancelling a run mid-flight must yield
+// a JSONL trace that is a byte-identical prefix of the same seed's
+// uncancelled trace.
+func TestCancelledRunTraceIsPrefix(t *testing.T) {
+	run := func(stop func() bool) ([]byte, error) {
+		var buf bytes.Buffer
+		cfg := RunConfig{
+			Variant: TDTCP, Flows: 2, WarmupWeeks: 1, MeasureWeeks: 1, Seed: 7,
+			Tracer: trace.New(&buf, cancelTraceMask),
+			Stop:   stop, StopEvery: 256,
+		}
+		_, err := Run(cfg)
+		if ferr := cfg.Tracer.Flush(); ferr != nil {
+			t.Fatal(ferr)
+		}
+		return buf.Bytes(), err
+	}
+
+	full, err := run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := run(afterPolls(8))
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("cancelled run returned %v, want ErrCancelled", err)
+	}
+	if len(part) == 0 || len(part) >= len(full) {
+		t.Fatalf("cancelled trace is %d bytes of %d — not a strict prefix", len(part), len(full))
+	}
+	if !bytes.HasPrefix(full, part) {
+		t.Fatalf("cancelled trace (%d bytes) is not a byte prefix of the full trace (%d bytes)", len(part), len(full))
+	}
+	traceLinesValid(t, part)
+}
+
+// TestCancelledWorkloadTraceIsPrefix covers the open-loop workload path: the
+// same prefix property through RunWorkload's spawn/OnDone emissions.
+func TestCancelledWorkloadTraceIsPrefix(t *testing.T) {
+	run := func(stop func() bool) ([]byte, error) {
+		var buf bytes.Buffer
+		cfg := WorkloadConfig{
+			Variant: Cubic, Scenario: MultiRack(4), Hosts: 2,
+			WarmupWeeks: 1, MeasureWeeks: 1, Seed: 3, MaxFlows: 64,
+			Tracer: trace.New(&buf, cancelTraceMask),
+			Stop:   stop, StopEvery: 256,
+		}
+		_, err := RunWorkload(cfg)
+		if ferr := cfg.Tracer.Flush(); ferr != nil {
+			t.Fatal(ferr)
+		}
+		return buf.Bytes(), err
+	}
+
+	full, err := run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := run(afterPolls(5))
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("cancelled workload returned %v, want ErrCancelled", err)
+	}
+	if len(part) == 0 || len(part) >= len(full) {
+		t.Fatalf("cancelled trace is %d bytes of %d — not a strict prefix", len(part), len(full))
+	}
+	if !bytes.HasPrefix(full, part) {
+		t.Fatal("cancelled workload trace is not a byte prefix of the full trace")
+	}
+	traceLinesValid(t, part)
+}
+
+// TestUncancelledRunUnaffectedBySeam: installing a Stop func that never
+// fires must not change the run's results or trace by a single byte.
+func TestUncancelledRunUnaffectedBySeam(t *testing.T) {
+	run := func(stop func() bool) ([]byte, float64) {
+		var buf bytes.Buffer
+		cfg := RunConfig{
+			Variant: TDTCP, Flows: 2, WarmupWeeks: 1, MeasureWeeks: 1, Seed: 7,
+			Tracer: trace.New(&buf, cancelTraceMask),
+			Stop:   stop, StopEvery: 64,
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cfg.Tracer.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), res.GoodputGbps
+	}
+	base, baseGbps := run(nil)
+	seamed, seamedGbps := run(func() bool { return false })
+	if !bytes.Equal(base, seamed) {
+		t.Fatal("a never-firing Stop seam changed the trace")
+	}
+	if baseGbps != seamedGbps {
+		t.Fatalf("goodput changed under the seam: %v vs %v", baseGbps, seamedGbps)
+	}
+}

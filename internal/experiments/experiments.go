@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -144,6 +145,19 @@ type RunConfig struct {
 	// the golden-trace test runs the same seed with and without it and
 	// requires byte-identical traces.
 	DisableFramePool bool
+
+	// Stop, when non-nil, is the cooperative cancellation seam: it is polled
+	// between simulation events (every StopEvery events; sim.DefaultStopEvery
+	// when zero) and once it returns true the run abandons the event loop and
+	// Run returns an error wrapping ErrCancelled. The seam sits outside the
+	// determinism boundary — Stop typically reads a wall-clock deadline or an
+	// atomic flag set by another goroutine — but provably cannot perturb
+	// results: it runs between events, touches no simulation state, and only
+	// decides whether the next event executes, so a cancelled run's trace is
+	// a byte-identical prefix of the uncancelled run's (see
+	// sim.Loop.SetStopCheck and TestCancelledRunTraceIsPrefix).
+	Stop      func() bool
+	StopEvery int
 }
 
 func (cfg *RunConfig) fillDefaults() {
@@ -222,6 +236,18 @@ type Result struct {
 	FlightSnapshot []trace.Event
 }
 
+// ErrCancelled is the sentinel wrapped by Run and RunWorkload when the
+// configured Stop seam requested cancellation before the run's horizon.
+// Everything emitted up to the cancellation point (trace bytes, flight
+// recorder contents) is a valid prefix of the uncancelled run's output.
+var ErrCancelled = errors.New("run cancelled")
+
+// cancelledErr builds the wrapped cancellation error for one run.
+func cancelledErr(what string, loop *sim.Loop) error {
+	return fmt.Errorf("experiments: %s after %d events at %v: %w",
+		what, loop.Fired(), loop.Now(), ErrCancelled)
+}
+
 // dumpFlight writes the flight recorder's ring as JSONL behind a banner line
 // naming the reason. Used on the failure paths (conservation failure, panic;
 // the invariant checker dumps through its own hook) so a post-mortem always
@@ -287,6 +313,9 @@ func Run(cfg RunConfig) (*Result, error) {
 	}()
 	loop := sim.NewLoop(cfg.Seed)
 	cfg.Meter.Attach(loop)
+	if cfg.Stop != nil {
+		loop.SetStopCheck(cfg.StopEvery, cfg.Stop)
+	}
 
 	racks := cfg.Scenario.Racks
 	if racks == 0 {
@@ -441,11 +470,20 @@ func Run(cfg RunConfig) (*Result, error) {
 	}
 
 	loop.RunUntil(measureStart)
+	// Cancellation is surfaced only between RunUntil legs: no trace event is
+	// emitted after the last executed simulation event, so the cancelled
+	// run's trace stays a byte-identical prefix of the full run's.
+	if loop.Stopped() {
+		return nil, cancelledErr(fmt.Sprintf("%s on %s", cfg.Variant, cfg.Scenario.Name), loop)
+	}
 	baseline := delivered()
 	seq := stats.NewSampler(loop, string(cfg.Variant), cfg.SampleEvery, end,
 		func() float64 { return delivered() - baseline })
 	voq := stats.NewSampler(loop, string(cfg.Variant), cfg.SampleEvery, end, voqLen)
 	loop.RunUntil(end)
+	if loop.Stopped() {
+		return nil, cancelledErr(fmt.Sprintf("%s on %s", cfg.Variant, cfg.Scenario.Name), loop)
+	}
 	for i, f := range flows {
 		tracer.EndSpan(trace.CatTCP, int64(loop.Now()), "flow", i, -1,
 			flowSpans[i], float64(f.Delivered()), 0)

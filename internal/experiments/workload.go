@@ -173,6 +173,11 @@ type WorkloadConfig struct {
 	// DisableFramePool turns off wire-buffer recycling (determinism probe,
 	// see RunConfig.DisableFramePool).
 	DisableFramePool bool
+	// Stop and StopEvery mirror RunConfig: the cooperative cancellation
+	// seam, polled between events, that makes RunWorkload return an error
+	// wrapping ErrCancelled without perturbing the executed prefix.
+	Stop      func() bool
+	StopEvery int
 }
 
 func (cfg *WorkloadConfig) fillDefaults() {
@@ -264,6 +269,9 @@ func RunWorkload(cfg WorkloadConfig) (*WorkloadResult, error) {
 
 	loop := sim.NewLoop(cfg.Seed)
 	cfg.Meter.Attach(loop)
+	if cfg.Stop != nil {
+		loop.SetStopCheck(cfg.StopEvery, cfg.Stop)
+	}
 	ncfg := rdcn.DefaultConfig()
 	ncfg.Racks = racks
 	ncfg.HostsPerRack = cfg.Hosts
@@ -365,9 +373,15 @@ func RunWorkload(cfg WorkloadConfig) (*WorkloadResult, error) {
 	}
 
 	loop.RunUntil(measureStart)
+	if loop.Stopped() {
+		return nil, cancelledErr(fmt.Sprintf("workload %s on %s", cfg.Variant, cfg.Scenario.Name), loop)
+	}
 	baseline := delivered()
 	voq := stats.NewSampler(loop, string(cfg.Variant), cfg.SampleEvery, end, voqLen)
 	loop.RunUntil(end)
+	if loop.Stopped() {
+		return nil, cancelledErr(fmt.Sprintf("workload %s on %s", cfg.Variant, cfg.Scenario.Name), loop)
+	}
 
 	if buildErr != nil {
 		return nil, buildErr

@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"strconv"
 	"strings"
 )
 
@@ -16,6 +17,17 @@ var deterministicPkgs = []string{
 	"internal/core",
 	"internal/cc",
 	"internal/fault",
+}
+
+// nondeterministicPkgs are the layers explicitly OUTSIDE the determinism
+// boundary: the serving daemon and live observability read wall clocks, spawn
+// goroutines, and jitter backoffs by design. The boundary is one-way — they
+// may import the simulation, never the reverse — so a deterministic package
+// importing one of them is itself a finding.
+var nondeterministicPkgs = []string{
+	"internal/serve",
+	"internal/obs",
+	"cmd/tdserve",
 }
 
 // wallClockFuncs are the time package entry points that read or depend on the
@@ -43,6 +55,16 @@ func DeterminismCheck() *Check {
 				continue
 			}
 			for _, f := range pkg.Syntax {
+				for _, spec := range f.Imports {
+					ip, _ := strconv.Unquote(spec.Path.Value)
+					if pathMatches(ip, nondeterministicPkgs...) {
+						diags = append(diags, Diagnostic{
+							Pos:     prog.Fset.Position(spec.Pos()),
+							Check:   c.Name,
+							Message: "import of " + ip + " in a deterministic package: the serving/observability layer is outside the determinism boundary and may only import the simulation, never the reverse",
+						})
+					}
+				}
 				ast.Inspect(f, func(n ast.Node) bool {
 					switch n := n.(type) {
 					case *ast.GoStmt:

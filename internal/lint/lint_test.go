@@ -107,6 +107,13 @@ func TestDeterminismFixture(t *testing.T) {
 	checkFixture(t, selectChecks(t, "determinism"), "a/internal/sim", "a/clockapp")
 }
 
+// TestDeterminismBoundaryFixture proves a simulation package cannot import
+// the serving layer: the import itself is a finding, while the serving
+// package (outside the boundary) is loaded without complaint.
+func TestDeterminismBoundaryFixture(t *testing.T) {
+	checkFixture(t, selectChecks(t, "determinism"), "g/internal/sim", "g/internal/serve")
+}
+
 func TestSeqArithFixture(t *testing.T) {
 	checkFixture(t, selectChecks(t, "seqarith"), "b/internal/tcp")
 }

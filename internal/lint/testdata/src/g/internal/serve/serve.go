@@ -1,0 +1,6 @@
+// Package serve is the boundary-fixture stand-in for the real serving layer:
+// a package that legitimately lives outside the determinism boundary.
+package serve
+
+// Submit is referenced by the sim fixture so the import is not unused.
+func Submit(spec string) string { return "j-" + spec }

@@ -1,0 +1,18 @@
+// Package sim is the determinism-boundary fixture: a simulation package must
+// not import the serving layer, even transitively through a helper.
+package sim
+
+import (
+	"g/internal/serve" // want "import of g/internal/serve in a deterministic package"
+	"sort"
+)
+
+// Schedule is deterministic work that wrongly leans on the serving layer.
+func Schedule(specs []string) []string {
+	sort.Strings(specs)
+	ids := make([]string, 0, len(specs))
+	for _, s := range specs {
+		ids = append(ids, serve.Submit(s))
+	}
+	return ids
+}

@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"github.com/rdcn-net/tdtcp/internal/experiments"
+	"github.com/rdcn-net/tdtcp/internal/fault"
+	"github.com/rdcn-net/tdtcp/internal/rdcn"
+	"github.com/rdcn-net/tdtcp/internal/workload"
+)
+
+// Spec is the JSON scenario specification a client submits: the
+// experiments-package config shapes (RunConfig / WorkloadConfig) flattened
+// into wire-friendly scalars. Zero fields take the service defaults below —
+// deliberately smaller than the library defaults, so an empty spec answers
+// in well under a second.
+//
+// Because runs are fully deterministic, a normalized Spec *is* the result:
+// two specs that normalize identically always produce byte-identical runs,
+// which is what makes the server's result cache and single-flight
+// deduplication sound. DeadlineMS is the one field excluded from that
+// identity — it bounds how long the service will wait, not what the run
+// computes.
+type Spec struct {
+	// Kind selects the experiment shape: "run" (long-lived §5.1 flows,
+	// default) or "workload" (open-loop flow arrivals with FCT accounting).
+	Kind string `json:"kind,omitempty"`
+	// Variant is the transport under test (default "tdtcp").
+	Variant string `json:"variant,omitempty"`
+	// Flows is the host-pair count for kind=run (default 4).
+	Flows int `json:"flows,omitempty"`
+	// Racks is the ToR count: 0/2 = the paper's two-rack hybrid for
+	// kind=run; kind=workload defaults to a 4-rack rotor.
+	Racks int `json:"racks,omitempty"`
+	// Hosts is the per-rack host count for kind=workload (default 2).
+	Hosts int `json:"hosts,omitempty"`
+	// WarmupWeeks/MeasureWeeks size the run (defaults 1 and 2).
+	WarmupWeeks  int `json:"warmup_weeks,omitempty"`
+	MeasureWeeks int `json:"measure_weeks,omitempty"`
+	// Seed is the simulation seed (default 1). Part of the cache key: the
+	// same normalized spec with a different seed is a different run.
+	Seed int64 `json:"seed,omitempty"`
+	// Schedule optionally overrides the optical schedule with the compact
+	// syntax, e.g. "6x(0:180us,-:20us),1:180us,-:20us" (kind=run only).
+	Schedule string `json:"schedule,omitempty"`
+	// Workload names the flow-size distribution for kind=workload
+	// ("websearch", default, or "datamining").
+	Workload string `json:"workload,omitempty"`
+	// Load is the offered load fraction for kind=workload (default 0.3).
+	Load float64 `json:"load,omitempty"`
+	// MaxFlows caps kind=workload arrivals (default 256).
+	MaxFlows int `json:"max_flows,omitempty"`
+	// Fault optionally injects a fault plan, e.g. "nloss=0.1,drop=0.01";
+	// FaultSeed seeds it independently of Seed (default 1).
+	Fault     string `json:"fault,omitempty"`
+	FaultSeed int64  `json:"fault_seed,omitempty"`
+	// Invariants turns on the post-event invariant checker.
+	Invariants bool `json:"invariants,omitempty"`
+	// DeadlineMS caps the job's wall-clock run time in milliseconds; zero
+	// uses the server's default deadline. Excluded from the cache key.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// Spec kinds.
+const (
+	KindRun      = "run"
+	KindWorkload = "workload"
+)
+
+// runVariants and workloadVariants are the transports each kind accepts
+// (workload runs reject the two-rack-only constructs up front).
+var (
+	runVariants = map[string]bool{"tdtcp": true, "cubic": true, "dctcp": true,
+		"reno": true, "retcp": true, "retcpdyn": true, "mptcp2f": true}
+	workloadVariants = map[string]bool{"tdtcp": true, "cubic": true, "dctcp": true, "reno": true}
+)
+
+// Normalize fills service defaults and validates everything checkable
+// without running: kind, variant, distribution name, schedule and fault-plan
+// syntax, and numeric sanity. It returns a new Spec; the receiver is not
+// modified. Submitting a spec that fails Normalize is a client error (HTTP
+// 400), never a job.
+func (s *Spec) Normalize() (*Spec, error) {
+	n := *s
+	if n.Kind == "" {
+		n.Kind = KindRun
+	}
+	if n.Variant == "" {
+		n.Variant = string(experiments.TDTCP)
+	}
+	switch n.Kind {
+	case KindRun:
+		if !runVariants[n.Variant] {
+			return nil, fmt.Errorf("serve: unknown run variant %q", n.Variant)
+		}
+		if n.Flows == 0 {
+			n.Flows = 4
+		}
+		if n.Hosts != 0 {
+			return nil, fmt.Errorf("serve: hosts applies only to kind=workload")
+		}
+		if n.Racks > 2 {
+			switch n.Variant {
+			case "retcp", "retcpdyn", "mptcp2f":
+				return nil, fmt.Errorf("serve: variant %q supports only the two-rack hybrid", n.Variant)
+			}
+			if n.Schedule != "" {
+				return nil, fmt.Errorf("serve: schedule overrides apply only to the two-rack hybrid (racks <= 2)")
+			}
+		}
+		if n.Workload != "" || n.Load != 0 || n.MaxFlows != 0 {
+			return nil, fmt.Errorf("serve: workload/load/max_flows apply only to kind=workload")
+		}
+	case KindWorkload:
+		if !workloadVariants[n.Variant] {
+			return nil, fmt.Errorf("serve: variant %q is not supported by kind=workload", n.Variant)
+		}
+		if n.Racks == 0 {
+			n.Racks = 4
+		}
+		if n.Racks < 3 {
+			return nil, fmt.Errorf("serve: kind=workload needs racks >= 3, got %d", n.Racks)
+		}
+		if n.Hosts == 0 {
+			n.Hosts = 2
+		}
+		if n.Workload == "" {
+			n.Workload = "websearch"
+		}
+		if _, err := workload.ByName(n.Workload); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		if n.Load == 0 {
+			n.Load = 0.3
+		}
+		if n.Load < 0 || n.Load > 1 {
+			return nil, fmt.Errorf("serve: load %v outside (0, 1]", n.Load)
+		}
+		if n.MaxFlows == 0 {
+			n.MaxFlows = 256
+		}
+		if n.Schedule != "" {
+			return nil, fmt.Errorf("serve: schedule overrides apply only to kind=run (workload scenarios derive their rotor schedule from racks)")
+		}
+		if n.Flows != 0 {
+			return nil, fmt.Errorf("serve: flows applies only to kind=run; size workloads with hosts/load/max_flows")
+		}
+	default:
+		return nil, fmt.Errorf("serve: unknown kind %q (want %q or %q)", n.Kind, KindRun, KindWorkload)
+	}
+	if n.Flows < 0 || n.Racks < 0 || n.Hosts < 0 || n.WarmupWeeks < 0 ||
+		n.MeasureWeeks < 0 || n.MaxFlows < 0 || n.DeadlineMS < 0 {
+		return nil, fmt.Errorf("serve: negative sizes in spec")
+	}
+	if n.WarmupWeeks == 0 {
+		n.WarmupWeeks = 1
+	}
+	if n.MeasureWeeks == 0 {
+		n.MeasureWeeks = 2
+	}
+	if n.Seed == 0 {
+		n.Seed = 1
+	}
+	if n.Schedule != "" {
+		if _, err := rdcn.ParseSchedule(n.Schedule); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+	}
+	if n.Fault != "" {
+		if _, err := fault.Parse(n.Fault); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+	}
+	if n.FaultSeed == 0 {
+		n.FaultSeed = 1
+	}
+	return &n, nil
+}
+
+// Key returns the normalized spec's cache identity: the hex SHA-256 of its
+// canonical JSON encoding with the deadline zeroed. Struct-field order fixes
+// the encoding, so equal normalized specs always hash equal. The seed is
+// part of the hashed spec, making the key the paper-determinism cache key
+// (canonical config hash, seed).
+func (s *Spec) Key() string {
+	c := *s
+	c.DeadlineMS = 0
+	b, err := json.Marshal(&c)
+	if err != nil {
+		// A Spec is plain scalars; Marshal cannot fail. Keep the error path
+		// total anyway: an unhashable spec must never alias another's cache
+		// entry.
+		return fmt.Sprintf("unhashable:%p", s)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Deadline returns the job's wall-clock budget, falling back to def.
+func (s *Spec) Deadline(def time.Duration) time.Duration {
+	if s.DeadlineMS > 0 {
+		return time.Duration(s.DeadlineMS) * time.Millisecond
+	}
+	return def
+}
+
+// runConfig assembles the experiments.RunConfig for a normalized kind=run
+// spec. Parse errors cannot occur: Normalize already validated the syntax.
+func (s *Spec) runConfig() experiments.RunConfig {
+	cfg := experiments.RunConfig{
+		Variant:      experiments.Variant(s.Variant),
+		Flows:        s.Flows,
+		WarmupWeeks:  s.WarmupWeeks,
+		MeasureWeeks: s.MeasureWeeks,
+		Seed:         s.Seed,
+		Invariants:   s.Invariants,
+	}
+	if s.Racks > 2 {
+		cfg.Scenario = experiments.MultiRack(s.Racks)
+	} else if s.Schedule != "" {
+		cfg.Scenario = experiments.Hybrid()
+		cfg.Scenario.Schedule, _ = rdcn.ParseSchedule(s.Schedule)
+	}
+	if s.Fault != "" {
+		plan, _ := fault.Parse(s.Fault)
+		cfg.Fault = &plan
+		cfg.FaultSeed = s.FaultSeed
+	}
+	return cfg
+}
+
+// workloadConfig assembles the experiments.WorkloadConfig for a normalized
+// kind=workload spec.
+func (s *Spec) workloadConfig() experiments.WorkloadConfig {
+	dist, _ := workload.ByName(s.Workload)
+	return experiments.WorkloadConfig{
+		Variant:      experiments.Variant(s.Variant),
+		Scenario:     experiments.MultiRack(s.Racks),
+		Dist:         dist,
+		Load:         s.Load,
+		Hosts:        s.Hosts,
+		WarmupWeeks:  s.WarmupWeeks,
+		MeasureWeeks: s.MeasureWeeks,
+		Seed:         s.Seed,
+		MaxFlows:     s.MaxFlows,
+	}
+}

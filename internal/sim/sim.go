@@ -154,7 +154,20 @@ type Loop struct {
 	// here so it observes the simulation between events, never mid-update.
 	// Costs one nil check per event when unset.
 	PostEvent func()
+
+	// Cooperative stop seam (SetStopCheck): stopFn is polled between events,
+	// every stopEvery executed events; stopped latches once it returns true.
+	stopFn    func() bool
+	stopEvery uint64
+	stopAt    uint64 // fired count at which stopFn is polled next
+	stopped   bool
 }
+
+// DefaultStopEvery is the stop-check polling cadence used when SetStopCheck
+// is called with every <= 0: infrequent enough that the predicted branch per
+// event is free, frequent enough that a cancelled run stops within
+// microseconds of wall time.
+const DefaultStopEvery = 4096
 
 // NewLoop returns a loop positioned at time zero whose random source is
 // seeded with seed.
@@ -366,16 +379,68 @@ func (l *Loop) Step() bool {
 	return true
 }
 
-// Run executes events until none remain.
+// SetStopCheck installs a cooperative cancellation seam: fn is polled
+// between events — after every `every` executed events (DefaultStopEvery
+// when every <= 0) — and once it returns true the loop latches into the
+// stopped state and Run/RunUntil return without executing further events.
+//
+// The seam is deliberately OUTSIDE the determinism boundary: fn typically
+// reads a deadline or an atomic flag written by another goroutine. That is
+// safe for replayability because fn runs between events, never observes or
+// mutates simulation state (clock, RNG, queue), and only decides whether
+// the next event executes at all — so a stopped run's executed-event
+// sequence (and therefore its trace) is a byte-identical prefix of the
+// unstopped run's. fn must not touch the loop or anything scheduled on it.
+//
+// Passing a nil fn removes the seam (and clears a latched stop).
+func (l *Loop) SetStopCheck(every int, fn func() bool) {
+	if fn == nil {
+		l.stopFn, l.stopEvery, l.stopped = nil, 0, false
+		return
+	}
+	if every <= 0 {
+		every = DefaultStopEvery
+	}
+	l.stopFn = fn
+	l.stopEvery = uint64(every)
+	l.stopAt = l.fired + l.stopEvery
+}
+
+// Stopped reports whether a stop check has latched: the loop refused to
+// execute further events and Run/RunUntil returned early. It stays true
+// until SetStopCheck is called again.
+func (l *Loop) Stopped() bool { return l.stopped }
+
+// shouldStop polls the stop seam when it is due. Called between events only.
+func (l *Loop) shouldStop() bool {
+	if l.stopped {
+		return true
+	}
+	if l.stopFn == nil || l.fired < l.stopAt {
+		return false
+	}
+	l.stopAt = l.fired + l.stopEvery
+	if l.stopFn() {
+		l.stopped = true
+	}
+	return l.stopped
+}
+
+// Run executes events until none remain (or a stop check latches).
 func (l *Loop) Run() {
-	for l.Step() {
+	for !l.shouldStop() && l.Step() {
 	}
 }
 
 // RunUntil executes events with time ≤ end and then sets the clock to end.
-// Events scheduled after end remain pending.
+// Events scheduled after end remain pending. When a stop check latches the
+// loop returns immediately with the clock left at the last executed event,
+// not advanced to end.
 func (l *Loop) RunUntil(end Time) {
 	for {
+		if l.shouldStop() {
+			return
+		}
 		at, ok := l.peek()
 		if !ok || at > end {
 			break

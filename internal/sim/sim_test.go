@@ -382,3 +382,101 @@ func TestLoopTracerEmitsFireEvents(t *testing.T) {
 		}
 	}
 }
+
+// chainLoop builds a loop with a self-rescheduling event chain so Run would
+// execute exactly n events, recording each firing's (index, time).
+func chainLoop(n int) (*Loop, *[]Time) {
+	l := NewLoop(1)
+	fired := &[]Time{}
+	var step func()
+	step = func() {
+		*fired = append(*fired, l.Now())
+		if len(*fired) < n {
+			l.After(Duration(1+l.Rand().Intn(3)), step)
+		}
+	}
+	l.After(1, step)
+	return l, fired
+}
+
+func TestStopCheckLatches(t *testing.T) {
+	l, fired := chainLoop(100)
+	polls := 0
+	l.SetStopCheck(10, func() bool { polls++; return polls >= 2 })
+	l.Run()
+	if !l.Stopped() {
+		t.Fatal("loop should report Stopped after the check returned true")
+	}
+	// Polled at fired=10 (false) and fired=20 (true): exactly 20 events ran.
+	if len(*fired) != 20 {
+		t.Fatalf("executed %d events, want 20", len(*fired))
+	}
+	// A latched stop refuses further work without re-polling.
+	before := polls
+	l.Run()
+	if len(*fired) != 20 || polls != before {
+		t.Fatalf("latched loop ran again: %d events, %d polls", len(*fired), polls)
+	}
+	// Clearing the seam resumes.
+	l.SetStopCheck(0, nil)
+	if l.Stopped() {
+		t.Fatal("nil stop check should clear the latch")
+	}
+	l.Run()
+	if len(*fired) != 100 {
+		t.Fatalf("resumed run executed %d events, want 100", len(*fired))
+	}
+}
+
+// TestStopCheckPrefixDeterminism is the seam's core contract: a stopped run's
+// executed-event sequence is a byte-identical prefix of the unstopped run's.
+func TestStopCheckPrefixDeterminism(t *testing.T) {
+	full, fullFired := chainLoop(200)
+	full.Run()
+
+	part, partFired := chainLoop(200)
+	part.SetStopCheck(7, func() bool { return len(*partFired) >= 63 })
+	part.Run()
+	if !part.Stopped() {
+		t.Fatal("partial run should have stopped")
+	}
+	if len(*partFired) >= len(*fullFired) {
+		t.Fatalf("partial run executed %d of %d events — not a strict prefix", len(*partFired), len(*fullFired))
+	}
+	for i, ts := range *partFired {
+		if (*fullFired)[i] != ts {
+			t.Fatalf("event %d fired at %v in the stopped run, %v in the full run", i, ts, (*fullFired)[i])
+		}
+	}
+	if part.Now() != (*partFired)[len(*partFired)-1] {
+		t.Fatalf("stopped clock = %v, want last executed event time %v", part.Now(), (*partFired)[len(*partFired)-1])
+	}
+}
+
+func TestStopCheckRunUntilDoesNotAdvanceClock(t *testing.T) {
+	l, fired := chainLoop(100)
+	l.SetStopCheck(10, func() bool { return true })
+	l.RunUntil(1_000_000)
+	if !l.Stopped() {
+		t.Fatal("RunUntil should honor the stop check")
+	}
+	if len(*fired) != 10 {
+		t.Fatalf("executed %d events, want 10", len(*fired))
+	}
+	if l.Now() == 1_000_000 {
+		t.Fatal("stopped RunUntil must not advance the clock to end")
+	}
+}
+
+func TestStopCheckNeverPolledBeforeCadence(t *testing.T) {
+	l, _ := chainLoop(5)
+	polled := false
+	l.SetStopCheck(1000, func() bool { polled = true; return true })
+	l.Run()
+	if polled {
+		t.Fatal("stop check polled before 1000 events fired")
+	}
+	if l.Stopped() {
+		t.Fatal("loop stopped without the check returning true")
+	}
+}

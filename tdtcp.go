@@ -224,6 +224,12 @@ func BuildFlow(loop *Loop, net *Network, i int, v Variant, opt FlowOptions) (*Fl
 // Run executes one fully-specified experiment.
 func Run(cfg RunConfig) (*Result, error) { return experiments.Run(cfg) }
 
+// ErrRunCancelled is the sentinel wrapped by Run and RunWorkload when the
+// configured RunConfig.Stop seam requests cancellation before the horizon.
+// A cancelled run's trace is a byte-identical prefix of the uncancelled
+// run's (the seam is polled between events and never perturbs results).
+var ErrRunCancelled = experiments.ErrCancelled
+
 // SweepMatrix expands base over variants × seeds in variant-major order.
 func SweepMatrix(base RunConfig, variants []Variant, seeds []int64) []RunConfig {
 	return experiments.Matrix(base, variants, seeds)
