@@ -10,16 +10,29 @@ test -z "$(gofmt -l . | tee /dev/stderr)"
 go vet ./...
 
 # tdlint enforces the contracts the compiler cannot see: determinism, RFC 1982
-# sequence arithmetic, hook nil-safety, trace categories, metric naming, and
-# causal-span Begin/End pairing. Exit 1 = findings, exit 2 = load failure;
-# either fails the gate.
-go run ./cmd/tdlint ./...
+# sequence arithmetic, hook nil-safety, trace categories, metric naming,
+# causal-span Begin/End pairing, concurrency discipline outside the
+# determinism boundary, hot-path allocation freedom, sim-time unit hygiene,
+# and enum-switch exhaustiveness. Exit 1 = findings, exit 2 = load failure;
+# either fails the gate. The JSON findings list is kept as a CI artifact so a
+# red gate is diagnosable without rerunning locally.
+mkdir -p artifacts
+go run ./cmd/tdlint -json ./... > artifacts/tdlint.json
+
+# Hot-path gate latency: the escape analysis behind the hotpath check runs
+# through the ordinary build cache, and the full tdlint run above has just
+# warmed it, so a hotpath-only re-lint must replay cached compiler output
+# and finish inside a 10s budget. A blown budget means the cache replay
+# broke and every CI run is paying for full recompiles.
+hotpath_start=$(date +%s)
+go run ./cmd/tdlint -checks hotpath ./...
+hotpath_elapsed=$(($(date +%s) - hotpath_start))
+test "$hotpath_elapsed" -le 10
 
 go build ./...
 
 # Full suite with per-package coverage; the profile and its per-package
 # summary are CI artifacts (kept out of git via .gitignore).
-mkdir -p artifacts
 go test -race -coverprofile=artifacts/cover.out ./...
 go tool cover -func=artifacts/cover.out | tee artifacts/coverage.txt
 

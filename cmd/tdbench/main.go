@@ -9,9 +9,11 @@
 //	tdbench -out other.json     # track a different file
 //	tdbench -dry                # run and diff only, leave the file untouched
 //
-// The JSON file carries the current numbers under "benchmarks" and the
-// previous run's numbers under "previous", so the diff survives in the file
-// itself as well as in the command output.
+// The JSON file carries the current numbers under "benchmarks", the previous
+// run's numbers under "previous", and the tdlint finding count under
+// "lint_findings" — the zero-allocation claims recorded here are only
+// trustworthy when the hotpath lint gate that enforces them is clean, so the
+// two facts travel together and a dirty tree fails the run.
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"testing"
 
 	"github.com/rdcn-net/tdtcp/internal/bench"
+	"github.com/rdcn-net/tdtcp/internal/lint"
 )
 
 // Record is one benchmark's tracked measurements.
@@ -37,6 +40,10 @@ type Record struct {
 type File struct {
 	Benchmarks map[string]Record `json:"benchmarks"`
 	Previous   map[string]Record `json:"previous,omitempty"`
+	// LintFindings is the tdlint finding count at recording time. The tracked
+	// value must be zero: benchmark numbers from a tree that fails its own
+	// static gates are not comparable.
+	LintFindings int `json:"lint_findings"`
 }
 
 var headline = []struct {
@@ -80,12 +87,22 @@ func main() {
 		cur[b.Name] = rec
 	}
 
+	fmt.Fprintln(os.Stderr, "tdbench: running tdlint...")
+	nlint, err := lintFindings()
+	if err != nil {
+		fatal(err)
+	}
+
 	printDiff(prev, cur)
+	fmt.Printf("%-15s %14d\n", "lint findings", nlint)
 
 	if *dry {
+		if nlint != 0 {
+			fatal(fmt.Errorf("%d tdlint findings; the tree must be lint-clean", nlint))
+		}
 		return
 	}
-	f := File{Benchmarks: cur}
+	f := File{Benchmarks: cur, LintFindings: nlint}
 	if len(prev) > 0 {
 		f.Previous = prev
 	}
@@ -97,6 +114,19 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "tdbench: wrote %s\n", *out)
+	if nlint != 0 {
+		fatal(fmt.Errorf("%d tdlint findings recorded; the tree must be lint-clean", nlint))
+	}
+}
+
+// lintFindings runs the full tdlint suite in-process over the module rooted
+// in the working directory.
+func lintFindings() (int, error) {
+	prog, err := lint.Load(".", "./...")
+	if err != nil {
+		return 0, err
+	}
+	return len(lint.Run(prog, lint.All())), nil
 }
 
 // printDiff renders old -> new per benchmark in the headline order.

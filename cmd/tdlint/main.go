@@ -1,14 +1,18 @@
 // Command tdlint runs the repository's static analyzer suite over Go package
 // patterns and reports contract violations the compiler cannot see:
 // determinism, RFC 1982 sequence arithmetic, hook nil-safety, trace
-// categories, metric naming, and causal-span pairing (see internal/lint).
+// categories, metric naming, causal-span pairing, concurrency discipline,
+// hot-path allocation freedom, sim-time unit hygiene, and enum-switch
+// exhaustiveness (see internal/lint).
 //
 // Usage:
 //
-//	tdlint [-json] [-checks list] [-C dir] [packages...]
+//	tdlint [-json] [-checks list] [-list] [-C dir] [packages...]
 //
-// Exit status is 0 when the tree is clean, 1 when findings are reported, and
-// 2 when the packages fail to load or the invocation is invalid.
+// -list prints the registered checks and exits; an unknown name in -checks
+// is an invocation error naming the valid set. Exit status is 0 when the
+// tree is clean, 1 when findings are reported, and 2 when the packages fail
+// to load or the invocation is invalid.
 package main
 
 import (
@@ -29,6 +33,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
 	checksFlag := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	listFlag := fs.Bool("list", false, "list the registered checks and exit")
 	dir := fs.String("C", ".", "module directory to resolve package patterns in")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: tdlint [flags] [packages]\n\nChecks:\n")
@@ -40,6 +45,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *listFlag {
+		for _, c := range lint.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", c.Name, c.Doc)
+		}
+		return 0
 	}
 	checks, err := lint.Select(*checksFlag)
 	if err != nil {

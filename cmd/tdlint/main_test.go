@@ -108,7 +108,32 @@ func TestExitCodeContract(t *testing.T) {
 		if code != 2 {
 			t.Fatalf("unknown check: exit %d, stderr: %s", code, stderr)
 		}
+		// The error must name the valid set so the misspelling is a
+		// one-round-trip fix.
+		for _, name := range []string{"determinism", "concurrency", "hotpath", "simtime", "exhaustive"} {
+			if !strings.Contains(stderr, name) {
+				t.Errorf("unknown-check error does not list %q: %s", name, stderr)
+			}
+		}
 	})
+}
+
+// TestListFlag asserts -list prints every registered check to stdout and
+// exits 0 without loading any packages.
+func TestListFlag(t *testing.T) {
+	bin := buildBinary(t)
+	stdout, stderr, code := runLint(t, bin, "-list")
+	if code != 0 {
+		t.Fatalf("-list: exit %d, stderr: %s", code, stderr)
+	}
+	for _, name := range []string{
+		"determinism", "seqarith", "nilhook", "tracecat", "metricname",
+		"spanpair", "concurrency", "hotpath", "simtime", "exhaustive",
+	} {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list output missing %q:\n%s", name, stdout)
+		}
+	}
 }
 
 // TestJSONOutput asserts -json emits a machine-readable array with the fields

@@ -36,9 +36,9 @@ type AckEvent struct {
 	// InFlight is the number of packets still outstanding after this ACK.
 	InFlight int
 	// RTT is a fresh round-trip sample, or 0 when the ACK yielded none.
-	RTT sim.Duration
+	RTT sim.Dur
 	// SRTT is the smoothed RTT of the path state this algorithm serves.
-	SRTT sim.Duration
+	SRTT sim.Dur
 }
 
 // Algorithm is a congestion-control algorithm instance. Instances are

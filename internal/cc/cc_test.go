@@ -145,7 +145,7 @@ func TestCubicRobustness(t *testing.T) {
 		cu := NewCubic()
 		now := sim.Time(0)
 		for _, op := range ops {
-			now = now.Add(sim.Duration(op) * sim.Microsecond)
+			now = now.Add(sim.Dur(op) * sim.Microsecond)
 			switch op % 4 {
 			case 0, 1:
 				cu.OnAck(AckEvent{Now: now, Acked: int(op%7) + 1, SRTT: 50 * sim.Microsecond})
@@ -279,7 +279,7 @@ func TestAllAlgorithmsInvariants(t *testing.T) {
 			a := f()
 			now := sim.Time(0)
 			for _, op := range ops {
-				now = now.Add(sim.Duration(op%97) * sim.Microsecond)
+				now = now.Add(sim.Dur(op%97) * sim.Microsecond)
 				switch op % 5 {
 				case 0, 1:
 					a.OnAck(AckEvent{Now: now, Acked: int(op%11) + 1, ECEMarked: int(op % 3), SRTT: 40 * sim.Microsecond})

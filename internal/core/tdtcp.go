@@ -50,7 +50,7 @@ type Options struct {
 	// blackholing cwnd updates into state the fabric no longer serves. Set
 	// it above the longest nominal notification gap (the paper's hybrid
 	// week delivers one per ~200µs day) so it only trips on genuine loss.
-	DeadmanHorizon sim.Duration
+	DeadmanHorizon sim.Dur
 	// DeadmanSchedule reports the TDN the nominal schedule makes active at
 	// t (ok=false during a night). Typically rdcn.Schedule.At.
 	DeadmanSchedule func(t sim.Time) (tdn int, ok bool)
@@ -254,8 +254,8 @@ func (p *TDTCP) FilterLoss(seg *tcp.TxSeg, trigTDN uint8) bool {
 
 // slowestRTTBound returns the slowest per-TDN SRTT plus variance slack, or 0
 // when no estimator has a sample yet.
-func (p *TDTCP) slowestRTTBound() sim.Duration {
-	var bound sim.Duration
+func (p *TDTCP) slowestRTTBound() sim.Dur {
+	var bound sim.Dur
 	for _, st := range p.c.States() {
 		if st.Samples == 0 {
 			continue
@@ -290,7 +290,7 @@ func (p *TDTCP) RTTTarget(dataTDN, ackTDN uint8) (int, bool) {
 // SegmentRTO implements the §4.4 pessimistic timeout: TDTCP knows which TDN
 // a segment was sent on but not which TDN its ACK will return on, so it
 // assumes the slowest: RTO is built from ½RTTₙ + ½RTT_slowest.
-func (p *TDTCP) SegmentRTO(tdn uint8) sim.Duration {
+func (p *TDTCP) SegmentRTO(tdn uint8) sim.Dur {
 	states := p.c.States()
 	if int(tdn) >= len(states) {
 		tdn = uint8(p.active)

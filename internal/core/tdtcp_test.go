@@ -15,7 +15,7 @@ type env struct {
 	t      *testing.T
 	loop   *sim.Loop
 	netTDN int
-	delays []sim.Duration
+	delays []sim.Dur
 	a, b   *tcp.Conn
 	pa, pb *TDTCP
 	epoch  uint32
@@ -27,7 +27,7 @@ func newEnv(t *testing.T, opts Options, ccf cc.Factory) *env {
 	e := &env{
 		t:      t,
 		loop:   sim.NewLoop(11),
-		delays: []sim.Duration{50 * sim.Microsecond, 5 * sim.Microsecond},
+		delays: []sim.Dur{50 * sim.Microsecond, 5 * sim.Microsecond},
 	}
 	if ccf == nil {
 		ccf = func() cc.Algorithm { return cc.NewReno() }
@@ -81,7 +81,7 @@ func (e *env) establish() {
 	}
 }
 
-func (e *env) runFor(d sim.Duration) { e.loop.RunUntil(e.loop.Now().Add(d)) }
+func (e *env) runFor(d sim.Dur) { e.loop.RunUntil(e.loop.Now().Add(d)) }
 
 func TestNewValidation(t *testing.T) {
 	for _, n := range []int{0, 1, 300} {
@@ -385,7 +385,7 @@ func TestFilterLossRules(t *testing.T) {
 	e.switchTDN(1)
 	ptr, _ := e.pa.ChangePointer()
 	now := e.loop.Now()
-	mk := func(seq uint32, tdn uint8, age sim.Duration) *tcp.TxSeg {
+	mk := func(seq uint32, tdn uint8, age sim.Dur) *tcp.TxSeg {
 		return &tcp.TxSeg{Seq: seq, Len: 8960, TDN: tdn, SentAt: now.Add(-age)}
 	}
 	// Old-TDN segment below the pointer, triggered by new-TDN ACK: filter.

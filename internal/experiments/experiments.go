@@ -93,7 +93,7 @@ type RunConfig struct {
 	// Notify is the TDN-change notification profile (default optimized).
 	Notify *rdcn.NotifyProfile
 	// SampleEvery is the series sampling cadence (default 5 µs).
-	SampleEvery sim.Duration
+	SampleEvery sim.Dur
 	// MarkThresh is the ECN marking threshold; defaults to 5 packets when
 	// the variant is DCTCP, otherwise 0.
 	MarkThresh int
@@ -328,6 +328,8 @@ func Run(cfg RunConfig) (*Result, error) {
 			// against the two-rack hybrid; the rotor fabric has no single
 			// "circuit" for a host to react to.
 			return nil, fmt.Errorf("experiments: variant %s supports only 2 racks", cfg.Variant)
+		default:
+			// Cubic, DCTCP, Reno, TDTCP run on any rack count.
 		}
 	}
 
@@ -429,8 +431,8 @@ func Run(cfg RunConfig) (*Result, error) {
 	}
 
 	week := cfg.Scenario.Schedule.Week()
-	measureStart := sim.Time(sim.Duration(cfg.WarmupWeeks) * week)
-	end := measureStart.Add(sim.Duration(cfg.MeasureWeeks) * week)
+	measureStart := sim.Time(sim.Dur(cfg.WarmupWeeks) * week)
+	end := measureStart.Add(sim.Dur(cfg.MeasureWeeks) * week)
 	net.Start(end)
 	if inj != nil {
 		inj.Start(end)
@@ -616,13 +618,13 @@ func populateMetrics(cfg RunConfig, res *Result, loop *sim.Loop, net *rdcn.Netwo
 // defaultDeadmanHorizon derives a notification-deadman horizon from the
 // schedule: 1.5× the longest gap between consecutive day starts, so a single
 // lost notification trips the fallback while nominal delivery never does.
-func defaultDeadmanHorizon(s *rdcn.Schedule) sim.Duration {
+func defaultDeadmanHorizon(s *rdcn.Schedule) sim.Dur {
 	week := s.Week()
-	var starts []sim.Duration
+	var starts []sim.Dur
 	for t := sim.Time(0); t < sim.Time(week); {
 		_, ok, end := s.At(t)
 		if ok {
-			starts = append(starts, sim.Duration(t))
+			starts = append(starts, sim.Dur(t))
 		}
 		if end <= t {
 			return 0 // degenerate schedule; leave the deadman unarmed
@@ -632,7 +634,7 @@ func defaultDeadmanHorizon(s *rdcn.Schedule) sim.Duration {
 	if len(starts) == 0 {
 		return 0
 	}
-	var gap sim.Duration
+	var gap sim.Dur
 	for i, st := range starts {
 		next := starts[0] + week // wrap to the next week's first day
 		if i+1 < len(starts) {

@@ -123,7 +123,7 @@ func sortStrings(s []string) {
 // span, rebasing its time axis to the window start (series may begin at 0 if
 // already normalized, or at the measurement start time otherwise).
 func plotWindow(sch *rdcn.Schedule, s *stats.Series) *stats.Series {
-	span := 3 * float64(sim.Duration(sch.Week())) / float64(sim.Microsecond)
+	span := 3 * float64(sim.Dur(sch.Week())) / float64(sim.Microsecond)
 	base := 0.0
 	if s.Len() > 0 {
 		base = s.T[0]

@@ -135,14 +135,14 @@ type FlowOptions struct {
 	// retcpdyn switch support, the sender learns the circuit state from
 	// in-band packet marks, roughly one optical RTT after the change.
 	// Default 40 µs. retcpdyn's advance notification is unaffected.
-	ReTCPReactDelay sim.Duration
+	ReTCPReactDelay sim.Dur
 	// ReinjectDelay overrides the MPTCP scheduler's reinjection delay.
-	ReinjectDelay sim.Duration
+	ReinjectDelay sim.Dur
 	// MPTCPSendBuf overrides the shared MPTCP send buffer size.
 	MPTCPSendBuf int64
 	// MinRTO and MaxRTO override the per-variant defaults (1 ms / 100 ms;
 	// WAN scenarios need both raised).
-	MinRTO, MaxRTO sim.Duration
+	MinRTO, MaxRTO sim.Dur
 	// PerTDNCC supplies a distinct CC algorithm per TDN for TDTCP flows
 	// (§3.5's heterogeneous-CCA future work), e.g. {"cubic","dctcp"}.
 	PerTDNCC []string
@@ -291,6 +291,9 @@ func BuildFlow(loop *sim.Loop, net *rdcn.Network, i int, v Variant, opt FlowOpti
 				f.Snd.CircuitUp() // retcpdyn: advance ramp with the buffer resize
 			}
 		}
+	default:
+		// Cubic, DCTCP, Reno, MPTCP: loss/ECN-driven variants take no
+		// explicit TDN signal (MPTCP flows are built by BuildMPTCPFlow).
 	}
 	return f, nil
 }

@@ -81,6 +81,8 @@ func (mn *muxNet) BuildFlow(loop *sim.Loop, srcRack, srcHost, dstRack, dstHost i
 	switch v {
 	case MPTCP, ReTCP, ReTCPDyn:
 		return nil, fmt.Errorf("experiments: variant %s is not supported on the multi-rack mux path", v)
+	default:
+		// Cubic, DCTCP, Reno, TDTCP are single-path and rack-count-agnostic.
 	}
 	for _, ep := range [...]struct{ rack, host int }{{srcRack, srcHost}, {dstRack, dstHost}} {
 		if ep.rack < 0 || ep.rack >= len(mn.net.Racks) {
@@ -148,7 +150,7 @@ type WorkloadConfig struct {
 	// state (default 512).
 	MaxFlows int
 	// SampleEvery is the VOQ-occupancy sampling cadence (default 5 µs).
-	SampleEvery sim.Duration
+	SampleEvery sim.Dur
 	// MarkThresh is the ECN marking threshold; defaults to 5 packets when
 	// the variant is DCTCP, otherwise 0.
 	MarkThresh int
@@ -302,8 +304,8 @@ func RunWorkload(cfg WorkloadConfig) (*WorkloadResult, error) {
 	mn := newMuxNet(net)
 
 	week := cfg.Scenario.Schedule.Week()
-	measureStart := sim.Time(sim.Duration(cfg.WarmupWeeks) * week)
-	end := measureStart.Add(sim.Duration(cfg.MeasureWeeks) * week)
+	measureStart := sim.Time(sim.Dur(cfg.WarmupWeeks) * week)
+	end := measureStart.Add(sim.Dur(cfg.MeasureWeeks) * week)
 	net.Start(end)
 
 	// Aggregate capacity = per-rack schedule-weighted uplink rate × racks.

@@ -36,21 +36,21 @@ import (
 // durations bound uniform draws.
 type Plan struct {
 	// Control plane: per-host TDN-change notification faults.
-	NotifyLoss  float64      // P(notification never delivered)
-	NotifyDup   float64      // P(a duplicate copy is also delivered)
-	NotifyDelay sim.Duration // extra delivery delay, uniform [0, NotifyDelay)
+	NotifyLoss  float64 // P(notification never delivered)
+	NotifyDup   float64 // P(a duplicate copy is also delivered)
+	NotifyDelay sim.Dur // extra delivery delay, uniform [0, NotifyDelay)
 
 	// Data plane: per-frame faults on the rack ingress NIC pipes.
-	Drop         float64      // P(frame dropped)
-	Corrupt      float64      // P(one wire byte flipped; receiver checksum drops it)
-	Reorder      float64      // P(frame held back by an extra delay)
-	ReorderDelay sim.Duration // extra hold-back bound (default 20µs when unset)
-	Burst        int          // a triggered drop extends to this many consecutive frames
+	Drop         float64 // P(frame dropped)
+	Corrupt      float64 // P(one wire byte flipped; receiver checksum drops it)
+	Reorder      float64 // P(frame held back by an extra delay)
+	ReorderDelay sim.Dur // extra hold-back bound (default 20µs when unset)
+	Burst        int     // a triggered drop extends to this many consecutive frames
 
 	// Fabric: circuit flaps and schedule drift.
-	Flaps    int          // number of day slots whose circuit misbehaves
-	FlapFrac float64      // 0 = day never comes up; f∈(0,1) = circuit dies after f of the day
-	Drift    sim.Duration // per-week data-plane schedule offset, uniform [-Drift, +Drift]
+	Flaps    int     // number of day slots whose circuit misbehaves
+	FlapFrac float64 // 0 = day never comes up; f∈(0,1) = circuit dies after f of the day
+	Drift    sim.Dur // per-week data-plane schedule offset, uniform [-Drift, +Drift]
 
 	// Control plane: retcpdyn VOQ-resize failures.
 	ResizeFail float64 // P(one queue silently ignores a recapping)
@@ -140,7 +140,7 @@ func parseProb(v string) (float64, error) {
 	return f, nil
 }
 
-func parseDur(v string) (sim.Duration, error) {
+func parseDur(v string) (sim.Dur, error) {
 	d, err := time.ParseDuration(v)
 	if err != nil {
 		return 0, err
@@ -148,7 +148,7 @@ func parseDur(v string) (sim.Duration, error) {
 	if d < 0 {
 		return 0, fmt.Errorf("negative duration")
 	}
-	return sim.Duration(d.Nanoseconds()), nil
+	return sim.Dur(d.Nanoseconds()), nil
 }
 
 // Stats counts faults actually injected (as opposed to planned).
@@ -183,8 +183,8 @@ type Injector struct {
 
 	net       *rdcn.Network
 	flaps     []flapWindow
-	drift     []sim.Duration // per-week data-plane offsets
-	week      sim.Duration
+	drift     []sim.Dur // per-week data-plane offsets
+	week      sim.Dur
 	burstLeft int
 
 	stats Stats
@@ -272,7 +272,7 @@ func (inj *Injector) notifyFault(rack, host, tdn int, epoch uint32) rdcn.NotifyF
 		inj.emit("notify_drop", tdn, float64(rack), float64(host))
 	}
 	if p.NotifyDelay > 0 && !fate.Drop {
-		fate.Extra = sim.Duration(inj.rng.Int63n(int64(p.NotifyDelay)))
+		fate.Extra = sim.Dur(inj.rng.Int63n(int64(p.NotifyDelay)))
 		if fate.Extra > 0 {
 			inj.stats.NotifyDelayed++
 			inj.count("notify_delayed")
@@ -285,7 +285,7 @@ func (inj *Injector) notifyFault(rack, host, tdn int, epoch uint32) rdcn.NotifyF
 		// of an already-applied epoch, exercising the receiver's dup gate.
 		fate.DupExtra = fate.Extra + 2*sim.Microsecond
 		if p.NotifyDelay > 0 {
-			fate.DupExtra += sim.Duration(inj.rng.Int63n(int64(p.NotifyDelay)))
+			fate.DupExtra += sim.Dur(inj.rng.Int63n(int64(p.NotifyDelay)))
 		}
 		inj.stats.NotifyDuped++
 		inj.count("notify_duplicated")
@@ -325,7 +325,7 @@ func (inj *Injector) frameFault(f netem.Frame) netem.FrameFate {
 		if bound <= 0 {
 			bound = 20 * sim.Microsecond
 		}
-		fate.Extra = sim.Duration(1 + inj.rng.Int63n(int64(bound)))
+		fate.Extra = sim.Dur(1 + inj.rng.Int63n(int64(bound)))
 	}
 	switch {
 	case fate.Drop:
@@ -387,7 +387,7 @@ func (inj *Injector) planFlaps(until sim.Time) {
 		d := days[di]
 		from := d.start
 		if f := inj.plan.FlapFrac; f > 0 {
-			from = d.start.Add(sim.Duration(f * float64(d.end.Sub(d.start))))
+			from = d.start.Add(sim.Dur(f * float64(d.end.Sub(d.start))))
 		}
 		w := flapWindow{from: from, to: d.end, tdn: d.tdn}
 		inj.flaps = append(inj.flaps, w)
@@ -422,7 +422,7 @@ func (inj *Injector) planDrift(until sim.Time) {
 	sched := inj.net.Cfg.Schedule
 	nweeks := int(until/sim.Time(inj.week)) + 1
 	for w := 0; w <= nweeks; w++ {
-		off := sim.Duration(inj.rng.Int63n(2*int64(inj.plan.Drift)+1)) - inj.plan.Drift
+		off := sim.Dur(inj.rng.Int63n(2*int64(inj.plan.Drift)+1)) - inj.plan.Drift
 		inj.drift = append(inj.drift, off)
 		ws := sim.Time(w) * sim.Time(inj.week)
 		if ws < until {
@@ -446,7 +446,7 @@ func (inj *Injector) planDrift(until sim.Time) {
 	}
 }
 
-func (inj *Injector) scheduleOffset(now sim.Time) sim.Duration {
+func (inj *Injector) scheduleOffset(now sim.Time) sim.Dur {
 	if len(inj.drift) == 0 {
 		return 0
 	}

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// escapeAlloc is one compiler-reported heap allocation: the position it was
+// reported at and the compiler's own message ("new(T) escapes to heap",
+// "moved to heap: buf", ...).
+type escapeAlloc struct {
+	file string // absolute path
+	line int
+	col  int
+	msg  string
+}
+
+// escapeAnalysis compiles the given packages with -gcflags=-m=1 and returns
+// every heap allocation the escape analysis reports, keyed by file. The
+// compile runs through the ordinary build cache: the first invocation pays
+// for a real compile, later ones replay the recorded diagnostics (Go ≥ 1.21
+// replays cached compiler output), so a clean re-lint costs no compile time.
+//
+// -m=1 output is line oriented: "path:line:col: message". Three message
+// families mean a heap allocation — "escapes to heap" (new/make/composite
+// literals, boxed interfaces, escaping func literals), "moved to heap: x"
+// (a stack variable forced to the heap), and nothing else; in particular
+// "does not escape" and "leaking param" lines are not allocations and
+// "can inline" is unrelated.
+func escapeAnalysis(dir string, pkgPaths []string) ([]escapeAlloc, error) {
+	args := append([]string{"build", "-gcflags=-m=1"}, pkgPaths...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m=1: %v\n%s", err, strings.TrimSpace(stderr.String()))
+	}
+	return parseEscapes(dir, stderr.String()), nil
+}
+
+// parseEscapes extracts allocation reports from -m=1 compiler output.
+// Relative paths are resolved against dir (go build reports paths relative
+// to its working directory).
+func parseEscapes(dir, out string) []escapeAlloc {
+	var allocs []escapeAlloc
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		file, pos, msg, ok := splitDiagLine(line)
+		if !ok || !isAllocMsg(msg) {
+			continue
+		}
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(dir, file)
+		}
+		allocs = append(allocs, escapeAlloc{file: file, line: pos[0], col: pos[1], msg: msg})
+	}
+	return allocs
+}
+
+// splitDiagLine splits "path:line:col: message"; the two numeric fields
+// anchor the parse.
+func splitDiagLine(line string) (file string, pos [2]int, msg string, ok bool) {
+	sp := strings.Index(line, ": ")
+	if sp < 0 {
+		return "", pos, "", false
+	}
+	head, tail := line[:sp], line[sp+2:]
+	parts := strings.Split(head, ":")
+	if len(parts) < 3 {
+		return "", pos, "", false
+	}
+	l, err1 := strconv.Atoi(parts[len(parts)-2])
+	c, err2 := strconv.Atoi(parts[len(parts)-1])
+	if err1 != nil || err2 != nil {
+		return "", pos, "", false
+	}
+	return strings.Join(parts[:len(parts)-2], ":"), [2]int{l, c}, tail, true
+}
+
+// isAllocMsg reports whether a -m=1 message describes a heap allocation.
+func isAllocMsg(msg string) bool {
+	if strings.Contains(msg, "does not escape") {
+		return false
+	}
+	return strings.Contains(msg, "escapes to heap") || strings.HasPrefix(msg, "moved to heap")
+}

@@ -51,10 +51,15 @@ type Package struct {
 
 // Program is a set of loaded packages checked together. Checks run over the
 // whole program so they can correlate declarations in one package with uses
-// in another (the nilhook check needs this for cross-package hook fields).
+// in another (the nilhook check needs this for cross-package hook fields,
+// the exhaustive check for const groups declared away from their switches).
 type Program struct {
 	Fset *token.FileSet
 	Pkgs []*Package
+	// Dir is the absolute module directory the program was loaded from, or
+	// "" for GOPATH-style fixture loads (LoadDirs). The hotpath check needs
+	// it to run the compiler's escape analysis over the real build.
+	Dir string
 }
 
 // Diagnostic is one reported finding.
@@ -97,6 +102,10 @@ func All() []*Check {
 		TraceCatCheck(),
 		MetricNameCheck(),
 		SpanPairCheck(),
+		ConcurrencyCheck(),
+		HotPathCheck(),
+		SimTimeCheck(),
+		ExhaustiveCheck(),
 	}
 }
 
@@ -137,7 +146,13 @@ func checkNames(cs []*Check) []string {
 func Run(prog *Program, checks []*Check) []Diagnostic {
 	var diags []Diagnostic
 	for _, c := range checks {
-		diags = append(diags, c.Run(prog)...)
+		ds := c.Run(prog)
+		for i := range ds {
+			if ds[i].Check == "" {
+				ds[i].Check = c.Name
+			}
+		}
+		diags = append(diags, ds...)
 	}
 	sup, bad := collectSuppressions(prog)
 	diags = append(diags, bad...)
@@ -253,10 +268,10 @@ func pathMatches(path string, suffixes ...string) bool {
 	return false
 }
 
-// walkWithStack traverses the file keeping the ancestor chain: fn receives
+// walkWithStack traverses the subtree keeping the ancestor chain: fn receives
 // each node together with its ancestors, outermost first. Returning false
 // prunes the subtree.
-func walkWithStack(f *ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+func walkWithStack(f ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
 	var stack []ast.Node
 	ast.Inspect(f, func(n ast.Node) bool {
 		if n == nil {

@@ -65,30 +65,18 @@ func Load(dir string, patterns ...string) (*Program, error) {
 		return nil, &LoadError{Stage: "go list", Err: fmt.Errorf("%s", msg)}
 	}
 
-	exports := map[string]string{}
-	var targets []listPackage
-	dec := json.NewDecoder(bytes.NewReader(out))
-	for {
-		var p listPackage
-		if err := dec.Decode(&p); err == io.EOF {
-			break
-		} else if err != nil {
-			return nil, &LoadError{Stage: "go list", Err: err}
-		}
-		if p.Error != nil {
-			return nil, &LoadError{Stage: "go list", Err: fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)}
-		}
-		if p.Export != "" {
-			exports[p.ImportPath] = p.Export
-		}
-		if !p.Standard && p.Module != nil {
-			targets = append(targets, p)
-		}
+	exports, targets, err := parseGoList(out)
+	if err != nil {
+		return nil, err
 	}
 
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		absDir = dir
+	}
 	fset := token.NewFileSet()
 	imp := exportImporter(fset, exports)
-	prog := &Program{Fset: fset}
+	prog := &Program{Fset: fset, Dir: absDir}
 	for _, t := range targets {
 		var files []*ast.File
 		for _, name := range t.GoFiles {
@@ -105,6 +93,34 @@ func Load(dir string, patterns ...string) (*Program, error) {
 		prog.Pkgs = append(prog.Pkgs, pkg)
 	}
 	return prog, nil
+}
+
+// parseGoList decodes the concatenated-JSON stream `go list -json -export
+// -deps` writes, splitting it into export-data paths (every package) and
+// load targets (non-standard module packages). Package-level list errors and
+// malformed JSON both surface as "go list"-stage LoadErrors, which the CLI
+// maps to exit 2.
+func parseGoList(out []byte) (exports map[string]string, targets []listPackage, err error) {
+	exports = map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, &LoadError{Stage: "go list", Err: err}
+		}
+		if p.Error != nil {
+			return nil, nil, &LoadError{Stage: "go list", Err: fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)}
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard && p.Module != nil {
+			targets = append(targets, p)
+		}
+	}
+	return exports, targets, nil
 }
 
 // LoadDirs loads one package per directory, resolving imports of other given

@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestConcurrencyFixture(t *testing.T) {
+	checkFixture(t, selectChecks(t, "concurrency"), "h/internal/serve")
+}
+
+func TestSimTimeFixture(t *testing.T) {
+	checkFixture(t, selectChecks(t, "simtime"), "i/internal/sim", "i/internal/tcp")
+}
+
+func TestExhaustiveFixture(t *testing.T) {
+	checkFixture(t, selectChecks(t, "exhaustive"), "j/states")
+}
+
+// TestHotPathFixtureNeedsModule pins the failure mode of running the hotpath
+// check on a GOPATH-style load: a directive with no module to build against
+// is a finding, not a silent pass.
+func TestHotPathFixtureNeedsModule(t *testing.T) {
+	checkFixture(t, selectChecks(t, "hotpath"), "k/hot")
+}
+
+// hotModFiles is a minimal module with one escape-clean hot function and one
+// deliberately regressed one: Box returns its argument boxed in an
+// interface, which the escape analysis reports as a heap allocation.
+var hotModFiles = map[string]string{
+	"go.mod": "module hotfix.example/m\n\ngo 1.24\n",
+	"hot/clean.go": `package hot
+
+//lint:hotpath summing stays on the stack
+func Sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+`,
+	"hot/regressed.go": `package hot
+
+//lint:hotpath deliberately regressed: boxing allocates
+func Box(i int) any {
+	return i
+}
+`,
+}
+
+// TestHotPathModule runs the hotpath check against a real throwaway module:
+// the allocating function must produce a finding attributed to it, the clean
+// one must not.
+func TestHotPathModule(t *testing.T) {
+	dir := t.TempDir()
+	for path, content := range hotModFiles {
+		full := filepath.Join(dir, filepath.FromSlash(path))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prog, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(prog, selectChecks(t, "hotpath"))
+	if len(diags) == 0 {
+		t.Fatal("regressed hot function produced no finding")
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "Box") {
+			t.Errorf("finding outside the regressed function: %s", d)
+		}
+		if d.Check != "hotpath" {
+			t.Errorf("finding under wrong check: %s", d)
+		}
+	}
+}
+
+// TestParseEscapes pins the -m=1 output grammar the hotpath check depends
+// on: allocation messages in, inlining/param-leak noise out, relative paths
+// resolved against the build directory.
+func TestParseEscapes(t *testing.T) {
+	out := strings.Join([]string{
+		"# example.com/m/hot",
+		"hot/a.go:5:9: new(T) escapes to heap",
+		"hot/a.go:7:2: moved to heap: buf",
+		"hot/a.go:9:14: make([]byte, 0, n) does not escape",
+		"hot/a.go:11:6: can inline fire",
+		"hot/a.go:13:20: leaking param: fn",
+		"/abs/b.go:3:4: composite literal escapes to heap",
+		"not a diagnostic line",
+		"",
+	}, "\n")
+	allocs := parseEscapes("/work", out)
+	if len(allocs) != 3 {
+		t.Fatalf("got %d allocs, want 3: %+v", len(allocs), allocs)
+	}
+	if allocs[0].file != filepath.Join("/work", "hot", "a.go") || allocs[0].line != 5 || allocs[0].col != 9 {
+		t.Errorf("bad first alloc: %+v", allocs[0])
+	}
+	if allocs[1].msg != "moved to heap: buf" {
+		t.Errorf("bad second alloc: %+v", allocs[1])
+	}
+	if allocs[2].file != "/abs/b.go" {
+		t.Errorf("absolute path not preserved: %+v", allocs[2])
+	}
+}
+
+func TestIsAllocMsg(t *testing.T) {
+	cases := []struct {
+		msg  string
+		want bool
+	}{
+		{"new(T) escapes to heap", true},
+		{"&Loop{...} escapes to heap", true},
+		{"moved to heap: rng", true},
+		{"make([]byte, 0, n) does not escape", false},
+		{"leaking param: fn", false},
+		{"can inline (*Loop).Step", false},
+	}
+	for _, c := range cases {
+		if got := isAllocMsg(c.msg); got != c.want {
+			t.Errorf("isAllocMsg(%q) = %v, want %v", c.msg, got, c.want)
+		}
+	}
+}
+
+// TestParseGoListMalformed pins the loader's first failure stage: a truncated
+// or corrupt `go list` stream is a "go list" LoadError, never a panic.
+func TestParseGoListMalformed(t *testing.T) {
+	for name, in := range map[string]string{
+		"truncated": `{"ImportPath": "x", "Dir"`,
+		"non-json":  "go: error loading module",
+	} {
+		_, _, err := parseGoList([]byte(in))
+		le, ok := err.(*LoadError)
+		if !ok || le.Stage != "go list" {
+			t.Errorf("%s: got %v, want go list LoadError", name, err)
+		}
+	}
+}
+
+// TestParseGoListPackageError asserts a package-level Error entry (a broken
+// import, say) surfaces as a load failure even though the stream is valid.
+func TestParseGoListPackageError(t *testing.T) {
+	in := `{"ImportPath": "x", "Error": {"Err": "no required module provides package x"}}`
+	_, _, err := parseGoList([]byte(in))
+	le, ok := err.(*LoadError)
+	if !ok || le.Stage != "go list" || !strings.Contains(le.Error(), "no required module") {
+		t.Errorf("got %v, want go list LoadError carrying the package error", err)
+	}
+}
+
+// TestParseGoListSplit asserts the stream splits into exports (all packages)
+// and targets (non-standard module packages only).
+func TestParseGoListSplit(t *testing.T) {
+	in := `{"ImportPath": "fmt", "Standard": true, "Export": "/cache/fmt.a"}
+{"ImportPath": "example.com/m/pkg", "Dir": "/m/pkg", "GoFiles": ["a.go"], "Export": "/cache/pkg.a", "Module": {"Path": "example.com/m"}}`
+	exports, targets, err := parseGoList([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exports["fmt"] != "/cache/fmt.a" || exports["example.com/m/pkg"] != "/cache/pkg.a" {
+		t.Errorf("bad exports: %v", exports)
+	}
+	if len(targets) != 1 || targets[0].ImportPath != "example.com/m/pkg" {
+		t.Errorf("bad targets: %+v", targets)
+	}
+}
+
+// TestMissingExportData drives typecheck through an importer with no export
+// data at all: the failure must come back as a typecheck LoadError carrying
+// the missing path, not a panic deep in go/importer.
+func TestMissingExportData(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "a.go", "package p\n\nimport \"fmt\"\n\nvar _ = fmt.Sprint\n", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = typecheck(fset, "p", []*ast.File{f}, exportImporter(fset, map[string]string{}))
+	le, ok := err.(*LoadError)
+	if !ok || le.Stage != "typecheck" || !strings.Contains(le.Error(), "no export data") {
+		t.Fatalf("got %v, want typecheck LoadError about missing export data", err)
+	}
+}
+
+// TestLoadDirsTypecheckFailure asserts a type error in fixture sources is a
+// typecheck-stage LoadError.
+func TestLoadDirsTypecheckFailure(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "bad")
+	if err := os.MkdirAll(src, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(src, "a.go"),
+		[]byte("package bad\n\nvar x int = \"not an int\"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadDirs(dir, "bad")
+	le, ok := err.(*LoadError)
+	if !ok || le.Stage != "typecheck" {
+		t.Fatalf("got %v, want typecheck LoadError", err)
+	}
+}

@@ -1,0 +1,119 @@
+// Package serve is the concurrency-check fixture: each struct isolates one
+// of the four rules (atomic/plain mix, guard consistency, lock copies,
+// blocking under a mutex) with a positive and a negative shape.
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// --- rule 1: mixed atomic/plain access --------------------------------------
+
+type Hits struct {
+	n     int64
+	other int64
+}
+
+func (h *Hits) Inc() { atomic.AddInt64(&h.n, 1) }
+
+func (h *Hits) Snapshot() int64 {
+	return h.n // want "n is accessed via sync/atomic elsewhere but plainly here"
+}
+
+// PlainOnly never touches the atomic field; plain access to a plain field is
+// not a finding.
+func (h *Hits) PlainOnly() int64 { return h.other }
+
+// --- rule 2: inconsistent mutex guards --------------------------------------
+
+type Store struct {
+	mu   sync.Mutex
+	n    int
+	jobs map[string]int
+}
+
+// New touches the fields before the value is shared: constructors are exempt.
+func New() *Store {
+	s := &Store{jobs: map[string]int{}}
+	s.n = 1
+	return s
+}
+
+func (s *Store) Set(v int) {
+	s.mu.Lock()
+	s.n = v
+	s.jobs["latest"] = v
+	s.mu.Unlock()
+}
+
+func (s *Store) Peek() int {
+	return s.n // want "Store.n is written under the mutex on other paths but accessed without it here"
+}
+
+func (s *Store) Reset() {
+	s.jobs = nil // want "Store.jobs is written under the mutex on other paths but accessed without it here"
+}
+
+// bumpLocked is called with the mutex held: the naming convention marks the
+// whole body as guarded.
+func (s *Store) bumpLocked() { s.n++ }
+
+// --- rule 3: locks copied by value ------------------------------------------
+
+type CopyMe struct {
+	mu sync.Mutex
+	n  int
+}
+
+func byValue(c CopyMe) int { // want "parameter copies .*CopyMe by value"
+	return c.n
+}
+
+func (c CopyMe) get() int { // want "receiver copies .*CopyMe by value"
+	return c.n
+}
+
+func snapshot(c *CopyMe) {
+	cp := *c // want "assignment copies .*CopyMe by value"
+	_ = cp
+}
+
+// byPointer is the correct shape.
+func byPointer(c *CopyMe) int { return c.n }
+
+// --- rule 4: blocking calls while holding a mutex ---------------------------
+
+type Blocky struct {
+	mu sync.Mutex
+	ch chan struct{}
+}
+
+func (b *Blocky) bad() {
+	b.mu.Lock()
+	<-b.ch // want "channel receive while holding a mutex"
+	b.mu.Unlock()
+}
+
+// ok performs a nonblocking try-send: select with a default never parks.
+func (b *Blocky) ok() {
+	b.mu.Lock()
+	select {
+	case b.ch <- struct{}{}:
+	default:
+	}
+	b.mu.Unlock()
+}
+
+func (b *Blocky) wait(wg *sync.WaitGroup) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	wg.Wait() // want "sync Wait while holding a mutex"
+}
+
+// after the unlock, blocking is fine.
+func (b *Blocky) sequenced() {
+	b.mu.Lock()
+	b.mu.Unlock()
+	<-b.ch
+}

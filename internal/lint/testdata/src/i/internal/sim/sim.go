@@ -1,0 +1,16 @@
+// Package sim mirrors the real module's virtual-time types so the simtime
+// fixture exercises the checker against the same shapes.
+package sim
+
+// Time is a virtual instant in nanoseconds since simulation start.
+type Time int64
+
+// Dur is a virtual span in nanoseconds.
+type Dur int64
+
+// Add advances an instant by a span; the sim package itself is the one
+// legitimate site of Time arithmetic.
+func (t Time) Add(d Dur) Time { return t + Time(d) }
+
+// Sub is the span between two instants.
+func (t Time) Sub(u Time) Dur { return Dur(t - u) }

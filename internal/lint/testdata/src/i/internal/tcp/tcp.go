@@ -1,0 +1,36 @@
+// Package tcp is the simtime fixture: a sim-boundary package that leaks
+// wall-clock types, hides units in identifier names, and does raw arithmetic
+// on instants.
+package tcp
+
+import (
+	"time"
+
+	"i/internal/sim"
+)
+
+// timeoutMs is a constant: unit-named tuning constants are exempt (the raw
+// value is caught where it lands in a variable).
+const timeoutMs = 5
+
+type Conn struct {
+	RTO      sim.Dur
+	deadline sim.Time
+	grace    time.Duration // want "time.Duration in a sim-boundary package"
+	numTDNs  int           // plural acronym, not a unit suffix
+}
+
+func (c *Conn) overrun(now sim.Time) {
+	gapNs := int64(0)    // want "raw integer gapNs carries a time unit in its name"
+	delay_us := 3        // want "raw integer delay_us carries a time unit in its name"
+	reinjections := 0    // English plural: not a unit
+	_ = now - c.deadline // want "subtracting two sim.Time values directly"
+	_ = now + c.deadline // want "adding two sim.Time values directly"
+	_, _, _ = gapNs, delay_us, reinjections
+}
+
+// span is the correct shape: the unit lives in the type, arithmetic goes
+// through Add/Sub.
+func (c *Conn) span(now sim.Time) sim.Dur {
+	return now.Sub(c.deadline)
+}

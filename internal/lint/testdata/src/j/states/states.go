@@ -1,0 +1,80 @@
+// Package states is the exhaustive fixture: switches over enum-like const
+// groups in every coverage shape the check distinguishes.
+package states
+
+type State int
+
+const (
+	Idle State = iota
+	Running
+	Done
+)
+
+func bad(s State) int {
+	switch s { // want "switch over State misses Done and has no default clause"
+	case Idle:
+		return 0
+	case Running:
+		return 1
+	}
+	return 2
+}
+
+func withDefault(s State) int {
+	switch s {
+	case Idle:
+		return 0
+	default:
+		// Running, Done: the fallback is the acknowledgment.
+		return 1
+	}
+}
+
+func full(s State) int {
+	switch s {
+	case Idle, Running:
+		return 0
+	case Done:
+		return 1
+	}
+	return 2
+}
+
+type Level string
+
+const (
+	Low  Level = "low"
+	High Level = "high"
+)
+
+// nonConst has an undecidable case expression; the check stays silent rather
+// than guess at coverage.
+func nonConst(l, x Level) int {
+	switch l {
+	case x:
+		return 0
+	}
+	return 1
+}
+
+type Alone int
+
+const OnlyOne Alone = 1
+
+// single-member groups are not enums.
+func single(a Alone) bool {
+	switch a {
+	case OnlyOne:
+		return true
+	}
+	return false
+}
+
+// untyped tags have no const group.
+func untyped(n int) int {
+	switch n {
+	case 1:
+		return 1
+	}
+	return 0
+}

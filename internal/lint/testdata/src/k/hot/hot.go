@@ -1,0 +1,13 @@
+// Package hot is the hotpath fixture for the GOPATH-style loader: without a
+// module directory there is no build to run escape analysis against, and the
+// check must say so instead of silently passing.
+package hot
+
+//lint:hotpath exercised by the fixture loader
+func Sum(xs []int) int { // want "hotpath check needs a module-mode load"
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

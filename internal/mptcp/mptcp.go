@@ -37,9 +37,9 @@ type Config struct {
 	// most once per ReinjectDelay (MPTCP's opportunistic retransmission is
 	// lazy: it fires on window/buffer blockage, not on path switches).
 	// Default 100 µs.
-	ReinjectDelay sim.Duration
+	ReinjectDelay sim.Dur
 	// PumpInterval is the scheduler's polling cadence. Default 20 µs.
-	PumpInterval sim.Duration
+	PumpInterval sim.Dur
 	// SendBuf caps connection-level outstanding data (assigned to subflows
 	// but not yet acknowledged at the subflow level), modelling the shared
 	// MPTCP send buffer whose exhaustion causes the §2.2 flow-control

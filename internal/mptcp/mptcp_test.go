@@ -15,7 +15,7 @@ import (
 type pinnedWire struct {
 	loop   *sim.Loop
 	tdn    int
-	delay  sim.Duration
+	delay  sim.Dur
 	active *int // pointer to the fabric's active TDN
 	held   [][]byte
 	dst    func(*packet.Segment)
@@ -60,7 +60,7 @@ type env struct {
 
 func newEnv(t *testing.T, cfg Config) *env {
 	e := &env{t: t, loop: sim.NewLoop(5)}
-	delays := []sim.Duration{50 * sim.Microsecond, 5 * sim.Microsecond}
+	delays := []sim.Dur{50 * sim.Microsecond, 5 * sim.Microsecond}
 	mk := func(tdn int) *pinnedWire {
 		return &pinnedWire{loop: e.loop, tdn: tdn, delay: delays[tdn], active: &e.active}
 	}
@@ -97,7 +97,7 @@ func (e *env) switchTDN(tdn int) {
 	e.rcv.Notify(tdn, e.epoch)
 }
 
-func (e *env) runFor(d sim.Duration) { e.loop.RunUntil(e.loop.Now().Add(d)) }
+func (e *env) runFor(d sim.Dur) { e.loop.RunUntil(e.loop.Now().Add(d)) }
 
 func TestSingleSubflowTransfer(t *testing.T) {
 	e := newEnv(t, Config{})

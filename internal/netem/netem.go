@@ -63,6 +63,8 @@ func (p *BufPool) Get(capHint int) []byte {
 
 // Put recycles a buffer for a later Get. Nil pools and zero-capacity buffers
 // are ignored, so Put is safe to call unconditionally on any frame's wire.
+//
+//lint:hotpath runs once per released frame
 func (p *BufPool) Put(b []byte) {
 	if p == nil || cap(b) == 0 {
 		return
@@ -97,6 +99,8 @@ func NewFrame(loop *sim.Loop, seg *packet.Segment) Frame {
 
 // Release returns the frame's wire buffer to pool and clears the alias so a
 // stale Frame copy cannot touch the recycled bytes. Nil-pool safe.
+//
+//lint:hotpath runs once per consumed frame
 func (f *Frame) Release(pool *BufPool) {
 	pool.Put(f.Wire)
 	f.Wire = nil
@@ -136,7 +140,7 @@ type Sink func(Frame)
 type FrameFate struct {
 	Drop    bool
 	Corrupt bool
-	Extra   sim.Duration
+	Extra   sim.Dur
 }
 
 // CorruptWire flips bits of one wire byte in place, deterministically. The
@@ -156,7 +160,7 @@ func CorruptWire(b []byte) {
 type Pipe struct {
 	Loop  *sim.Loop
 	Rate  sim.Rate
-	Delay sim.Duration
+	Delay sim.Dur
 	Out   Sink
 
 	// Fault, when non-nil, is consulted once per frame when serialization
@@ -276,6 +280,10 @@ func (p *Pipe) getDelivery() *pipeDelivery {
 	return d
 }
 
+// fire delivers the frame after its propagation delay and recycles the
+// delivery cell.
+//
+//lint:hotpath runs once per delivered frame
 func (d *pipeDelivery) fire() {
 	p := d.p
 	f := d.f
@@ -371,6 +379,8 @@ func (v *VOQ) Stats() (enq, deq, drops, marks uint64) {
 
 // Enqueue offers a frame to the queue, returning false (and dropping it) if
 // the queue is full.
+//
+//lint:hotpath runs once per frame entering a VOQ
 func (v *VOQ) Enqueue(f Frame) bool {
 	if v.Len() >= v.cap {
 		v.drops++
@@ -395,6 +405,8 @@ func (v *VOQ) Enqueue(f Frame) bool {
 }
 
 // Dequeue removes and returns the frame at the head of the queue.
+//
+//lint:hotpath runs once per frame leaving a VOQ
 func (v *VOQ) Dequeue() (Frame, bool) {
 	if v.Len() == 0 {
 		return Frame{}, false
@@ -442,7 +454,7 @@ func (v *VOQ) CheckInvariants() error {
 // rate and the one-way propagation delay of the active TDN.
 type Path struct {
 	Rate  sim.Rate
-	Delay sim.Duration
+	Delay sim.Dur
 	TDN   int
 }
 
@@ -466,7 +478,7 @@ type Drainer struct {
 	// (cur, curDelay, one bound serializedFn), while propagation-delay
 	// deliveries overlap on free-listed cells.
 	cur          Frame
-	curDelay     sim.Duration
+	curDelay     sim.Dur
 	serializedFn func()
 	deliveryFree []*drainDelivery
 
@@ -546,6 +558,10 @@ func (d *Drainer) getDelivery() *drainDelivery {
 	return dd
 }
 
+// fire delivers the frame at the end of serialization and recycles the
+// delivery cell.
+//
+//lint:hotpath runs once per drained frame
 func (dd *drainDelivery) fire() {
 	d := dd.d
 	f := dd.f

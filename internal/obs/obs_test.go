@@ -16,7 +16,7 @@ func TestMeterCountsEvents(t *testing.T) {
 	m := NewMeter()
 	m.Attach(loop)
 	for i := 0; i < 10; i++ {
-		loop.After(sim.Duration(i+1)*sim.Microsecond, func() {})
+		loop.After(sim.Dur(i+1)*sim.Microsecond, func() {})
 	}
 	loop.RunUntil(sim.Time(time.Millisecond))
 	s := m.Snapshot()
@@ -93,6 +93,40 @@ func TestMeterConcurrentReads(t *testing.T) {
 	wg.Wait()
 	if got := m.Snapshot().Events; got == 0 {
 		t.Fatal("no events metered")
+	}
+}
+
+// TestMeterConcurrentAttachStartsClockOnce races many first Attaches: the
+// wall clock must latch exactly once (compare-and-swap from zero), so every
+// racer observes the same start. A plain read-check-store here would let a
+// later racer clobber an earlier start and skew the events/s rate.
+func TestMeterConcurrentAttachStartsClockOnce(t *testing.T) {
+	m := NewMeter()
+	const racers = 16
+	starts := make([]int64, racers)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			m.Attach(sim.NewLoop(int64(i)))
+			starts[i] = m.wallStart.Load()
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	if starts[0] == 0 {
+		t.Fatal("wall clock never started")
+	}
+	for i, s := range starts {
+		if s != starts[0] {
+			t.Fatalf("racer %d saw wall start %d, racer 0 saw %d: first-attach init is not once-only", i, s, starts[0])
+		}
+	}
+	if got := m.wallStart.Load(); got != starts[0] {
+		t.Fatalf("wall start moved after the race: %d != %d", got, starts[0])
 	}
 }
 

@@ -14,7 +14,7 @@ import (
 // one-way propagation delay.
 type TDNParams struct {
 	Rate  sim.Rate
-	Delay sim.Duration
+	Delay sim.Dur
 }
 
 // NotifyProfile models the latency of the ToR-generated ICMP TDN-change
@@ -23,15 +23,15 @@ type TDNParams struct {
 // dedicated control network reduces Net and Jitter.
 type NotifyProfile struct {
 	// Gen is the ToR-side time to construct and emit the ICMP packet.
-	Gen sim.Duration
+	Gen sim.Dur
 	// Stagger is the extra per-host delay of the push model: host i
 	// receives its notification Gen + i*Stagger + Net after the change.
-	Stagger sim.Duration
+	Stagger sim.Dur
 	// Net is the one-way delivery latency to the host.
-	Net sim.Duration
+	Net sim.Dur
 	// Jitter adds a uniform [0,Jitter) random component per notification,
 	// modelling data-plane queueing of the notification packet.
-	Jitter sim.Duration
+	Jitter sim.Dur
 }
 
 // OptimizedNotify returns the notification profile with all three §5.4
@@ -54,9 +54,9 @@ func UnoptimizedNotify() NotifyProfile {
 // after the original's nominal delivery instant).
 type NotifyFate struct {
 	Drop     bool
-	Extra    sim.Duration
+	Extra    sim.Dur
 	Dup      bool
-	DupExtra sim.Duration
+	DupExtra sim.Dur
 }
 
 // PreChange configures the retcpdyn behaviour (§5.2): Lead before each day
@@ -65,7 +65,7 @@ type NotifyFate struct {
 // ends.
 type PreChange struct {
 	TDN  int
-	Lead sim.Duration
+	Lead sim.Dur
 	Cap  int
 }
 
@@ -79,10 +79,10 @@ type Config struct {
 	// packet uplink of a rack is fair-shared across its Racks-1 VOQs.
 	Racks        int
 	HostsPerRack int
-	HostRate     sim.Rate     // host NIC rate; bursts are shaped at this rate
-	HostDelay    sim.Duration // host-to-ToR propagation (intra-rack, tiny)
-	VOQCap       int          // ToR VOQ capacity in packets
-	MarkThresh   int          // ECN marking threshold (0 = no marking)
+	HostRate     sim.Rate // host NIC rate; bursts are shaped at this rate
+	HostDelay    sim.Dur  // host-to-ToR propagation (intra-rack, tiny)
+	VOQCap       int      // ToR VOQ capacity in packets
+	MarkThresh   int      // ECN marking threshold (0 = no marking)
 	TDNs         []TDNParams
 	Schedule     *Schedule
 	Notify       NotifyProfile
@@ -117,7 +117,7 @@ type Config struct {
 	// schedule: drainers evaluate Schedule.At(now - offset) while
 	// notifications keep nominal timing, modelling a ToR whose optical
 	// switch drifts from its agenda.
-	ScheduleOffset func(now sim.Time) sim.Duration
+	ScheduleOffset func(now sim.Time) sim.Dur
 	// ResizeFault, when non-nil and returning true, suppresses one VOQ
 	// recapping (the retcpdyn resize silently fails on that queue).
 	ResizeFault func(rack, q, newCap int) bool
@@ -639,9 +639,9 @@ func (n *Network) notifyAll(tdn int, epoch uint32) {
 	n.emit("notify", tdn, float64(epoch), float64(len(n.Racks)*n.Cfg.HostsPerRack))
 	for _, rack := range n.Racks {
 		for i, h := range rack.Hosts {
-			d := prof.Gen + sim.Duration(i)*prof.Stagger + prof.Net
+			d := prof.Gen + sim.Dur(i)*prof.Stagger + prof.Net
 			if prof.Jitter > 0 {
-				d += sim.Duration(n.Loop.Rand().Int63n(int64(prof.Jitter)))
+				d += sim.Dur(n.Loop.Rand().Int63n(int64(prof.Jitter)))
 			}
 			var fate NotifyFate
 			if nf := n.Cfg.NotifyFault; nf != nil {
@@ -675,7 +675,7 @@ func (n *Network) beginNotifySpan(tdn int, epoch uint32) trace.SpanID {
 // deliverNotify schedules one ICMP notification delivery d from now, closing
 // span sp at the delivery instant and exposing it as the implicit parent of
 // whatever the host does in response (the TDTCP cwnd swap parents onto it).
-func (n *Network) deliverNotify(h *Host, wire []byte, d sim.Duration, sp trace.SpanID) {
+func (n *Network) deliverNotify(h *Host, wire []byte, d sim.Dur, sp trace.SpanID) {
 	n.Loop.After(d, func() {
 		var s packet.Segment
 		if err := packet.Parse(wire, &s); err != nil || h.NotifyTDN == nil {

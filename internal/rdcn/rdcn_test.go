@@ -9,7 +9,7 @@ import (
 	"github.com/rdcn-net/tdtcp/internal/sim"
 )
 
-func us(n int64) sim.Duration { return sim.Duration(n) * sim.Microsecond }
+func us(n int64) sim.Dur { return sim.Dur(n) * sim.Microsecond }
 
 func TestHybridWeekLayout(t *testing.T) {
 	s := HybridWeek(6, us(180), us(20))

@@ -67,7 +67,7 @@ func RotorPeer(nRacks, day, rack int) int {
 // runs for packetDays days; every day lasts day and is followed by a night.
 // RotorWeek(2, 6, day, night) is exactly the paper's HybridWeek(6, day,
 // night) two-rack schedule.
-func RotorWeek(nRacks, packetDays int, day, night sim.Duration) *Schedule {
+func RotorWeek(nRacks, packetDays int, day, night sim.Dur) *Schedule {
 	nm := NumMatchings(nRacks)
 	slots := make([]Slot, 0, (packetDays+1)*2*nm)
 	for k := 1; k <= nm; k++ {

@@ -20,14 +20,14 @@ const NightTDN = -1
 // Dur.
 type Slot struct {
 	TDN int
-	Dur sim.Duration
+	Dur sim.Dur
 }
 
 // Schedule is a cyclic ("week", §2.1) sequence of days and nights. The
 // demand-oblivious schedules of RotorNet-style fabrics repeat indefinitely.
 type Schedule struct {
 	Slots []Slot
-	week  sim.Duration
+	week  sim.Dur
 }
 
 // NewSchedule validates and returns a schedule cycling through slots.
@@ -39,8 +39,8 @@ func NewSchedule(slots []Slot) (*Schedule, error) {
 	// reach: At adds at most one week to its argument, so times would need
 	// to approach MaxInt64-week (~250 virtual years) before arithmetic
 	// wraps. A cycle over a month is a misconfiguration, not a schedule.
-	const maxWeek = 30 * 24 * sim.Duration(3600) * sim.Second
-	var week sim.Duration
+	const maxWeek = 30 * 24 * sim.Dur(3600) * sim.Second
+	var week sim.Dur
 	for i, s := range slots {
 		if s.Dur <= 0 {
 			return nil, fmt.Errorf("rdcn: slot %d has non-positive duration", i)
@@ -71,7 +71,7 @@ func MustSchedule(slots []Slot) *Schedule {
 // lasting day and followed by a night of night. With packetDays=6,
 // day=180µs, night=20µs this is the §5.1 configuration (6:1 ratio, 9:1 duty
 // cycle, 1.4ms week).
-func HybridWeek(packetDays int, day, night sim.Duration) *Schedule {
+func HybridWeek(packetDays int, day, night sim.Dur) *Schedule {
 	var slots []Slot
 	for i := 0; i < packetDays; i++ {
 		slots = append(slots, Slot{TDN: 0, Dur: day}, Slot{TDN: NightTDN, Dur: night})
@@ -81,7 +81,7 @@ func HybridWeek(packetDays int, day, night sim.Duration) *Schedule {
 }
 
 // Week returns the duration of one full cycle.
-func (s *Schedule) Week() sim.Duration { return s.week }
+func (s *Schedule) Week() sim.Dur { return s.week }
 
 // Parser limits. Generous for any realistic schedule; they exist so that
 // adversarial inputs (fuzzing, user typos) fail with an error instead of
@@ -156,7 +156,7 @@ func (p *schedParser) int_() (int, error) {
 }
 
 // duration consumes a Go-style duration ending at ',', ')' or end of input.
-func (p *schedParser) duration() (sim.Duration, error) {
+func (p *schedParser) duration() (sim.Dur, error) {
 	p.skipSpace()
 	start := p.pos
 	for p.pos < len(p.in) && p.in[p.pos] != ',' && p.in[p.pos] != ')' {
@@ -166,7 +166,7 @@ func (p *schedParser) duration() (sim.Duration, error) {
 	if err != nil {
 		return 0, fmt.Errorf("rdcn: schedule spec: %v", err)
 	}
-	return sim.Duration(d.Nanoseconds()), nil
+	return sim.Dur(d.Nanoseconds()), nil
 }
 
 func (p *schedParser) items(depth int) ([]Slot, error) {
@@ -267,7 +267,7 @@ func (p *schedParser) expect(c byte) error {
 // schedule extends periodically in both directions): schedule-drift faults
 // evaluate At(now-offset), which goes negative early in a run.
 func (s *Schedule) At(t sim.Time) (tdn int, ok bool, slotEnd sim.Time) {
-	off := sim.Duration(int64(t) % int64(s.week))
+	off := sim.Dur(int64(t) % int64(s.week))
 	if off < 0 { // Go's % follows the dividend's sign; fold into [0, week)
 		off += s.week
 	}
@@ -312,7 +312,7 @@ func (s *Schedule) NumTDNs() int {
 
 // DutyCycle returns the ratio of day time to total time.
 func (s *Schedule) DutyCycle() float64 {
-	var up sim.Duration
+	var up sim.Dur
 	for _, sl := range s.Slots {
 		if sl.TDN != NightTDN {
 			up += sl.Dur
@@ -323,7 +323,7 @@ func (s *Schedule) DutyCycle() float64 {
 
 // TDNShare returns the fraction of the week during which tdn is active.
 func (s *Schedule) TDNShare(tdn int) float64 {
-	var up sim.Duration
+	var up sim.Dur
 	for _, sl := range s.Slots {
 		if sl.TDN == tdn {
 			up += sl.Dur

@@ -86,7 +86,7 @@ func TestHTTPSubmitPollResult(t *testing.T) {
 	id := job["id"].(string)
 
 	code, m = doJSON(t, "GET", ts.URL+"/jobs/"+id+"/result?wait=10s", "")
-	if code != http.StatusOK || m["state"] != StateDone {
+	if code != http.StatusOK || m["state"] != string(StateDone) {
 		t.Fatalf("result: %d %v", code, m)
 	}
 	out := m["outcome"].(map[string]any)
@@ -104,7 +104,7 @@ func TestHTTPSubmitPollResult(t *testing.T) {
 	}
 
 	// Status endpoint and listing both know the job.
-	if code, m = doJSON(t, "GET", ts.URL+"/jobs/"+id, ""); code != 200 || m["state"] != StateDone {
+	if code, m = doJSON(t, "GET", ts.URL+"/jobs/"+id, ""); code != 200 || m["state"] != string(StateDone) {
 		t.Fatalf("status: %d %v", code, m)
 	}
 	resp, err := http.Get(ts.URL + "/jobs")
@@ -174,7 +174,7 @@ func TestHTTPCancelAndConflict(t *testing.T) {
 	if code, m = doJSON(t, "POST", ts.URL+"/jobs/"+id+"/cancel", ""); code != 200 {
 		t.Fatalf("cancel: %d %v", code, m)
 	}
-	if code, m = doJSON(t, "GET", ts.URL+"/jobs/"+id+"/result?wait=10s", ""); code != 200 || m["state"] != StateCancelled {
+	if code, m = doJSON(t, "GET", ts.URL+"/jobs/"+id+"/result?wait=10s", ""); code != 200 || m["state"] != string(StateCancelled) {
 		t.Fatalf("cancelled result: %d %v", code, m)
 	}
 	if code, _ = doJSON(t, "POST", ts.URL+"/jobs/"+id+"/cancel", ""); code != http.StatusConflict {
@@ -244,5 +244,5 @@ func TestHTTPResultWaitTimesOut202(t *testing.T) {
 
 func terminalState(v any) bool {
 	s, _ := v.(string)
-	return terminal(s)
+	return terminal(State(s))
 }

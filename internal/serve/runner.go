@@ -28,7 +28,7 @@ type Request struct {
 // what the cache stores and the result endpoint returns, so it holds plain
 // values only — no handles into live simulation state.
 type Outcome struct {
-	Kind        string  `json:"kind"`
+	Kind        Kind    `json:"kind"`
 	Variant     string  `json:"variant"`
 	GoodputGbps float64 `json:"goodput_gbps"`
 	// OptimalGbps/PacketOnlyGbps are the analytic references (kind=run only).

@@ -25,13 +25,18 @@ import (
 	"github.com/rdcn-net/tdtcp/internal/trace"
 )
 
+// State is a job lifecycle state. It is a defined type so switches over it
+// are checkable by tdlint's exhaustive analysis: adding a state without
+// updating every switch is a lint finding, not a silent fall-through.
+type State string
+
 // Job states. Terminal states are StateDone, StateFailed, StateCancelled.
 const (
-	StateQueued    = "queued"
-	StateRunning   = "running"
-	StateDone      = "done"
-	StateFailed    = "failed"
-	StateCancelled = "cancelled"
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
 )
 
 // Submission dispositions: what Submit did with the spec.
@@ -155,7 +160,7 @@ type Job struct {
 	Key  string
 	Spec *Spec
 
-	state    string
+	state    State
 	attempts int
 	err      error
 	outcome  *Outcome
@@ -186,7 +191,7 @@ func (j *Job) Done() <-chan struct{} { return j.done }
 type JobView struct {
 	ID        string     `json:"id"`
 	Key       string     `json:"key"`
-	State     string     `json:"state"`
+	State     State      `json:"state"`
 	Attempts  int        `json:"attempts"`
 	Spec      *Spec      `json:"spec"`
 	Error     string     `json:"error,omitempty"`
@@ -405,7 +410,7 @@ func sortViews(v []*JobView) {
 	}
 }
 
-func terminal(state string) bool {
+func terminal(state State) bool {
 	return state == StateDone || state == StateFailed || state == StateCancelled
 }
 
@@ -535,7 +540,7 @@ func (s *Server) backoff(attempt int, stop func() bool) bool {
 
 // finalizeLocked moves a job to a terminal state, updates the single-flight
 // and cache maps, and wakes waiters. Caller holds s.mu.
-func (s *Server) finalizeLocked(j *Job, state string, out *Outcome, err error) {
+func (s *Server) finalizeLocked(j *Job, state State, out *Outcome, err error) {
 	m := s.cfg.Metrics
 	j.state = state
 	j.outcome = out
@@ -552,6 +557,8 @@ func (s *Server) finalizeLocked(j *Job, state string, out *Outcome, err error) {
 		m.Add("serve.jobs_failed", 1)
 	case StateCancelled:
 		m.Add("serve.jobs_cancelled", 1)
+	default: // StateQueued, StateRunning
+		panic(fmt.Sprintf("serve: finalize to non-terminal state %q", state))
 	}
 	close(j.done)
 }

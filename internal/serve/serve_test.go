@@ -467,7 +467,7 @@ func TestTortureLifecycle(t *testing.T) {
 	}
 	drainTook := time.Since(start)
 
-	states := map[string]int{}
+	states := map[State]int{}
 	keys := map[string]bool{}
 	for _, j := range accepted {
 		select {

@@ -28,7 +28,7 @@ import (
 type Spec struct {
 	// Kind selects the experiment shape: "run" (long-lived §5.1 flows,
 	// default) or "workload" (open-loop flow arrivals with FCT accounting).
-	Kind string `json:"kind,omitempty"`
+	Kind Kind `json:"kind,omitempty"`
 	// Variant is the transport under test (default "tdtcp").
 	Variant string `json:"variant,omitempty"`
 	// Flows is the host-pair count for kind=run (default 4).
@@ -65,10 +65,14 @@ type Spec struct {
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
+// Kind is an experiment shape. A defined type so switches over it are
+// checkable by tdlint's exhaustive analysis.
+type Kind string
+
 // Spec kinds.
 const (
-	KindRun      = "run"
-	KindWorkload = "workload"
+	KindRun      Kind = "run"
+	KindWorkload Kind = "workload"
 )
 
 // runVariants and workloadVariants are the transports each kind accepts

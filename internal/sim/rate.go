@@ -16,18 +16,18 @@ const (
 // TransmitTime returns the serialization delay of a payload of the given
 // size at rate r. A zero or negative rate means "infinitely fast" and
 // returns 0 — used for host-to-ToR links that are never the bottleneck.
-func (r Rate) TransmitTime(bytes int) Duration {
+func (r Rate) TransmitTime(bytes int) Dur {
 	if r <= 0 || bytes <= 0 {
 		return 0
 	}
 	bits := int64(bytes) * 8
 	// ns = bits / (bits/s) * 1e9, computed without overflow for any
 	// realistic packet size and rate.
-	return Duration(bits * int64(Second) / int64(r))
+	return Dur(bits * int64(Second) / int64(r))
 }
 
 // BytesIn returns how many bytes can be serialized in d at rate r.
-func (r Rate) BytesIn(d Duration) int64 {
+func (r Rate) BytesIn(d Dur) int64 {
 	if r <= 0 || d <= 0 {
 		return 0
 	}

@@ -30,22 +30,26 @@ import (
 // never involve wall clocks.
 type Time int64
 
-// Duration is a span of virtual time in nanoseconds.
-type Duration int64
+// Dur is a span of virtual time in nanoseconds. It is deliberately a defined
+// type distinct from time.Duration: wall-clock durations must never leak into
+// the simulation, and the short name keeps the two visually un-confusable.
+// The simtime lint check enforces the separation across the sim-boundary
+// packages.
+type Dur int64
 
 // Convenient duration units.
 const (
-	Nanosecond  Duration = 1
-	Microsecond          = 1000 * Nanosecond
-	Millisecond          = 1000 * Microsecond
-	Second               = 1000 * Millisecond
+	Nanosecond  Dur = 1
+	Microsecond     = 1000 * Nanosecond
+	Millisecond     = 1000 * Microsecond
+	Second          = 1000 * Millisecond
 )
 
 // Add returns the time d after t.
-func (t Time) Add(d Duration) Time { return t + Time(d) }
+func (t Time) Add(d Dur) Time { return t + Time(d) }
 
 // Sub returns the duration t-u.
-func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+func (t Time) Sub(u Time) Dur { return Dur(t - u) }
 
 // Microseconds reports t as a floating-point number of microseconds,
 // convenient for trace output matching the paper's µs-scaled axes.
@@ -56,9 +60,9 @@ func (t Time) String() string {
 }
 
 // Microseconds reports d as a floating-point number of microseconds.
-func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
+func (d Dur) Microseconds() float64 { return float64(d) / float64(Microsecond) }
 
-func (d Duration) String() string {
+func (d Dur) String() string {
 	return fmt.Sprintf("%.3fus", d.Microseconds())
 }
 
@@ -215,6 +219,8 @@ func (a event) less(b event) bool {
 }
 
 // siftUp restores heap order after appending the entry at index i.
+//
+//lint:hotpath runs on every event insertion
 func (l *Loop) siftUp(i int) {
 	h := l.events
 	e := h[i]
@@ -230,6 +236,8 @@ func (l *Loop) siftUp(i int) {
 }
 
 // siftDown restores heap order below index i.
+//
+//lint:hotpath runs on every event pop
 func (l *Loop) siftDown(i int) {
 	h := l.events
 	n := len(h)
@@ -259,6 +267,8 @@ func (l *Loop) siftDown(i int) {
 }
 
 // popHead removes the root entry. The caller has already read it.
+//
+//lint:hotpath runs once per fired event
 func (l *Loop) popHead() {
 	h := l.events
 	n := len(h) - 1
@@ -270,7 +280,10 @@ func (l *Loop) popHead() {
 }
 
 // allocSlot takes a slab cell from the free list (or grows the slab) and
-// installs fn in it.
+// installs fn in it. Slab growth amortizes through append; the steady state
+// recycles cells without touching the allocator.
+//
+//lint:hotpath runs on every timer arm
 func (l *Loop) allocSlot(fn func()) int32 {
 	if n := len(l.free); n > 0 {
 		i := l.free[n-1]
@@ -287,6 +300,8 @@ func (l *Loop) allocSlot(fn func()) int32 {
 // freeSlot recycles a slab cell: the callback is dropped (so the loop never
 // retains a dead closure) and the generation advances, invalidating every
 // outstanding handle to the old timer.
+//
+//lint:hotpath runs once per fired or stopped event
 func (l *Loop) freeSlot(i int32) {
 	s := &l.slots[i]
 	s.fn = nil
@@ -315,11 +330,21 @@ func (l *Loop) compact() {
 	}
 }
 
+// schedulePastPanic lives out of line so At's fast path carries none of the
+// panic message's allocations.
+//
+//go:noinline
+func (l *Loop) schedulePastPanic(at Time) {
+	panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, l.now))
+}
+
 // At schedules fn to run at absolute time at. Scheduling in the past (before
 // Now) panics: it always indicates a logic error in the caller.
+//
+//lint:hotpath every timer arm goes through here
 func (l *Loop) At(at Time, fn func()) Timer {
 	if at < l.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, l.now))
+		l.schedulePastPanic(at)
 	}
 	si := l.allocSlot(fn)
 	l.events = append(l.events, event{at: at, seq: l.seq, slot: si})
@@ -330,7 +355,9 @@ func (l *Loop) At(at Time, fn func()) Timer {
 
 // After schedules fn to run d after the current time. Negative d is clamped
 // to zero.
-func (l *Loop) After(d Duration, fn func()) Timer {
+//
+//lint:hotpath the common timer-arm entry point
+func (l *Loop) After(d Dur, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
@@ -340,6 +367,8 @@ func (l *Loop) After(d Duration, fn func()) Timer {
 // peek discards stopped entries from the head of the queue and reports the
 // firing time of the earliest live event. It is the single place stopped
 // timers are skipped, shared by Step and RunUntil.
+//
+//lint:hotpath runs before every event fire
 func (l *Loop) peek() (Time, bool) {
 	for len(l.events) > 0 {
 		e := l.events[0]
@@ -355,6 +384,8 @@ func (l *Loop) peek() (Time, bool) {
 
 // Step executes the next pending event, advancing the clock to its time.
 // It reports false when no events remain.
+//
+//lint:hotpath the event loop's inner iteration
 func (l *Loop) Step() bool {
 	if _, ok := l.peek(); !ok {
 		return false

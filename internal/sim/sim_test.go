@@ -137,7 +137,7 @@ func TestDeterminism(t *testing.T) {
 		tick = func() {
 			out = append(out, int64(l.Now()), l.Rand().Int63n(1000))
 			if len(out) < 200 {
-				l.After(Duration(1+l.Rand().Int63n(50)), tick)
+				l.After(Dur(1+l.Rand().Int63n(50)), tick)
 			}
 		}
 		l.After(0, tick)
@@ -159,12 +159,12 @@ func TestTransmitTime(t *testing.T) {
 	cases := []struct {
 		rate  Rate
 		bytes int
-		want  Duration
+		want  Dur
 	}{
 		{10 * Gbps, 1250, 1 * Microsecond}, // 10Kb at 10Gbps = 1us
 		{100 * Gbps, 12500, 1 * Microsecond},
 		{1 * Gbps, 125, 1 * Microsecond},
-		{10 * Gbps, 9000, Duration(7200)}, // jumbo frame: 72000 bits / 10G = 7.2us? no: 7200ns
+		{10 * Gbps, 9000, Dur(7200)}, // jumbo frame: 72000 bits / 10G = 7.2us? no: 7200ns
 		{0, 1000, 0},
 		{10 * Gbps, 0, 0},
 	}
@@ -236,7 +236,7 @@ func TestTimeHelpers(t *testing.T) {
 		t.Fatal("Sub")
 	}
 	if (100 * Microsecond).Microseconds() != 100 {
-		t.Fatal("Duration.Microseconds")
+		t.Fatal("Dur.Microseconds")
 	}
 	if Time(100*Microsecond).Microseconds() != 100 {
 		t.Fatal("Time.Microseconds")
@@ -392,7 +392,7 @@ func chainLoop(n int) (*Loop, *[]Time) {
 	step = func() {
 		*fired = append(*fired, l.Now())
 		if len(*fired) < n {
-			l.After(Duration(1+l.Rand().Intn(3)), step)
+			l.After(Dur(1+l.Rand().Intn(3)), step)
 		}
 	}
 	l.After(1, step)

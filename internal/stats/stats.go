@@ -121,7 +121,7 @@ func (s *Series) CSV() string {
 type Sampler struct {
 	Series   *Series
 	loop     *sim.Loop
-	interval sim.Duration
+	interval sim.Dur
 	value    func() float64
 	until    sim.Time
 	timer    sim.Timer
@@ -131,7 +131,7 @@ type Sampler struct {
 
 // NewSampler arms a periodic sampler on loop from the current time until
 // until (inclusive of the start point).
-func NewSampler(loop *sim.Loop, label string, interval sim.Duration, until sim.Time, value func() float64) *Sampler {
+func NewSampler(loop *sim.Loop, label string, interval sim.Dur, until sim.Time, value func() float64) *Sampler {
 	s := &Sampler{Series: &Series{Label: label}, loop: loop, interval: interval, value: value, until: until}
 	s.tickFn = s.tick
 	s.tick()
@@ -242,7 +242,7 @@ func (b *Buckets) Close(v float64) {
 func (b *Buckets) CDF() *CDF { return NewCDF(b.Deltas) }
 
 // ThroughputGbps converts bytes over a duration into Gbps.
-func ThroughputGbps(bytes int64, d sim.Duration) float64 {
+func ThroughputGbps(bytes int64, d sim.Dur) float64 {
 	if d <= 0 {
 		return 0
 	}

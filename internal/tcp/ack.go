@@ -29,6 +29,8 @@ func (c *Conn) Input(s *packet.Segment) {
 		return
 	case stClosed, stDone:
 		return
+	default:
+		// stEstablished, stCloseWait, stFinWait: the data path below.
 	}
 
 	// Established (or closing) path.
@@ -425,7 +427,7 @@ func (c *Conn) detectLosses(ackTDN uint8, now sim.Time) {
 		}
 		if c.cfg.RACK && c.rackXmit > 0 {
 			own := c.states[seg.TDN]
-			var reoWnd sim.Duration
+			var reoWnd sim.Dur
 			if seg.TDN == activeTDN || slowest == nil {
 				reoWnd = own.SRTT / 4
 			} else {

@@ -45,7 +45,7 @@ type Config struct {
 	// MinRTO, MaxRTO, InitialRTO bound the retransmission timer. The
 	// defaults (1 ms, 100 ms, 2 ms) reflect a data-center tuned stack; the
 	// Internet defaults would dwarf the microsecond schedule.
-	MinRTO, MaxRTO, InitialRTO sim.Duration
+	MinRTO, MaxRTO, InitialRTO sim.Dur
 	// Pacing, when >0, spreads a window of segments over the estimated
 	// RTT at the given gain instead of bursting (the §5.2 remedy for
 	// TDTCP's initial burst).
@@ -411,6 +411,9 @@ func (c *Conn) Close() {
 	case stSynSent, stSynRcvd, stEstablished, stCloseWait:
 		c.finQueued = true
 		c.trySend()
+	default:
+		// stListen has no peer; stFinWait already sent its FIN; stClosed
+		// and stDone have nothing left to close.
 	}
 }
 
@@ -746,7 +749,7 @@ func (c *Conn) paceGate() bool {
 	}
 	st := c.ActiveState()
 	if st.SRTT > 0 && st.Cwnd() > 0 {
-		gap := sim.Duration(float64(st.SRTT) / (st.Cwnd() * c.cfg.Pacing))
+		gap := sim.Dur(float64(st.SRTT) / (st.Cwnd() * c.cfg.Pacing))
 		c.paceNext = now.Add(gap)
 	}
 	return true

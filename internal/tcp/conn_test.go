@@ -12,7 +12,7 @@ import (
 // or marks segments, and delivers after a (mutable) one-way delay.
 type wire struct {
 	loop  *sim.Loop
-	delay sim.Duration
+	delay sim.Dur
 	// drop, when non-nil, discards matching segments.
 	drop func(*packet.Segment) bool
 	// dst receives parsed segments.
@@ -37,7 +37,7 @@ func (w *wire) send(s *packet.Segment) {
 
 type pairOpt struct {
 	cfgA, cfgB Config
-	delay      sim.Duration
+	delay      sim.Dur
 }
 
 func newPair(t *testing.T, opt pairOpt) (loop *sim.Loop, a, b *Conn, wa, wb *wire) {
@@ -56,7 +56,7 @@ func newPair(t *testing.T, opt pairOpt) (loop *sim.Loop, a, b *Conn, wa, wb *wir
 	return
 }
 
-func runFor(loop *sim.Loop, d sim.Duration) { loop.RunUntil(loop.Now().Add(d)) }
+func runFor(loop *sim.Loop, d sim.Dur) { loop.RunUntil(loop.Now().Add(d)) }
 
 func TestHandshake(t *testing.T) {
 	loop, a, b, _, _ := newPair(t, pairOpt{})
@@ -496,7 +496,7 @@ func TestRandomLossEventualDelivery(t *testing.T) {
 func TestPacingSpreadsBurst(t *testing.T) {
 	loop, a, b, _, _ := newPair(t, pairOpt{cfgA: Config{Pacing: 1.0}})
 	b.Listen()
-	var gaps []sim.Duration
+	var gaps []sim.Dur
 	var lastTx sim.Time
 	orig := a.Out
 	a.Out = func(s *packet.Segment) {

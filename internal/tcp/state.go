@@ -64,9 +64,9 @@ type PathState struct {
 	CC  cc.Algorithm
 
 	// Delay/RTT variables (RFC 6298).
-	SRTT    sim.Duration
-	RTTVar  sim.Duration
-	RTO     sim.Duration
+	SRTT    sim.Dur
+	RTTVar  sim.Dur
+	RTO     sim.Dur
 	Samples int // RTT samples incorporated
 
 	// Congestion state machine.
@@ -183,7 +183,7 @@ func (ps *PathState) Cwnd() float64 { return ps.CC.Cwnd() }
 
 // ObserveRTT folds a fresh RTT sample into the estimator (RFC 6298) and
 // recomputes RTO within [minRTO, maxRTO].
-func (ps *PathState) ObserveRTT(sample sim.Duration, minRTO, maxRTO sim.Duration) {
+func (ps *PathState) ObserveRTT(sample sim.Dur, minRTO, maxRTO sim.Dur) {
 	if sample <= 0 {
 		return
 	}
@@ -236,7 +236,7 @@ type Policy interface {
 	RTTTarget(dataTDN, ackTDN uint8) (idx int, ok bool)
 	// SegmentRTO returns the retransmission timeout for a segment sent on
 	// tdn (§4.4's pessimistic cross-TDN synthesis for TDTCP).
-	SegmentRTO(tdn uint8) sim.Duration
+	SegmentRTO(tdn uint8) sim.Dur
 }
 
 // SinglePath is the Policy for conventional single-path TCP: one state,
@@ -273,4 +273,4 @@ func (p *SinglePath) FilterLoss(seg *TxSeg, trigTDN uint8) bool { return false }
 func (p *SinglePath) RTTTarget(dataTDN, ackTDN uint8) (int, bool) { return 0, true }
 
 // SegmentRTO implements Policy.
-func (p *SinglePath) SegmentRTO(tdn uint8) sim.Duration { return p.c.states[0].RTO }
+func (p *SinglePath) SegmentRTO(tdn uint8) sim.Dur { return p.c.states[0].RTO }

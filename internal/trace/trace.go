@@ -427,6 +427,7 @@ func appendFloat(b []byte, v float64) []byte {
 // Events returns the ring buffer's contents in emission order. It returns
 // nil for streaming and nil tracers.
 func (t *Tracer) Events() []Event {
+	//lint:ignore concurrency ring is assigned once at construction; this reads only the immutable slice header
 	if t == nil || t.ring == nil {
 		return nil
 	}
@@ -448,6 +449,7 @@ func (t *Tracer) Dump(w io.Writer) error {
 	if t == nil {
 		return nil
 	}
+	//lint:ignore concurrency ring is assigned once at construction; this reads only the immutable slice header
 	if t.ring == nil {
 		return t.Flush()
 	}

@@ -173,12 +173,12 @@ func ByName(name string) (*FlowSizeCDF, error) {
 // Interarrival draws one open-loop Poisson interarrival gap: exponentially
 // distributed with the given mean. The result is always positive so an
 // arrival process can never stall at a zero gap.
-func Interarrival(rng *rand.Rand, mean sim.Duration) sim.Duration {
+func Interarrival(rng *rand.Rand, mean sim.Dur) sim.Dur {
 	u := rng.Float64()
 	for u == 0 {
 		u = rng.Float64()
 	}
-	d := sim.Duration(-math.Log(u) * float64(mean))
+	d := sim.Dur(-math.Log(u) * float64(mean))
 	if d < 1 {
 		d = 1
 	}
@@ -188,7 +188,7 @@ func Interarrival(rng *rand.Rand, mean sim.Duration) sim.Duration {
 // MeanInterarrival returns the Poisson interarrival mean that loads a
 // bottleneck of the given rate to the given utilization with flows drawn
 // from c: gap = meanSize / (load × rate).
-func MeanInterarrival(c *FlowSizeCDF, load float64, rate sim.Rate) sim.Duration {
+func MeanInterarrival(c *FlowSizeCDF, load float64, rate sim.Rate) sim.Dur {
 	if load <= 0 || rate <= 0 {
 		return sim.Second
 	}
@@ -197,5 +197,5 @@ func MeanInterarrival(c *FlowSizeCDF, load float64, rate sim.Rate) sim.Duration 
 	if gap < 1 {
 		gap = 1
 	}
-	return sim.Duration(gap)
+	return sim.Dur(gap)
 }

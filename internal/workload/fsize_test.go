@@ -112,7 +112,7 @@ func TestMeanInterarrival(t *testing.T) {
 	// Load 0.5 on 10 Gbps: 625 MB/s of offered bytes, 1000-byte flows
 	// → 625k flows/s → 1.6 µs mean gap.
 	gap := MeanInterarrival(c, 0.5, 10*sim.Gbps)
-	if want := sim.Duration(1600); gap != want {
+	if want := sim.Dur(1600); gap != want {
 		t.Fatalf("gap = %d, want %d", gap, want)
 	}
 	if g := MeanInterarrival(c, 0, 10*sim.Gbps); g != sim.Second {

@@ -34,11 +34,11 @@ func OptimalBytes(sch *rdcn.Schedule, tdns []rdcn.TDNParams, t sim.Time) int64 {
 // PacketOnlyBytes returns the bytes delivered by an idealized TCP that uses
 // only the packet network: a constant rate with no blackout periods.
 func PacketOnlyBytes(rate sim.Rate, t sim.Time) int64 {
-	return rate.BytesIn(sim.Duration(t))
+	return rate.BytesIn(sim.Dur(t))
 }
 
 // OptimalSeries samples OptimalBytes on [from, to] at the given step.
-func OptimalSeries(sch *rdcn.Schedule, tdns []rdcn.TDNParams, from, to sim.Time, step sim.Duration) *stats.Series {
+func OptimalSeries(sch *rdcn.Schedule, tdns []rdcn.TDNParams, from, to sim.Time, step sim.Dur) *stats.Series {
 	s := &stats.Series{Label: "optimal"}
 	for t := from; t <= to; t = t.Add(step) {
 		s.Add(t, float64(OptimalBytes(sch, tdns, t)))
@@ -47,7 +47,7 @@ func OptimalSeries(sch *rdcn.Schedule, tdns []rdcn.TDNParams, from, to sim.Time,
 }
 
 // PacketOnlySeries samples PacketOnlyBytes on [from, to] at the given step.
-func PacketOnlySeries(rate sim.Rate, from, to sim.Time, step sim.Duration) *stats.Series {
+func PacketOnlySeries(rate sim.Rate, from, to sim.Time, step sim.Dur) *stats.Series {
 	s := &stats.Series{Label: "packet only"}
 	for t := from; t <= to; t = t.Add(step) {
 		s.Add(t, float64(PacketOnlyBytes(rate, t)))

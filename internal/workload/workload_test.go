@@ -64,7 +64,7 @@ func TestOptimalMonotoneBounded(t *testing.T) {
 		if b2 < b1 {
 			return false
 		}
-		cap := (100 * sim.Gbps).BytesIn(sim.Duration(t2)) + 1
+		cap := (100 * sim.Gbps).BytesIn(sim.Dur(t2)) + 1
 		return b2 <= cap
 	}
 	if err := quick.Check(f, nil); err != nil {

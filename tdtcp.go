@@ -52,7 +52,7 @@ type (
 	// Time is virtual time in nanoseconds since simulation start.
 	Time = sim.Time
 	// Duration is a span of virtual time.
-	Duration = sim.Duration
+	Duration = sim.Dur
 	// Rate is a link bandwidth.
 	Rate = sim.Rate
 )
