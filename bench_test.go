@@ -213,6 +213,12 @@ func BenchmarkEventLoop(b *testing.B) { bench.EventLoop(b) }
 // the two should differ only by the enabled tracer's encoding cost.
 func BenchmarkSimulatedWeek(b *testing.B) { bench.SimulatedWeek(b) }
 
+// BenchmarkSimulatedWeekSteady is BenchmarkSimulatedWeek with construction
+// and ramp-up excluded: the fleet is built once, warmed for one optical week,
+// and each iteration advances one more week. The steady-state hot path is
+// required to be allocation-free (0 allocs/op, gated by ci.sh).
+func BenchmarkSimulatedWeekSteady(b *testing.B) { bench.SimulatedWeekSteady(b) }
+
 // BenchmarkSimulatedWeekFlight is BenchmarkSimulatedWeek with the always-on
 // flight recorder attached (the experiments.Run default): the per-event ring
 // write is the only added cost, budgeted at <5% events/sec with a zero

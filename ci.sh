@@ -64,6 +64,14 @@ go test -run 'TestServeSubmitResultAndDrain|TestServeDrainCancelsRunningJob' ./c
 # -benchtime=1x are meaningless; tracked measurements come from cmd/tdbench.
 go test -run '^$' -bench . -benchmem -benchtime 1x .
 
+# Benchmark regression gate: check the *committed* BENCH_simcore.json against
+# the thresholds in cmd/tdbench (SimulatedWeek allocation ceiling and <=20%
+# events/sec drop vs its "previous" entry; SimulatedWeekSteady must record
+# 0 allocs/op). No benchmarks run here — a single CI run's wall time is
+# exactly the noise the tracked -count medians filter out, so the gate holds
+# the reviewed artifact, not the machine of the day.
+go run ./cmd/tdbench -gate
+
 # Fuzz smoke: a few seconds of each native fuzz target. Regression corpus
 # entries under testdata/fuzz always run as part of `go test` above; this
 # additionally exercises fresh random inputs.

@@ -8,6 +8,14 @@
 //	tdbench                     # run, diff against BENCH_simcore.json, rewrite it
 //	tdbench -out other.json     # track a different file
 //	tdbench -dry                # run and diff only, leave the file untouched
+//	tdbench -count 9            # iterations per benchmark (default 5)
+//	tdbench -gate               # check the committed file, run nothing
+//
+// Each benchmark runs -count times; the tracked ns/op is the MEDIAN of the
+// iterations, with the minimum and the relative spread recorded alongside.
+// Single-run numbers on a shared machine routinely wander ±20%, which once
+// mis-flagged a "regression" that was pure scheduler noise (DESIGN.md §10);
+// medians with a recorded spread make the tracked file trustworthy.
 //
 // The JSON file carries the current numbers under "benchmarks", the previous
 // run's numbers under "previous", and the tdlint finding count under
@@ -21,15 +29,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"testing"
 
 	"github.com/rdcn-net/tdtcp/internal/bench"
 	"github.com/rdcn-net/tdtcp/internal/lint"
 )
 
-// Record is one benchmark's tracked measurements.
+// Record is one benchmark's tracked measurements. NsPerOp (and the
+// EventsPerSec derived from it) is the median across the -count iterations;
+// MinNsPerOp is the fastest iteration and SpreadPct the relative spread
+// (max-min as a percentage of the median) — a large spread means the machine
+// was noisy and the numbers should not be trusted for small deltas.
 type Record struct {
 	NsPerOp      float64 `json:"ns_per_op"`
+	MinNsPerOp   float64 `json:"min_ns_per_op,omitempty"`
+	SpreadPct    float64 `json:"spread_pct,omitempty"`
 	BytesPerOp   int64   `json:"bytes_per_op"`
 	AllocsPerOp  int64   `json:"allocs_per_op"`
 	EventsPerOp  float64 `json:"events_per_op,omitempty"`
@@ -52,15 +67,28 @@ var headline = []struct {
 }{
 	{"EventLoop", bench.EventLoop},
 	{"SimulatedWeek", bench.SimulatedWeek},
+	{"SimulatedWeekSteady", bench.SimulatedWeekSteady},
 	{"SimulatedWeekFlight", bench.SimulatedWeekFlight},
 }
 
 func main() {
 	var (
-		out = flag.String("out", "BENCH_simcore.json", "tracked benchmark file to diff against and rewrite")
-		dry = flag.Bool("dry", false, "run and diff only; do not rewrite the file")
+		out   = flag.String("out", "BENCH_simcore.json", "tracked benchmark file to diff against and rewrite")
+		dry   = flag.Bool("dry", false, "run and diff only; do not rewrite the file")
+		count = flag.Int("count", 5, "iterations per benchmark; the median is tracked")
+		gate  = flag.Bool("gate", false, "check the committed file against the regression thresholds and exit; run no benchmarks")
 	)
 	flag.Parse()
+	if *count < 1 {
+		*count = 1
+	}
+	if *gate {
+		if err := checkGate(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tdbench: %s passes the regression gate\n", *out)
+		return
+	}
 
 	prev := map[string]Record{}
 	if raw, err := os.ReadFile(*out); err == nil {
@@ -73,18 +101,8 @@ func main() {
 
 	cur := map[string]Record{}
 	for _, b := range headline {
-		fmt.Fprintf(os.Stderr, "tdbench: running %s...\n", b.Name)
-		r := testing.Benchmark(b.Body)
-		rec := Record{
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			AllocsPerOp: r.AllocsPerOp(),
-		}
-		if ev, ok := r.Extra["events/op"]; ok && rec.NsPerOp > 0 {
-			rec.EventsPerOp = ev
-			rec.EventsPerSec = ev * 1e9 / rec.NsPerOp
-		}
-		cur[b.Name] = rec
+		fmt.Fprintf(os.Stderr, "tdbench: running %s (%d iterations)...\n", b.Name, *count)
+		cur[b.Name] = measure(b.Body, *count)
 	}
 
 	fmt.Fprintln(os.Stderr, "tdbench: running tdlint...")
@@ -94,7 +112,7 @@ func main() {
 	}
 
 	printDiff(prev, cur)
-	fmt.Printf("%-15s %14d\n", "lint findings", nlint)
+	fmt.Printf("%-19s %14d\n", "lint findings", nlint)
 
 	if *dry {
 		if nlint != 0 {
@@ -119,6 +137,94 @@ func main() {
 	}
 }
 
+// measure runs one benchmark body count times and aggregates: median ns/op
+// (the tracked headline number), minimum ns/op, and the max-min spread as a
+// percentage of the median. Allocation counters come from the median
+// iteration — they are deterministic across runs, unlike wall time.
+func measure(body func(*testing.B), count int) Record {
+	type one struct {
+		ns  float64
+		res testing.BenchmarkResult
+	}
+	runs := make([]one, 0, count)
+	for i := 0; i < count; i++ {
+		r := testing.Benchmark(body)
+		runs = append(runs, one{ns: float64(r.T.Nanoseconds()) / float64(r.N), res: r})
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].ns < runs[j].ns })
+	med := runs[len(runs)/2]
+	rec := Record{
+		NsPerOp:     med.ns,
+		BytesPerOp:  med.res.AllocedBytesPerOp(),
+		AllocsPerOp: med.res.AllocsPerOp(),
+	}
+	if count > 1 {
+		rec.MinNsPerOp = runs[0].ns
+		if med.ns > 0 {
+			rec.SpreadPct = (runs[len(runs)-1].ns - runs[0].ns) / med.ns * 100
+		}
+	}
+	if ev, ok := med.res.Extra["events/op"]; ok && rec.NsPerOp > 0 {
+		rec.EventsPerOp = ev
+		rec.EventsPerSec = ev * 1e9 / rec.NsPerOp
+	}
+	return rec
+}
+
+// Regression thresholds enforced by `tdbench -gate` (run from ci.sh) against
+// the *committed* BENCH_simcore.json — the gate never re-runs benchmarks,
+// because a single CI run's wall time is exactly the ±20% noise the -count
+// medians exist to filter out. The committed file is the reviewed artifact;
+// the gate makes it impossible to commit one that records a regression.
+const (
+	// maxWeekAllocs bounds SimulatedWeek's allocs/op. The cold benchmark
+	// rebuilds the network and flows every iteration, so it cannot be zero;
+	// the bound holds the construction cost at its post-slab level (~1.1k)
+	// with headroom for schedule-config drift, far below the ~2.4k it was
+	// before the SoA slab landed.
+	maxWeekAllocs = 1500
+	// maxEvRegressPct fails the gate when the recorded SimulatedWeek
+	// events/sec dropped more than this vs the file's "previous" entry.
+	maxEvRegressPct = 20.0
+)
+
+// checkGate applies the committed-file regression thresholds: SimulatedWeek
+// allocation ceiling, SimulatedWeek events/sec vs the previous record, and
+// the SimulatedWeekSteady zero-allocation claim (the hot path's contract).
+func checkGate(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	week, ok := f.Benchmarks["SimulatedWeek"]
+	if !ok {
+		return fmt.Errorf("%s records no SimulatedWeek benchmark", path)
+	}
+	if week.AllocsPerOp > maxWeekAllocs {
+		return fmt.Errorf("SimulatedWeek allocs/op %d exceeds the committed ceiling %d",
+			week.AllocsPerOp, maxWeekAllocs)
+	}
+	if steady, ok := f.Benchmarks["SimulatedWeekSteady"]; ok && steady.AllocsPerOp != 0 {
+		return fmt.Errorf("SimulatedWeekSteady allocs/op %d; the steady state must not allocate",
+			steady.AllocsPerOp)
+	}
+	if prev, ok := f.Previous["SimulatedWeek"]; ok && prev.EventsPerSec > 0 && week.EventsPerSec > 0 {
+		drop := (prev.EventsPerSec - week.EventsPerSec) / prev.EventsPerSec * 100
+		if drop > maxEvRegressPct {
+			return fmt.Errorf("SimulatedWeek events/sec dropped %.1f%% (%.0f -> %.0f), over the %.0f%% budget",
+				drop, prev.EventsPerSec, week.EventsPerSec, maxEvRegressPct)
+		}
+	}
+	if f.LintFindings != 0 {
+		return fmt.Errorf("%d tdlint findings recorded; the tracked numbers are not trustworthy", f.LintFindings)
+	}
+	return nil
+}
+
 // lintFindings runs the full tdlint suite in-process over the module rooted
 // in the working directory.
 func lintFindings() (int, error) {
@@ -131,18 +237,18 @@ func lintFindings() (int, error) {
 
 // printDiff renders old -> new per benchmark in the headline order.
 func printDiff(prev, cur map[string]Record) {
-	fmt.Printf("%-15s %14s %14s %12s %16s\n", "benchmark", "ns/op", "B/op", "allocs/op", "events/sec")
+	fmt.Printf("%-19s %14s %9s %14s %12s %16s\n", "benchmark", "ns/op", "spread", "B/op", "allocs/op", "events/sec")
 	for _, b := range headline {
 		c := cur[b.Name]
-		fmt.Printf("%-15s %14.1f %14d %12d %16.0f\n",
-			b.Name, c.NsPerOp, c.BytesPerOp, c.AllocsPerOp, c.EventsPerSec)
+		fmt.Printf("%-19s %14.1f %8.1f%% %14d %12d %16.0f\n",
+			b.Name, c.NsPerOp, c.SpreadPct, c.BytesPerOp, c.AllocsPerOp, c.EventsPerSec)
 		p, ok := prev[b.Name]
 		if !ok {
 			continue
 		}
-		fmt.Printf("%-15s %14.1f %14d %12d %16.0f\n", "  previous", p.NsPerOp, p.BytesPerOp, p.AllocsPerOp, p.EventsPerSec)
-		fmt.Printf("%-15s %13s%% %13s%% %11s%%\n", "  delta",
-			pct(c.NsPerOp, p.NsPerOp), pct(float64(c.BytesPerOp), float64(p.BytesPerOp)),
+		fmt.Printf("%-19s %14.1f %8.1f%% %14d %12d %16.0f\n", "  previous", p.NsPerOp, p.SpreadPct, p.BytesPerOp, p.AllocsPerOp, p.EventsPerSec)
+		fmt.Printf("%-19s %13s%% %9s %13s%% %11s%%\n", "  delta",
+			pct(c.NsPerOp, p.NsPerOp), "", pct(float64(c.BytesPerOp), float64(p.BytesPerOp)),
 			pct(float64(c.AllocsPerOp), float64(p.AllocsPerOp)))
 	}
 }

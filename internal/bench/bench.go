@@ -14,6 +14,7 @@ import (
 	"github.com/rdcn-net/tdtcp/internal/experiments"
 	"github.com/rdcn-net/tdtcp/internal/rdcn"
 	"github.com/rdcn-net/tdtcp/internal/sim"
+	"github.com/rdcn-net/tdtcp/internal/tcp"
 	"github.com/rdcn-net/tdtcp/internal/trace"
 )
 
@@ -49,8 +50,9 @@ func SimulatedWeek(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		fopt := experiments.FlowOptions{Slab: tcp.NewSlab(2*cfg.HostsPerRack, 4*cfg.HostsPerRack)}
 		for f := 0; f < cfg.HostsPerRack; f++ {
-			fl, err := experiments.BuildFlow(loop, net, f, experiments.TDTCP, experiments.FlowOptions{})
+			fl, err := experiments.BuildFlow(loop, net, f, experiments.TDTCP, fopt)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -62,6 +64,41 @@ func SimulatedWeek(b *testing.B) {
 		fired += loop.Fired()
 	}
 	b.ReportMetric(float64(fired)/float64(b.N), "events/op")
+}
+
+// SimulatedWeekSteady measures the steady-state cost of the running
+// experiment with construction and ramp-up excluded: one loop, network, and
+// 16-flow TDTCP fleet are built once and warmed for a full optical week, then
+// each iteration advances the same simulation by exactly one more week.
+// Steady-state operation must not allocate: every per-frame and per-ACK
+// object comes from a pool, slab, chunk, or scratch buffer, so the benchmark
+// is the 0 allocs/op gate for the hot path (enforced by ci.sh).
+func SimulatedWeekSteady(b *testing.B) {
+	loop := sim.NewLoop(1)
+	cfg := rdcn.DefaultConfig()
+	net, err := rdcn.New(loop, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fopt := experiments.FlowOptions{Slab: tcp.NewSlab(2*cfg.HostsPerRack, 4*cfg.HostsPerRack)}
+	for f := 0; f < cfg.HostsPerRack; f++ {
+		fl, err := experiments.BuildFlow(loop, net, f, experiments.TDTCP, fopt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fl.Start(-1)
+	}
+	week := int64(cfg.Schedule.Week())
+	net.Start(sim.Time(week * int64(b.N+1)))
+	loop.RunUntil(sim.Time(week)) // warm-up: handshakes, ramp, pool fill
+	fired := loop.Fired()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loop.RunUntil(sim.Time(week * int64(i+2)))
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(loop.Fired()-fired)/float64(b.N), "events/op")
 }
 
 // SimulatedWeekFlight is SimulatedWeek with the always-on flight recorder
@@ -87,8 +124,9 @@ func SimulatedWeekFlight(b *testing.B) {
 			b.Fatal(err)
 		}
 		net.SetTracer(tr)
+		fopt := experiments.FlowOptions{Slab: tcp.NewSlab(2*cfg.HostsPerRack, 4*cfg.HostsPerRack)}
 		for f := 0; f < cfg.HostsPerRack; f++ {
-			fl, err := experiments.BuildFlow(loop, net, f, experiments.TDTCP, experiments.FlowOptions{})
+			fl, err := experiments.BuildFlow(loop, net, f, experiments.TDTCP, fopt)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -146,6 +146,12 @@ type RunConfig struct {
 	// requires byte-identical traces.
 	DisableFramePool bool
 
+	// DisableBatchDelivery reverts the fabric to frame-at-a-time delivery
+	// (see rdcn.Config.DisableBatchDelivery). Batching must not be
+	// protocol-visible: the batch-delivery A/B tests run the same seed with
+	// and without it and require identical protocol traces.
+	DisableBatchDelivery bool
+
 	// Stop, when non-nil, is the cooperative cancellation seam: it is polled
 	// between simulation events (every StopEvery events; sim.DefaultStopEvery
 	// when zero) and once it returns true the run abandons the event loop and
@@ -346,6 +352,7 @@ func Run(cfg RunConfig) (*Result, error) {
 	ncfg.VOQCap = cfg.Scenario.VOQCap
 	ncfg.MarkThresh = cfg.MarkThresh
 	ncfg.DisableFramePool = cfg.DisableFramePool
+	ncfg.DisableBatchDelivery = cfg.DisableBatchDelivery
 	if cfg.Notify != nil {
 		ncfg.Notify = *cfg.Notify
 	}
@@ -389,6 +396,11 @@ func Run(cfg RunConfig) (*Result, error) {
 		chk.WatchNetwork(net)
 	}
 
+	if cfg.Flow.Slab == nil {
+		// One struct-of-arrays slab per run: every flow's hot state packs
+		// into the same dense columns (see tcp.Slab).
+		cfg.Flow.Slab = tcp.NewSlab(2*cfg.Flows, 4*cfg.Flows)
+	}
 	flows := make([]*Flow, cfg.Flows)
 	if racks > 2 {
 		mn := newMuxNet(net)

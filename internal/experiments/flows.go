@@ -152,6 +152,10 @@ type FlowOptions struct {
 	// RcvBuf overrides the 4 MiB receive buffer (raise it for large-BDP
 	// paths such as the satellite scenario).
 	RcvBuf int
+	// Slab, when non-nil, is the shared struct-of-arrays store for hot
+	// connection state; pass one slab to every BuildFlow of an experiment
+	// so the flows' columns pack densely (see tcp.Slab).
+	Slab *tcp.Slab
 }
 
 func ccFactoryFor(v Variant, opt FlowOptions) cc.Factory {
@@ -242,6 +246,7 @@ func BuildFlow(loop *sim.Loop, net *rdcn.Network, i int, v Variant, opt FlowOpti
 	if err != nil {
 		return nil, err
 	}
+	sndCfg.Slab, rcvCfg.Slab = opt.Slab, opt.Slab
 
 	f.Snd = tcp.NewConn(loop, sndCfg, func(s *packet.Segment) { h0.Send(s) })
 	f.Rcv = tcp.NewConn(loop, rcvCfg, func(s *packet.Segment) { h1.Send(s) })
@@ -253,6 +258,8 @@ func BuildFlow(loop *sim.Loop, net *rdcn.Network, i int, v Variant, opt FlowOpti
 
 	h0.Recv = inputAdapter(f.Snd)
 	h1.Recv = inputAdapter(f.Rcv)
+	h0.RecvBatch = batchRecv(h0.Recv)
+	h1.RecvBatch = batchRecv(h1.Recv)
 
 	switch v {
 	case TDTCP:
@@ -310,6 +317,17 @@ func inputAdapter(c *tcp.Conn) func(netem.Frame) {
 	}
 }
 
+// batchRecv adapts a per-frame receive hook to the batched delivery upcall:
+// one call from the fabric per (host, TDN) batch, one Input per segment
+// inside, so the protocol sees the exact frame-at-a-time order.
+func batchRecv(recv func(netem.Frame)) func([]netem.Frame, int) {
+	return func(fs []netem.Frame, _ int) {
+		for _, fr := range fs {
+			recv(fr)
+		}
+	}
+}
+
 // subflowGate holds a subflow's outgoing segments at the host while the
 // subflow's TDN is inactive: the paper's MPTCP "pins" subflows via the
 // tdm_schd scheduler at both endpoints, so data AND acknowledgments of an
@@ -324,7 +342,9 @@ type subflowGate struct {
 
 func (g *subflowGate) send(s *packet.Segment) {
 	if *g.cur != g.tdn {
-		g.held = append(g.held, s)
+		// The connection reuses the segment's storage after send returns
+		// (the Conn.Out contract), so a held segment must be a deep copy.
+		g.held = append(g.held, s.Clone())
 		return
 	}
 	g.host.Send(s)
@@ -345,7 +365,7 @@ func buildMPTCP(loop *sim.Loop, f *Flow, h0, h1 *rdcn.Host, ntdns int, opt FlowO
 		// optical weeks).
 		minRTO = 10 * sim.Millisecond
 	}
-	sub := tcp.Config{CC: ccFactoryFor(MPTCP, opt), MinRTO: minRTO, MaxRTO: opt.MaxRTO,
+	sub := tcp.Config{Slab: opt.Slab, CC: ccFactoryFor(MPTCP, opt), MinRTO: minRTO, MaxRTO: opt.MaxRTO,
 		Pacing: opt.Pacing, MSS: opt.MSS, RcvBuf: opt.RcvBuf}
 	mcfg := mptcp.Config{NumSubflows: ntdns, Sub: sub, ReinjectDelay: opt.ReinjectDelay, SendBuf: opt.MPTCPSendBuf}
 
@@ -373,6 +393,8 @@ func buildMPTCP(loop *sim.Loop, f *Flow, h0, h1 *rdcn.Host, ntdns int, opt FlowO
 
 	h0.Recv = mptcpInputAdapter(f.MSnd, 40000, ntdns)
 	h1.Recv = mptcpInputAdapter(f.MRcv, 5000, ntdns)
+	h0.RecvBatch = batchRecv(h0.Recv)
+	h1.RecvBatch = batchRecv(h1.Recv)
 	h0.NotifyTDN = func(tdn int, epoch uint32) {
 		cur0 = tdn
 		if tdn >= 0 && tdn < ntdns {

@@ -43,6 +43,14 @@ func (m *hostMux) recv(fr netem.Frame) {
 	}
 }
 
+// recvBatch is the batched-delivery counterpart of recv: one upcall per
+// (host, TDN) batch, one demuxed Input per frame inside.
+func (m *hostMux) recvBatch(fs []netem.Frame, _ int) {
+	for _, fr := range fs {
+		m.recv(fr)
+	}
+}
+
 func (m *hostMux) notifyTDN(tdn int, epoch uint32) {
 	for _, fn := range m.notify {
 		fn(tdn, epoch)
@@ -65,6 +73,7 @@ func newMuxNet(net *rdcn.Network) *muxNet {
 			m := newHostMux()
 			mn.muxes[r][h] = m
 			host.Recv = m.recv
+			host.RecvBatch = m.recvBatch
 			host.NotifyTDN = m.notifyTDN
 		}
 	}
@@ -175,6 +184,9 @@ type WorkloadConfig struct {
 	// DisableFramePool turns off wire-buffer recycling (determinism probe,
 	// see RunConfig.DisableFramePool).
 	DisableFramePool bool
+	// DisableBatchDelivery reverts to frame-at-a-time delivery (determinism
+	// probe, see RunConfig.DisableBatchDelivery).
+	DisableBatchDelivery bool
 	// Stop and StopEvery mirror RunConfig: the cooperative cancellation
 	// seam, polled between events, that makes RunWorkload return an error
 	// wrapping ErrCancelled without perturbing the executed prefix.
@@ -246,6 +258,11 @@ type WorkloadResult struct {
 // and a size from cfg.Dist, all from the loop's seeded RNG, so runs are fully
 // deterministic. Frame conservation is checked at the horizon.
 func RunWorkload(cfg WorkloadConfig) (*WorkloadResult, error) {
+	if cfg.Flow.Slab == nil {
+		// One slab per workload run; completed flows' rows are not recycled
+		// (they are few and small), matching the retained result objects.
+		cfg.Flow.Slab = tcp.NewSlab(256, 512)
+	}
 	cfg.fillDefaults()
 	racks := cfg.Scenario.Racks
 	if racks == 0 {
@@ -282,6 +299,7 @@ func RunWorkload(cfg WorkloadConfig) (*WorkloadResult, error) {
 	ncfg.VOQCap = cfg.Scenario.VOQCap
 	ncfg.MarkThresh = cfg.MarkThresh
 	ncfg.DisableFramePool = cfg.DisableFramePool
+	ncfg.DisableBatchDelivery = cfg.DisableBatchDelivery
 	if cfg.Notify != nil {
 		ncfg.Notify = *cfg.Notify
 	}

@@ -52,11 +52,36 @@ func Box(i int) any {
 	return i
 }
 `,
+	// batch.go mirrors the shape of the real per-(host,TDN) batch-delivery
+	// hot path (a value-struct frame slice walked in one call): the frame
+	// stays a stack value through the loop, but storing it into an interface
+	// field boxes a copy per frame — exactly the regression the annotation on
+	// the real batch functions exists to catch.
+	"hot/batch.go": `package hot
+
+type Frame struct {
+	Src, Dst, Len int
+	Payload       []byte
+}
+
+type Sink struct{ Last any }
+
+//lint:hotpath deliberately regressed: boxing a frame per batch entry
+func DeliverBatch(s *Sink, fs []Frame, tdn int) int {
+	n := 0
+	for _, f := range fs {
+		n += f.Len
+		s.Last = f
+	}
+	return n
+}
+`,
 }
 
 // TestHotPathModule runs the hotpath check against a real throwaway module:
-// the allocating function must produce a finding attributed to it, the clean
-// one must not.
+// each deliberately regressed function — scalar boxing in Box, per-frame
+// boxing inside the batch-delivery-shaped DeliverBatch loop — must produce a
+// finding attributed to it; the clean function must not.
 func TestHotPathModule(t *testing.T) {
 	dir := t.TempDir()
 	for path, content := range hotModFiles {
@@ -74,14 +99,25 @@ func TestHotPathModule(t *testing.T) {
 	}
 	diags := Run(prog, selectChecks(t, "hotpath"))
 	if len(diags) == 0 {
-		t.Fatal("regressed hot function produced no finding")
+		t.Fatal("regressed hot functions produced no finding")
 	}
+	hit := map[string]bool{}
 	for _, d := range diags {
-		if !strings.Contains(d.Message, "Box") {
-			t.Errorf("finding outside the regressed function: %s", d)
+		switch {
+		case strings.Contains(d.Message, "Box"):
+			hit["Box"] = true
+		case strings.Contains(d.Message, "DeliverBatch"):
+			hit["DeliverBatch"] = true
+		default:
+			t.Errorf("finding outside the regressed functions: %s", d)
 		}
 		if d.Check != "hotpath" {
 			t.Errorf("finding under wrong check: %s", d)
+		}
+	}
+	for _, want := range []string{"Box", "DeliverBatch"} {
+		if !hit[want] {
+			t.Errorf("regressed function %s produced no finding", want)
 		}
 	}
 }

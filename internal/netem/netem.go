@@ -35,16 +35,30 @@ type Frame struct {
 // be switched off wholesale (e.g. for golden-trace A/B tests) without
 // branching at every call site.
 type BufPool struct {
-	free [][]byte
+	free  [][]byte
+	block []byte // carve-out backing for fresh buffers, bufClass at a time
 
 	gets, puts, misses uint64
 }
 
+// bufClass is the uniform minimum capacity of pooled buffers. Header lengths
+// vary by a few tens of bytes (a SACK-bearing ACK outgrows a data header), and
+// a pool holding mixed sizes keeps discarding the small ones on lookup — an
+// allocation-churn treadmill where ACK and data buffers evict each other
+// forever. Rounding every request up to one class makes any recycled buffer
+// satisfy any request, so a warmed-up pool never allocates again.
+const bufClass = 128
+
 // Get returns a zero-length buffer with capacity at least capHint, reusing a
 // recycled buffer when one fits. On a nil pool it simply allocates.
+//
+//lint:hotpath runs once per serialized frame
 func (p *BufPool) Get(capHint int) []byte {
+	if capHint < bufClass {
+		capHint = bufClass
+	}
 	if p == nil {
-		return make([]byte, 0, capHint)
+		return allocBuf(capHint)
 	}
 	p.gets++
 	for n := len(p.free); n > 0; n = len(p.free) {
@@ -54,10 +68,40 @@ func (p *BufPool) Get(capHint int) []byte {
 		if cap(b) >= capHint {
 			return b[:0]
 		}
-		// Undersized stragglers (rare: header lengths are near-uniform)
+		// Undersized stragglers (jumbo option stacks past bufClass, rare)
 		// are discarded rather than left to clog the free list.
 	}
 	p.misses++
+	if capHint == bufClass {
+		// Carve class-sized buffers from a shared block: the pool's working
+		// set ramps up in a few contiguous allocations (cache-friendly, cheap
+		// on the GC) instead of one object per buffer.
+		if len(p.block) < bufClass {
+			p.refillBlock()
+		}
+		b := p.block[:0:bufClass]
+		p.block = p.block[bufClass:]
+		return b
+	}
+	return allocBuf(capHint)
+}
+
+// refillBlock restocks the carving block, 64 buffer classes at a time. This
+// is Get's amortized cold path, kept in its own non-inlined function so the
+// //lint:hotpath contract on Get holds: allocations are charged to the
+// callee, and a steady-state (warmed-up) pool never comes here.
+//
+//go:noinline
+func (p *BufPool) refillBlock() {
+	p.block = make([]byte, 64*bufClass)
+}
+
+// allocBuf is the pool-miss fallback for nil pools and oversized requests
+// (jumbo option stacks past bufClass, rare). Out-of-line for the same
+// reason as refillBlock.
+//
+//go:noinline
+func allocBuf(capHint int) []byte {
 	return make([]byte, 0, capHint)
 }
 
@@ -132,6 +176,92 @@ func (f Frame) MarkCE() {
 // Sink consumes frames that exit a network element.
 type Sink func(Frame)
 
+// pending is one frame waiting out its propagation delay in a delayLine.
+type pending struct {
+	f   Frame
+	due sim.Time
+	tdn int
+}
+
+// delayLine coalesces a link's propagation-delay stage. The legacy path arms
+// one loop event per frame in flight, so the event heap holds an entry for
+// every frame crossing the fabric; the delayLine instead keeps a due-ordered
+// ring served by a single re-armed timer, shrinking the heap to one entry per
+// link and handing every frame whose delay expires at the same instant
+// downstream in one batch. Entries stay in (due, insertion) order: dues are
+// nondecreasing while one path is active and only invert across a path change
+// or an injected extra delay, so the backward scan in add is almost always a
+// no-op and delivery order matches the legacy frame-at-a-time schedule.
+type delayLine struct {
+	loop *sim.Loop
+	sink func(batch []pending)
+
+	q      []pending
+	head   int
+	timer  sim.Timer
+	fireFn func()
+	out    []pending // scratch batch, reused across fires
+}
+
+func (dl *delayLine) init(loop *sim.Loop, sink func([]pending)) {
+	dl.loop = loop
+	dl.sink = sink
+	dl.fireFn = dl.fire
+}
+
+func (dl *delayLine) len() int { return len(dl.q) - dl.head }
+
+// add inserts a frame due delay from now, keeping the ring due-ordered
+// (stable: equal dues keep insertion order) and the timer armed at the head
+// due. The timer is only re-armed when the head due moves earlier.
+//
+//lint:hotpath runs once per frame entering the propagation-delay stage
+func (dl *delayLine) add(f Frame, delay sim.Dur, tdn int) {
+	due := dl.loop.Now().Add(delay)
+	dl.q = append(dl.q, pending{f: f, due: due, tdn: tdn})
+	for i := len(dl.q) - 1; i > dl.head && dl.q[i-1].due > due; i-- {
+		dl.q[i], dl.q[i-1] = dl.q[i-1], dl.q[i]
+	}
+	headDue := dl.q[dl.head].due
+	if dl.timer.Active() {
+		if dl.timer.When() <= headDue {
+			return
+		}
+		dl.timer.Stop()
+	}
+	dl.timer = dl.loop.At(headDue, dl.fireFn)
+}
+
+// fire copies every entry whose due has arrived into the scratch batch, in
+// (due, insertion) order, re-arms for the next head, and hands the batch to
+// the sink. Copying out first means downstream code that synchronously sends
+// new frames can never alias the ring.
+//
+//lint:hotpath runs once per distinct delivery instant
+func (dl *delayLine) fire() {
+	now := dl.loop.Now()
+	out := dl.out[:0]
+	for dl.head < len(dl.q) && dl.q[dl.head].due <= now {
+		out = append(out, dl.q[dl.head])
+		dl.head++
+	}
+	if dl.head*2 >= len(dl.q) {
+		dl.q = dl.q[:copy(dl.q, dl.q[dl.head:])]
+		dl.head = 0
+	}
+	if dl.head < len(dl.q) {
+		dl.timer = dl.loop.At(dl.q[dl.head].due, dl.fireFn)
+	}
+	// Drained ring slots and the scratch batch are NOT zeroed: the stale
+	// Frame references they hold are dead weight until the next add/fire
+	// overwrites them (bounded by the ring capacity), and skipping the
+	// clears keeps GC write barriers out of the per-instant path.
+	dl.out = out
+	if len(out) > 0 {
+		dl.sink(out)
+	}
+}
+
 // FrameFate is a fault-injection verdict for one frame about to leave a
 // Pipe: the frame may be dropped, have a byte corrupted in place (so the
 // receiver's checksum validation discards it, as on a real NIC), and/or be
@@ -172,6 +302,11 @@ type Pipe struct {
 	// hook drops — the only point where a frame dies inside the pipe.
 	Pool *BufPool
 
+	// Coalesce routes the propagation-delay stage through a single re-armed
+	// timer (see delayLine) instead of one loop event per frame. rdcn turns
+	// this on unless Config.DisableBatchDelivery asks for the legacy path.
+	Coalesce bool
+
 	q    []Frame
 	head int
 	busy bool
@@ -184,6 +319,7 @@ type Pipe struct {
 	cur          Frame
 	serializedFn func()
 	deliveryFree []*pipeDelivery
+	line         delayLine
 
 	propagating int    // frames in the propagation-delay stage
 	faultDrops  uint64 // frames killed by the Fault hook
@@ -248,11 +384,27 @@ func (p *Pipe) serialized() {
 		f.Release(p.Pool)
 	} else {
 		p.propagating++
-		d := p.getDelivery()
-		d.f = f
-		p.Loop.After(delay, d.fn)
+		if p.Coalesce {
+			if p.line.fireFn == nil {
+				p.line.init(p.Loop, p.lineSink)
+			}
+			p.line.add(f, delay, 0)
+		} else {
+			d := p.getDelivery()
+			d.f = f
+			p.Loop.After(delay, d.fn)
+		}
 	}
 	p.kick()
+}
+
+// lineSink delivers a coalesced batch of frames whose propagation delay
+// expired at one instant, in due order.
+func (p *Pipe) lineSink(batch []pending) {
+	for i := range batch {
+		p.propagating--
+		p.Out(batch[i].f)
+	}
 }
 
 // InFlight reports every frame currently inside the pipe: queued, being
@@ -472,15 +624,30 @@ type Drainer struct {
 	Path PathFunc
 	Out  Sink
 
+	// OutBatch, when non-nil and Coalesce is set, receives every frame whose
+	// propagation delay expired at the same instant and that crossed the
+	// same TDN, in delivery order, in one call — the batched alternative to
+	// the per-frame Out sink. Frames are grouped into maximal consecutive
+	// same-TDN runs, so a batch never mixes networks and never reorders
+	// relative to the frame-at-a-time schedule.
+	OutBatch func(fs []Frame, tdn int)
+
+	// Coalesce routes the propagation-delay stage through a single re-armed
+	// timer (see delayLine) instead of one loop event per frame.
+	Coalesce bool
+
 	busy bool
 
 	// Same state-machine shape as Pipe: one frame serializes at a time
 	// (cur, curDelay, one bound serializedFn), while propagation-delay
-	// deliveries overlap on free-listed cells.
+	// deliveries overlap on free-listed cells (legacy) or in the delayLine.
 	cur          Frame
 	curDelay     sim.Dur
+	curTDN       int
 	serializedFn func()
 	deliveryFree []*drainDelivery
+	line         delayLine
+	batchScratch []Frame
 
 	propagating int // frames in the propagation-delay stage
 }
@@ -516,6 +683,7 @@ func (d *Drainer) Kick() {
 	d.busy = true
 	d.cur = f
 	d.curDelay = path.Delay
+	d.curTDN = path.TDN
 	if d.serializedFn == nil {
 		d.serializedFn = d.serialized
 	}
@@ -529,10 +697,44 @@ func (d *Drainer) serialized() {
 	d.cur = Frame{}
 	d.busy = false
 	d.propagating++
-	dd := d.getDelivery()
-	dd.f = f
-	d.Loop.After(d.curDelay, dd.fn)
+	if d.Coalesce {
+		if d.line.fireFn == nil {
+			d.line.init(d.Loop, d.lineSink)
+		}
+		d.line.add(f, d.curDelay, d.curTDN)
+	} else {
+		dd := d.getDelivery()
+		dd.f = f
+		d.Loop.After(d.curDelay, dd.fn)
+	}
 	d.Kick()
+}
+
+// lineSink hands a coalesced delivery batch downstream: maximal consecutive
+// same-TDN runs go to OutBatch in one call each (runs are never merged across
+// an intervening frame, so due order is preserved exactly), or frame-by-frame
+// to Out when no batch sink is wired.
+func (d *Drainer) lineSink(batch []pending) {
+	for i := 0; i < len(batch); {
+		j := i + 1
+		for j < len(batch) && batch[j].tdn == batch[i].tdn {
+			j++
+		}
+		d.propagating -= j - i
+		if d.OutBatch != nil {
+			fs := d.batchScratch[:0]
+			for k := i; k < j; k++ {
+				fs = append(fs, batch[k].f)
+			}
+			d.batchScratch = fs
+			d.OutBatch(fs, batch[i].tdn)
+		} else {
+			for k := i; k < j; k++ {
+				d.Out(batch[k].f)
+			}
+		}
+		i = j
+	}
 }
 
 // InFlight reports every frame currently owned by the drainer: being

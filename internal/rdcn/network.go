@@ -94,6 +94,16 @@ type Config struct {
 	// exists for that A/B check and for debugging suspected aliasing.
 	DisableFramePool bool
 
+	// DisableBatchDelivery reverts the fabric to the legacy frame-at-a-time
+	// delivery path: one loop event per frame in the propagation-delay
+	// stage and one Recv upcall per frame. The default (batched) path
+	// coalesces each link's delay stage behind a single re-armed timer and
+	// hands same-instant same-(host,TDN) frames to RecvBatch in one call.
+	// Both paths must produce identical protocol-visible traces (the
+	// batch-delivery A/B tests enforce this); the knob exists for that
+	// check and for debugging suspected ordering drift.
+	DisableBatchDelivery bool
+
 	// PinnedVOQs gives each rack one VOQ per TDN, each draining only
 	// during its own TDN's days. This models MPTCP subflow pinning: a
 	// subflow's packets wait at the ToR until their network is active.
@@ -151,6 +161,13 @@ type Host struct {
 
 	// Recv receives every data/ACK frame addressed to this host.
 	Recv func(netem.Frame)
+	// RecvBatch, when non-nil, receives every frame addressed to this host
+	// whose fabric propagation delay expired at the same simulated instant
+	// over the same TDN, in delivery order, in one call. Hosts without a
+	// batch hook get the same frames as one Recv call each. The wire
+	// buffers are reclaimed when RecvBatch returns, so hooks must parse
+	// (Parse copies) rather than retain.
+	RecvBatch func(fs []netem.Frame, tdn int)
 	// NotifyTDN receives the parsed ICMP TDN-change notification.
 	NotifyTDN func(tdn int, epoch uint32)
 	// NotifyPreChange, if set, receives the retcpdyn advance circuit-up
@@ -259,6 +276,19 @@ type Network struct {
 	// (0 during nights); epochTDN labels it for the closing record.
 	epochSpan trace.SpanID
 	epochTDN  int
+
+	// Notification fan-out scratch, reused across transitions so the
+	// steady-state control plane allocates nothing: one serialization
+	// segment, one parse segment for deliveries, a scratch wire per host
+	// (see notifyWire for the recycling-horizon argument), and a free list
+	// of delivery cells standing in for per-delivery closures.
+	notifySeg   packet.Segment
+	notifyParse packet.Segment
+	notifyWires [][]byte
+	notifyFree  []*notifyCell
+
+	// transitionFn is the slot-boundary callback, bound once.
+	transitionFn func()
 }
 
 // SetTracer attaches a tracer to the network's control plane (CatRDCN
@@ -360,15 +390,20 @@ func New(loop *sim.Loop, cfg Config) (*Network, error) {
 				Path: pf,
 				Out:  func(f netem.Frame) { n.deliver(dst, f) },
 			}
+			if !cfg.DisableBatchDelivery {
+				d.Coalesce = true
+				d.OutBatch = func(fs []netem.Frame, tdn int) { n.deliverBatch(dst, fs, tdn) }
+			}
 			rack.voqs = append(rack.voqs, voq)
 			rack.drainers = append(rack.drainers, d)
 		}
 		rack.uplink = &netem.Pipe{
-			Loop:  loop,
-			Rate:  cfg.HostRate,
-			Delay: cfg.HostDelay,
-			Out:   func(f netem.Frame) { rack.ingress(f) },
-			Pool:  n.pool,
+			Loop:     loop,
+			Rate:     cfg.HostRate,
+			Delay:    cfg.HostDelay,
+			Out:      func(f netem.Frame) { rack.ingress(f) },
+			Pool:     n.pool,
+			Coalesce: !cfg.DisableBatchDelivery,
 		}
 		for h := 0; h < cfg.HostsPerRack; h++ {
 			rack.Hosts = append(rack.Hosts, &Host{Rack: rack, ID: h, Addr: HostAddr(r, h)})
@@ -479,25 +514,69 @@ func (r *Rack) ingress(f netem.Frame) {
 // goes back to the pool, so Recv hooks must parse (Parse copies) rather than
 // retain the wire.
 func (n *Network) deliver(dst int, f netem.Frame) {
-	if len(f.Wire) < 20 {
-		n.misrouted++
-		f.Release(n.pool)
-		return
-	}
-	addr := binary.BigEndian.Uint32(f.Wire[16:20])
-	id := int(addr & 0xFFFF)
 	rack := n.Racks[dst]
-	if int(addr>>16&0xFF) != rack.ID || id >= len(rack.Hosts) {
+	h := n.hostIn(rack, f)
+	if h == nil {
 		n.misrouted++
 		f.Release(n.pool) // misrouted; drop
 		return
 	}
 	n.delivered++
-	h := rack.Hosts[id]
 	if h.Recv != nil {
 		h.Recv(f)
 	}
 	f.Release(n.pool)
+}
+
+// hostIn resolves a frame's destination host within rack by its IPv4
+// destination address, or nil when the frame is misrouted.
+//
+//lint:hotpath runs once per delivered frame
+func (n *Network) hostIn(rack *Rack, f netem.Frame) *Host {
+	if len(f.Wire) < 20 {
+		return nil
+	}
+	addr := binary.BigEndian.Uint32(f.Wire[16:20])
+	id := int(addr & 0xFFFF)
+	if int(addr>>16&0xFF) != rack.ID || id >= len(rack.Hosts) {
+		return nil
+	}
+	return rack.Hosts[id]
+}
+
+// deliverBatch is deliver for a whole same-TDN delivery batch: maximal runs
+// of consecutive frames addressed to the same host go to its RecvBatch hook
+// in one call (falling back to per-frame Recv), with per-frame order, ledger
+// accounting, and buffer reclamation identical to the unbatched path.
+//
+//lint:hotpath runs once per (host, TDN) delivery batch
+func (n *Network) deliverBatch(dst int, fs []netem.Frame, tdn int) {
+	rack := n.Racks[dst]
+	for i := 0; i < len(fs); {
+		h := n.hostIn(rack, fs[i])
+		if h == nil {
+			n.misrouted++
+			fs[i].Release(n.pool)
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(fs) && n.hostIn(rack, fs[j]) == h {
+			j++
+		}
+		n.delivered += uint64(j - i)
+		if h.RecvBatch != nil {
+			h.RecvBatch(fs[i:j], tdn)
+		} else if h.Recv != nil {
+			for k := i; k < j; k++ {
+				h.Recv(fs[k])
+			}
+		}
+		for k := i; k < j; k++ {
+			fs[k].Release(n.pool)
+		}
+		i = j
+	}
 }
 
 // Start schedules the RDCN control plane (schedule transitions, VOQ
@@ -514,42 +593,48 @@ func (n *Network) Start(until sim.Time) {
 
 // scheduleTransition arms the control-plane event for the slot boundary at
 // time t (t=0 is the initial day start) and, transitively, all following
-// ones until stopAt.
+// ones until stopAt. The callback is bound once and reused for every slot.
 func (n *Network) scheduleTransition(t sim.Time) {
 	if t >= n.stopAt {
 		return
 	}
-	n.Loop.At(t, func() {
-		now := n.Loop.Now()
-		tdn, ok, slotEnd := n.Cfg.Schedule.At(now)
-		n.epoch++
-		n.KickAll()
-		if n.epochSpan != 0 {
-			// Close the previous day's occupancy span; A carries the epoch
-			// counter that opened it.
-			n.tracer.EndSpan(trace.CatRDCN, int64(now), "epoch", -1, n.epochTDN, n.epochSpan, float64(n.epoch-1), 0)
-			n.epochSpan = 0
+	if n.transitionFn == nil {
+		n.transitionFn = n.transition
+	}
+	n.Loop.At(t, n.transitionFn)
+}
+
+// transition is the control-plane event at every slot boundary.
+func (n *Network) transition() {
+	now := n.Loop.Now()
+	tdn, ok, slotEnd := n.Cfg.Schedule.At(now)
+	n.epoch++
+	n.KickAll()
+	if n.epochSpan != 0 {
+		// Close the previous day's occupancy span; A carries the epoch
+		// counter that opened it.
+		n.tracer.EndSpan(trace.CatRDCN, int64(now), "epoch", -1, n.epochTDN, n.epochSpan, float64(n.epoch-1), 0)
+		n.epochSpan = 0
+	}
+	if ok {
+		n.emit("day", tdn, float64(n.epoch), float64(slotEnd.Sub(now)))
+		n.epochSpan = n.tracer.BeginSpan(trace.CatRDCN, int64(now), "epoch", -1, tdn, 0)
+		n.epochTDN = tdn
+		if n.OnTransition != nil {
+			n.OnTransition(tdn)
 		}
-		if ok {
-			n.emit("day", tdn, float64(n.epoch), float64(slotEnd.Sub(now)))
-			n.epochSpan = n.tracer.BeginSpan(trace.CatRDCN, int64(now), "epoch", -1, tdn, 0)
-			n.epochTDN = tdn
-			if n.OnTransition != nil {
-				n.OnTransition(tdn)
-			}
-			n.notifyAll(tdn, n.epoch)
-			if pc := n.Cfg.PreChange; pc != nil && tdn == pc.TDN {
-				// Ensure the enlarged VOQ (idempotent if the lead-time resize
-				// already happened) and restore the base size at day end.
-				n.setVOQCaps(pc.Cap)
-				n.Loop.At(slotEnd, func() { n.setVOQCaps(n.baseVOQ) })
-			}
-		} else {
-			n.emit("night", -1, float64(n.epoch), float64(slotEnd.Sub(now)))
+		n.notifyAll(tdn, n.epoch)
+		if pc := n.Cfg.PreChange; pc != nil && tdn == pc.TDN {
+			// Ensure the enlarged VOQ (idempotent if the lead-time resize
+			// already happened) and restore the base size at day end.
+			n.setVOQCaps(pc.Cap)
+			n.Loop.At(slotEnd, func() { n.setVOQCaps(n.baseVOQ) })
 		}
-		n.armPreChange(now, slotEnd)
-		n.scheduleTransition(slotEnd)
-	})
+	} else {
+		n.emit("night", -1, float64(n.epoch), float64(slotEnd.Sub(now)))
+	}
+	n.armPreChange(now, slotEnd)
+	n.scheduleTransition(slotEnd)
 }
 
 // armPreChange schedules the retcpdyn advance actions (VOQ resize + advance
@@ -633,10 +718,16 @@ func (n *Network) CheckInvariants() error {
 
 // notifyAll emits the ICMP TDN-change notification to every host, modelling
 // the configured NotifyProfile. The notification is a real serialized ICMP
-// packet parsed by the host, per Figure 5a.
+// packet parsed by the host, per Figure 5a. Each host's wire is serialized
+// into a per-network scratch buffer reused across transitions — a delivery
+// parses the wire at its own instant and the last parse of a buffer happens
+// before the next transition can rewrite it (Net latencies are far below a
+// slot), except when a dup fault stretches a stale copy past the next
+// transition, in which case that delivery gets a private wire.
 func (n *Network) notifyAll(tdn int, epoch uint32) {
 	prof := n.Cfg.Notify
 	n.emit("notify", tdn, float64(epoch), float64(len(n.Racks)*n.Cfg.HostsPerRack))
+	n.notifyWires = n.notifyWires[:0]
 	for _, rack := range n.Racks {
 		for i, h := range rack.Hosts {
 			d := prof.Gen + sim.Dur(i)*prof.Stagger + prof.Net
@@ -647,20 +738,51 @@ func (n *Network) notifyAll(tdn int, epoch uint32) {
 			if nf := n.Cfg.NotifyFault; nf != nil {
 				fate = nf(rack.ID, i, tdn, epoch)
 			}
-			seg := &packet.Segment{
+			seg := &n.notifySeg
+			*seg = packet.Segment{
 				Src: HostAddr(rack.ID, 0xFFFF), Dst: h.Addr, TTL: 1,
 				Proto: packet.ProtoICMP,
 				ICMP:  packet.TDNNotification{ActiveTDN: uint8(tdn), Epoch: epoch},
 			}
-			f := netem.NewFrame(n.Loop, seg)
+			wire := seg.Serialize(n.notifyWire(seg.HeaderLen()))
 			if !fate.Drop {
-				n.deliverNotify(h, f.Wire, d+fate.Extra, n.beginNotifySpan(tdn, epoch))
+				w := wire
+				if fate.Extra != 0 {
+					// A fault-delayed delivery may outlive the scratch pool's
+					// recycling horizon (the next day transition); it gets a
+					// private wire. Faults are rare, so this never allocates
+					// on the fault-free hot path.
+					w = append([]byte(nil), wire...)
+				}
+				n.deliverNotify(h, w, d+fate.Extra, n.beginNotifySpan(tdn, epoch))
 			}
 			if fate.Dup {
-				n.deliverNotify(h, f.Wire, d+fate.DupExtra, n.beginNotifySpan(tdn, epoch))
+				// The stale copy carries the same bytes as the original, like
+				// a genuinely duplicated packet, but owns a private wire for
+				// the same recycling-horizon reason.
+				n.deliverNotify(h, append([]byte(nil), wire...), d+fate.DupExtra, n.beginNotifySpan(tdn, epoch))
 			}
 		}
 	}
+}
+
+// notifyWire returns this transition's next scratch wire buffer from the
+// per-network pool (steady state allocates nothing). Buffers are recycled at
+// the NEXT notifyAll, which only happens at a later day transition — at
+// least a day plus a night after this one — while fault-free deliveries
+// complete within the notification profile's latency, far inside that window,
+// so a recycled buffer can never be rewritten before its last parse.
+func (n *Network) notifyWire(capHint int) []byte {
+	if len(n.notifyWires) == cap(n.notifyWires) {
+		n.notifyWires = append(n.notifyWires, nil)
+	} else {
+		n.notifyWires = n.notifyWires[:len(n.notifyWires)+1]
+	}
+	i := len(n.notifyWires) - 1
+	if cap(n.notifyWires[i]) < capHint {
+		n.notifyWires[i] = make([]byte, 0, capHint)
+	}
+	return n.notifyWires[i][:0]
 }
 
 // beginNotifySpan opens one per-delivery "notify" span, parented on the
@@ -672,22 +794,53 @@ func (n *Network) beginNotifySpan(tdn int, epoch uint32) trace.SpanID {
 	return n.tracer.BeginSpan(trace.CatRDCN, int64(n.Loop.Now()), "notify", -1, tdn, n.epochSpan)
 }
 
+// notifyCell carries one scheduled ICMP notification delivery, standing in
+// for a per-delivery closure: cells are recycled through Network.notifyFree
+// with their callback bound exactly once, so the steady-state notification
+// fan-out allocates nothing.
+type notifyCell struct {
+	n    *Network
+	h    *Host
+	wire []byte
+	d    sim.Dur
+	sp   trace.SpanID
+	fn   func()
+}
+
 // deliverNotify schedules one ICMP notification delivery d from now, closing
 // span sp at the delivery instant and exposing it as the implicit parent of
 // whatever the host does in response (the TDTCP cwnd swap parents onto it).
 func (n *Network) deliverNotify(h *Host, wire []byte, d sim.Dur, sp trace.SpanID) {
-	n.Loop.After(d, func() {
-		var s packet.Segment
-		if err := packet.Parse(wire, &s); err != nil || h.NotifyTDN == nil {
-			return
-		}
-		now := n.Loop.Now()
-		n.tracer.EndSpan(trace.CatRDCN, int64(now), "notify", -1, int(s.ICMP.ActiveTDN), sp, float64(s.ICMP.Epoch), float64(d))
-		n.NotifyLat.Record(int64(d))
-		n.tracer.PushParent(sp)
-		h.NotifyTDN(int(s.ICMP.ActiveTDN), s.ICMP.Epoch)
-		n.tracer.PopParent()
-	})
+	var c *notifyCell
+	if k := len(n.notifyFree); k > 0 {
+		c = n.notifyFree[k-1]
+		n.notifyFree[k-1] = nil
+		n.notifyFree = n.notifyFree[:k-1]
+	} else {
+		c = &notifyCell{n: n}
+		c.fn = c.fire
+	}
+	c.h, c.wire, c.d, c.sp = h, wire, d, sp
+	n.Loop.After(d, c.fn)
+}
+
+// fire parses and delivers one notification, then recycles the cell.
+//
+//lint:hotpath runs once per host per schedule transition
+func (c *notifyCell) fire() {
+	n, h, wire, d, sp := c.n, c.h, c.wire, c.d, c.sp
+	c.h, c.wire = nil, nil
+	n.notifyFree = append(n.notifyFree, c)
+	s := &n.notifyParse
+	if err := packet.Parse(wire, s); err != nil || h.NotifyTDN == nil {
+		return
+	}
+	now := n.Loop.Now()
+	n.tracer.EndSpan(trace.CatRDCN, int64(now), "notify", -1, int(s.ICMP.ActiveTDN), sp, float64(s.ICMP.Epoch), float64(d))
+	n.NotifyLat.Record(int64(d))
+	n.tracer.PushParent(sp)
+	h.NotifyTDN(int(s.ICMP.ActiveTDN), s.ICMP.Epoch)
+	n.tracer.PopParent()
 }
 
 // ActiveTDN reports the TDN active right now (ok=false during a night).

@@ -51,12 +51,13 @@ func (c *Conn) handleSYN(s *packet.Segment) {
 	h := &s.TCP
 	c.RemoteAddr, c.RemotePort = s.Src, h.SrcPort
 	c.irs = h.Seq
-	c.rcvNxt = h.Seq + 1
+	c.setRcvNxt(h.Seq + 1)
 	c.peerTD = h.TDCapable
 	c.peerTDNs = int(h.NumTDNs)
 	c.tdEnabled = c.negotiateTD()
 	c.iss = c.Loop.Rand().Uint32()
-	c.sndUna, c.sndNxt = c.iss, c.iss
+	c.setSndUna(c.iss)
+	c.setSndNxt(c.iss)
 	c.highestSacked = c.iss
 	c.peerWnd = h.Window
 	c.state = stSynRcvd
@@ -69,7 +70,7 @@ func (c *Conn) handleSYNACK(s *packet.Segment) {
 		return
 	}
 	c.irs = h.Seq
-	c.rcvNxt = h.Seq + 1
+	c.setRcvNxt(h.Seq + 1)
 	c.peerTD = h.TDCapable
 	c.peerTDNs = int(h.NumTDNs)
 	c.tdEnabled = c.negotiateTD()
@@ -92,12 +93,13 @@ func (c *Conn) completeHandshakeAck(s *packet.Segment) {
 	now := c.Loop.Now()
 	c.rtx.popAcked(c.iss+1, func(seg *TxSeg) {
 		st := c.states[seg.TDN]
-		st.PacketsOut--
+		st.AddPacketsOut(-1)
 		if !seg.EverRetrans {
 			st.ObserveRTT(now.Sub(seg.SentAt), c.cfg.MinRTO, c.cfg.MaxRTO)
 		}
+		c.putTxSeg(seg)
 	})
-	c.sndUna = c.iss + 1
+	c.setSndUna(c.iss + 1)
 	c.backoff = 0
 	c.armTimer()
 }
@@ -125,7 +127,7 @@ func (c *Conn) processAck(s *packet.Segment) {
 	h := &s.TCP
 	now := c.Loop.Now()
 	ack := h.Ack
-	if seqGT(ack, c.sndNxt) {
+	if seqGT(ack, c.sndNxt()) {
 		return // acks data never sent
 	}
 	c.peerWnd = h.Window
@@ -136,9 +138,16 @@ func (c *Conn) processAck(s *packet.Segment) {
 	}
 	ackTDN := ackTDNOf(h)
 
-	delivered := make([]int, len(c.states)) // newly delivered per TDN state
+	delivered := c.delivered // newly delivered per TDN state (scratch)
+	for i := range delivered {
+		delivered[i] = 0
+	}
 	newlySacked := 0
-	var rttCand *TxSeg // freshest newly-delivered, never-retransmitted segment
+	// rttCand holds a copy of the freshest newly-delivered,
+	// never-retransmitted segment (a value, not a pointer: the segment may be
+	// recycled by popAcked before the sample is consumed).
+	var rttCand TxSeg
+	rttCandOK := false
 
 	// --- SACK / D-SACK ---------------------------------------------------
 	dsacked := false
@@ -152,32 +161,29 @@ func (c *Conn) processAck(s *packet.Segment) {
 			dsacked = true
 			continue
 		}
-		c.rtx.forEach(func(seg *TxSeg) bool {
-			if seqGEQ(seg.Seq, blk.End) {
-				return true // later blocks may still match; keep walking
-			}
-			if seqLT(seg.Seq, blk.Start) || seqGT(seg.End(), blk.End) {
-				return true
+		c.rtx.forRange(blk.Start, blk.End, func(seg *TxSeg) bool {
+			if seqGT(seg.End(), blk.End) {
+				return true // partially covered tail segment
 			}
 			if !seg.Sacked {
 				st := c.states[seg.TDN]
 				seg.Sacked = true
-				st.SackedOut++
+				st.AddSackedOut(1)
 				if seg.Lost {
 					seg.Lost = false
-					st.LostOut--
+					st.AddLostOut(-1)
 				}
 				if seg.Retrans {
 					seg.Retrans = false
-					st.RetransOut--
+					st.AddRetransOut(-1)
 				}
 				newlySacked++
 				delivered[seg.TDN]++
 				c.rackAdvance(seg)
 				c.highestSacked = seqMax(c.highestSacked, seg.End())
-				if !seg.EverRetrans && (rttCand == nil || seg.SentAt > rttCand.SentAt) {
-					cand := *seg
-					rttCand = &cand // sample at SACK time (Linux sack_rtt_us)
+				if !seg.EverRetrans && (!rttCandOK || seg.SentAt > rttCand.SentAt) {
+					rttCand = *seg // sample at SACK time (Linux sack_rtt_us)
+					rttCandOK = true
 				}
 			}
 			return true
@@ -192,45 +198,47 @@ func (c *Conn) processAck(s *packet.Segment) {
 	}
 
 	// --- cumulative advance ----------------------------------------------
-	advanced := seqGT(ack, c.sndUna)
+	advanced := seqGT(ack, c.sndUna())
 	if advanced {
 		c.rtx.popAcked(ack, func(seg *TxSeg) {
 			st := c.states[seg.TDN]
-			st.PacketsOut--
+			st.AddPacketsOut(-1)
 			if seg.Sacked {
 				// Delivered (and RTT-sampled) when it was SACKed; its ACK
 				// time now reflects hole repair, not path latency.
-				st.SackedOut--
+				st.AddSackedOut(-1)
 			} else {
 				delivered[seg.TDN]++
 				c.rackAdvance(seg)
-				if !seg.EverRetrans && (rttCand == nil || seg.SentAt > rttCand.SentAt) {
-					rttCand = seg
+				if !seg.EverRetrans && (!rttCandOK || seg.SentAt > rttCand.SentAt) {
+					rttCand = *seg
+					rttCandOK = true
 				}
 			}
 			if seg.Lost {
-				st.LostOut--
+				st.AddLostOut(-1)
 			}
 			if seg.Retrans {
-				st.RetransOut--
+				st.AddRetransOut(-1)
 			}
 			c.Stats.BytesAcked += int64(seg.Len)
+			c.putTxSeg(seg)
 		})
-		c.sndUna = ack
+		c.setSndUna(ack)
 		c.backoff = 0
 		c.tlpInFlight = false
-		if c.state == stFinWait && c.sndUna == c.sndNxt && c.rtx.empty() {
+		if c.state == stFinWait && c.sndUna() == c.sndNxt() && c.rtx.empty() {
 			c.state = stDone
 			if c.OnDone != nil {
 				c.OnDone(now)
 			}
 		}
-	} else if ack == c.sndUna && h.PayloadLen == 0 && newlySacked == 0 {
+	} else if ack == c.sndUna() && h.PayloadLen == 0 && newlySacked == 0 {
 		// Classic duplicate ACK.
 		if head := c.rtx.headSeg(); head != nil {
 			st := c.states[head.TDN]
-			st.DupAcks++
-			if st.DupAcks >= c.cfg.DupThresh && !head.Sacked && !head.Lost {
+			st.AddDupAcks(1)
+			if st.DupAcks() >= c.cfg.DupThresh && !head.Sacked && !head.Lost {
 				if c.policy.FilterLoss(head, ackTDN) {
 					c.Stats.FilteredMarks++
 					c.emit("loss_filtered", int(head.TDN), float64(c.RelSeq(head.Seq)), float64(tdnLabel(ackTDN)), "")
@@ -242,7 +250,7 @@ func (c *Conn) processAck(s *packet.Segment) {
 	}
 
 	// --- RTT sampling (Karn + §4.4 TDN matching) ---------------------------
-	if rttCand != nil {
+	if rttCandOK {
 		if idx, ok := c.policy.RTTTarget(rttCand.TDN, ackTDN); ok {
 			sample := now.Sub(rttCand.SentAt)
 			c.states[idx].ObserveRTT(sample, c.cfg.MinRTO, c.cfg.MaxRTO)
@@ -294,24 +302,24 @@ func (c *Conn) processAck(s *packet.Segment) {
 
 	// --- congestion-state transitions --------------------------------------
 	for _, st := range c.states {
-		from := st.CA
-		switch st.CA {
+		from := st.CA()
+		switch st.CA() {
 		case CARecovery, CALoss:
-			if advanced && seqGEQ(c.sndUna, st.RecoveryPoint) {
-				st.CA = CAOpen
-				st.DupAcks = 0
+			if advanced && seqGEQ(c.sndUna(), st.RecoveryPoint()) {
+				st.SetCA(CAOpen)
+				st.SetDupAcks(0)
 				st.undoPossible = false
 				st.CC.OnRecoveryExit(now)
 				c.endRecoverySpan(st, false)
 			}
 		case CAOpen:
-			if st.SackedOut > 0 {
-				st.CA = CADisorder
+			if st.SackedOut() > 0 {
+				st.SetCA(CADisorder)
 			}
 		case CADisorder:
-			if st.SackedOut == 0 && advanced {
-				st.CA = CAOpen
-				st.DupAcks = 0
+			if st.SackedOut() == 0 && advanced {
+				st.SetCA(CAOpen)
+				st.SetDupAcks(0)
 			}
 		}
 		c.emitCA(st, from)
@@ -332,19 +340,19 @@ func (c *Conn) processAck(s *packet.Segment) {
 			continue
 		}
 		st := c.states[tdn]
-		if st.CA == CARecovery {
+		if st.CA() == CARecovery {
 			continue // PRR governs fast recovery; growth resumes on exit
 		}
 		ev := cc.AckEvent{
 			Now:      now,
 			Acked:    n,
 			InFlight: st.InFlight(),
-			SRTT:     st.SRTT,
+			SRTT:     st.SRTT(),
 		}
 		if ece {
 			ev.ECEMarked = n
 		}
-		if rttCand != nil && rttCand.TDN == uint8(tdn) {
+		if rttCandOK && rttCand.TDN == uint8(tdn) {
 			ev.RTT = now.Sub(rttCand.SentAt)
 		}
 		st.CC.OnAck(ev)
@@ -361,17 +369,17 @@ func (c *Conn) markLost(seg *TxSeg, now sim.Time) {
 	}
 	st := c.states[seg.TDN]
 	seg.Lost = true
-	st.LostOut++
+	st.AddLostOut(1)
 	if seg.Retrans {
 		seg.Retrans = false
-		st.RetransOut--
+		st.AddRetransOut(-1)
 	}
 	c.Stats.LossMarks++
-	c.emit("loss_mark", int(seg.TDN), float64(c.RelSeq(seg.Seq)), float64(st.LostOut), "")
-	if st.CA == CAOpen || st.CA == CADisorder {
-		from := st.CA
-		st.CA = CARecovery
-		st.RecoveryPoint = c.sndNxt
+	c.emit("loss_mark", int(seg.TDN), float64(c.RelSeq(seg.Seq)), float64(st.LostOut()), "")
+	if st.CA() == CAOpen || st.CA() == CADisorder {
+		from := st.CA()
+		st.SetCA(CARecovery)
+		st.SetRecoveryPoint(c.sndNxt())
 		st.undoPossible = true
 		st.undoRetrans = 0
 		st.enterRecoveryPRR()
@@ -391,14 +399,14 @@ func (c *Conn) markLost(seg *TxSeg, now sim.Time) {
 // RACK-TLP — but with a reorder window widened to cover the cross-TDN ACK
 // delay (½RTT_own + ½RTT_slowest) instead of the same-path srtt/4.
 func (c *Conn) detectLosses(ackTDN uint8, now sim.Time) {
-	if seqLEQ(c.highestSacked, c.sndUna) {
+	if seqLEQ(c.highestSacked, c.sndUna()) {
 		return
 	}
 	thresh := uint32(c.cfg.DupThresh * c.cfg.MSS)
 	activeTDN := uint8(c.policy.Active())
 	var slowest *PathState
 	for _, st := range c.states {
-		if st.Samples > 0 && (slowest == nil || st.SRTT > slowest.SRTT) {
+		if st.Samples() > 0 && (slowest == nil || st.SRTT() > slowest.SRTT()) {
 			slowest = st
 		}
 	}
@@ -429,9 +437,9 @@ func (c *Conn) detectLosses(ackTDN uint8, now sim.Time) {
 			own := c.states[seg.TDN]
 			var reoWnd sim.Dur
 			if seg.TDN == activeTDN || slowest == nil {
-				reoWnd = own.SRTT / 4
+				reoWnd = own.SRTT() / 4
 			} else {
-				reoWnd = own.SRTT/2 + slowest.SRTT/2 + 4*slowest.RTTVar
+				reoWnd = own.SRTT()/2 + slowest.SRTT()/2 + 4*slowest.RTTVar()
 			}
 			if seg.SentAt.Add(reoWnd) < c.rackXmit {
 				c.markLost(seg, now)
@@ -464,10 +472,10 @@ func (c *Conn) onDSACK(now sim.Time) {
 			// proven spurious AND nothing is still presumed lost: a comb of
 			// genuine holes interleaved with spurious marks must not bounce
 			// the window back up mid-repair.
-			if st.undoRetrans == 0 && st.undoPossible && st.CA == CARecovery && st.LostOut == 0 {
+			if st.undoRetrans == 0 && st.undoPossible && st.CA() == CARecovery && st.LostOut() == 0 {
 				st.CC.Undo()
-				st.CA = CAOpen
-				st.DupAcks = 0
+				st.SetCA(CAOpen)
+				st.SetDupAcks(0)
 				st.undoPossible = false
 				c.Stats.Undos++
 				c.endRecoverySpan(st, true)

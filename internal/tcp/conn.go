@@ -50,6 +50,11 @@ type Config struct {
 	// RTT at the given gain instead of bursting (the §5.2 remedy for
 	// TDTCP's initial burst).
 	Pacing float64
+	// Slab, when non-nil, is the shared struct-of-arrays backing store for
+	// the connection's hot state (see slab.go). Connections of one
+	// experiment should share a slab so their columns interleave densely;
+	// when nil, NewConn creates a private one.
+	Slab *Slab
 }
 
 func (cfg *Config) fillDefaults() {
@@ -141,11 +146,20 @@ type Stats struct {
 type Conn struct {
 	Loop *sim.Loop
 	// Out transmits a segment toward the peer (typically rdcn.Host.Send).
+	// The segment is only valid for the duration of the call: the connection
+	// reuses its backing storage for the next transmission. Implementations
+	// that retain it (delay queues, subflow gates) must Clone it first.
 	Out func(*packet.Segment)
 
 	cfg    Config
 	policy Policy
 	states []*PathState
+
+	// Slab row ids: idx indexes the per-connection columns, pathBase the
+	// first of NumStates contiguous per-path rows (see slab.go).
+	slab     *Slab
+	idx      int32
+	pathBase int32
 
 	LocalAddr, RemoteAddr uint32
 	LocalPort, RemotePort uint16
@@ -153,14 +167,15 @@ type Conn struct {
 	state     connState
 	tdEnabled bool
 
-	// Sender.
-	iss, sndUna, sndNxt uint32
-	rtx                 rtxQueue
-	backlog             int64 // bytes the app still wants to send; <0 = unbounded
-	finQueued           bool
-	peerWnd             uint32
-	highestSacked       uint32
-	lastAckSeen         uint32
+	// Sender. The sndUna/sndNxt cursors live in the slab's per-connection
+	// columns (slab.go accessors).
+	iss           uint32
+	rtx           rtxQueue
+	backlog       int64 // bytes the app still wants to send; <0 = unbounded
+	finQueued     bool
+	peerWnd       uint32
+	highestSacked uint32
+	lastAckSeen   uint32
 
 	// RACK state (RFC 8985).
 	rackXmit   sim.Time
@@ -173,9 +188,17 @@ type Conn struct {
 	// Timer: a single retransmission timer that is either a TLP probe
 	// timer or an RTO, Linux-style. onTimerFn/paceFn are the callbacks,
 	// bound once at construction so (re)arming never allocates a closure.
+	//
+	// The armed loop timer is a lower bound, not the deadline itself: the
+	// deadline the connection actually wants lives in wantAt/wantTLP and is
+	// lazily revalidated when the timer fires (armTimer re-arms eagerly only
+	// when the wanted deadline moves EARLIER than the armed one). ACK-clock
+	// churn — every ACK pushing the RTO a little further out — therefore
+	// mutates two fields instead of a heap Stop+push pair.
 	timer       sim.Timer
 	onTimerFn   func()
-	timerIsTLP  bool
+	wantAt      sim.Time // deadline currently wanted; 0 = none (quiesced)
+	wantTLP     bool     // the wanted deadline is a TLP probe, not an RTO
 	backoff     uint
 	tlpInFlight bool
 
@@ -186,20 +209,29 @@ type Conn struct {
 	// lastTxAt anchors the TLP probe timer.
 	lastTxAt sim.Time
 
-	// Receiver.
-	irs      uint32
-	rcvNxt   uint32
-	ranges   []packet.SACKBlock // out-of-order received, sorted, disjoint
-	mruBlock []uint32           // recently updated range starts, MRU first
-	dsack    *packet.SACKBlock
-	peerTD   bool
-	peerTDNs int
+	// Receiver. The rcvNxt cursor lives in the slab (slab.go accessors).
+	irs        uint32
+	ranges     []packet.SACKBlock // out-of-order received, sorted, disjoint
+	mruBlock   []uint32           // recently updated range starts, MRU first
+	dsack      packet.SACKBlock   // pending D-SACK block (dsackValid set)
+	dsackValid bool
+	peerTD     bool
+	peerTDNs   int
 
-	// Epoch of the latest TDN notification applied (stale ones dropped).
-	// notifySeen distinguishes "no epoch yet" from epoch values near the
-	// uint32 wrap, where no sentinel exists.
-	notifyEpoch uint32
-	notifySeen  bool
+	// Scratch storage reused across the data path so steady-state operation
+	// allocates nothing: one outgoing segment (see the Out contract), the
+	// per-state delivery and RTO-touch tallies, and a retransmission-queue
+	// entry free list fed by popAcked.
+	outSeg     packet.Segment
+	delivered  []int
+	rtoTouched []bool
+	segFree    []*TxSeg
+	segChunk   []TxSeg
+
+	// notifySeen marks that at least one TDN notification was applied; the
+	// epoch of the latest one lives in the slab. It distinguishes "no epoch
+	// yet" from epoch values near the uint32 wrap, where no sentinel exists.
+	notifySeen bool
 
 	Stats Stats
 
@@ -247,17 +279,84 @@ func NewConn(loop *sim.Loop, cfg Config, out func(*packet.Segment)) *Conn {
 	if n < 1 {
 		n = 1
 	}
+	if cfg.Slab == nil {
+		cfg.Slab = NewSlab(1, n)
+	}
+	c.slab = cfg.Slab
+	c.idx = c.slab.allocConn()
+	c.pathBase = c.slab.allocPaths(n)
+	// One contiguous block backs all path states; the hot fields live in
+	// the slab columns at rows pathBase..pathBase+n-1.
+	arr := make([]PathState, n)
+	c.states = make([]*PathState, n)
 	for i := 0; i < n; i++ {
 		mk := cfg.CC
 		if i < len(cfg.CCPerState) && cfg.CCPerState[i] != nil {
 			mk = cfg.CCPerState[i]
 		}
-		st := &PathState{TDN: uint8(i), CC: mk(), RTO: cfg.InitialRTO}
-		c.states = append(c.states, st)
+		st := &arr[i]
+		st.TDN = uint8(i)
+		st.CC = mk()
+		st.slab = c.slab
+		st.idx = c.pathBase + int32(i)
+		c.slab.rto[st.idx] = cfg.InitialRTO
+		c.states[i] = st
 	}
+	c.delivered = make([]int, n)
+	c.rtoTouched = make([]bool, n)
+	c.mruBlock = make([]uint32, 0, maxMRU)
+	c.outSeg.TCP.SACK = make([]packet.SACKBlock, 0, 4)
+	c.rtx.segs = make([]*TxSeg, 0, 64)
+	c.segFree = make([]*TxSeg, 0, 64)
 	c.policy.Attach(c)
 	return c
 }
+
+// ReleaseSlab returns the connection's slab rows to the shared slab's free
+// lists. Call only when the connection is finished and will receive no
+// further events; the accessors index freed rows afterwards.
+func (c *Conn) ReleaseSlab() {
+	c.slab.releaseConn(c.idx)
+	c.slab.releasePaths(c.pathBase, len(c.states))
+}
+
+// getTxSeg returns a zeroed retransmission-queue entry, recycling one retired
+// by a cumulative ACK when available. Fresh entries are carved from
+// chunk-allocated blocks so the queue's working set sits in a handful of
+// contiguous arrays instead of one heap object per in-flight segment.
+//
+//lint:hotpath runs once per transmitted segment
+func (c *Conn) getTxSeg() *TxSeg {
+	if n := len(c.segFree); n > 0 {
+		s := c.segFree[n-1]
+		c.segFree[n-1] = nil
+		c.segFree = c.segFree[:n-1]
+		*s = TxSeg{}
+		return s
+	}
+	if len(c.segChunk) == 0 {
+		c.refillSegChunk()
+	}
+	s := &c.segChunk[0]
+	c.segChunk = c.segChunk[1:]
+	return s
+}
+
+// refillSegChunk restocks the TxSeg carving block, 64 entries at a time.
+// getTxSeg's amortized cold path, kept in its own non-inlined function so
+// the //lint:hotpath contract on getTxSeg holds (allocations are charged to
+// the callee); once the free list covers the flight size, it never runs.
+//
+//go:noinline
+func (c *Conn) refillSegChunk() {
+	c.segChunk = make([]TxSeg, 64)
+}
+
+// putTxSeg recycles a retransmission-queue entry the queue no longer
+// references. Callers must not touch the entry afterwards.
+//
+//lint:hotpath runs once per cumulatively acked segment
+func (c *Conn) putTxSeg(s *TxSeg) { c.segFree = append(c.segFree, s) }
 
 // SetTracer attaches a tracer and flow label to the connection and hooks
 // every path state's congestion-control instance so CC decisions surface as
@@ -297,9 +396,9 @@ func (c *Conn) emit(name string, tdn int, a, b float64, s string) {
 
 // emitCA reports a congestion-avoidance state transition on one path state.
 func (c *Conn) emitCA(st *PathState, from CAState) {
-	if c.Tracer.Enabled(trace.CatTCP) && from != st.CA {
+	if c.Tracer.Enabled(trace.CatTCP) && from != st.CA() {
 		c.Tracer.Emit(trace.CatTCP, int64(c.Loop.Now()), "ca_state",
-			c.FlowID, int(st.TDN), float64(from), float64(st.CA), st.CA.String())
+			c.FlowID, int(st.TDN), float64(from), float64(st.CA()), st.CA().String())
 	}
 }
 
@@ -325,7 +424,7 @@ func (c *Conn) endRecoverySpan(st *PathState, undo bool) {
 		b = 1.0
 	}
 	c.Tracer.EndSpan(trace.CatTCP, int64(c.Loop.Now()),
-		"recovery", c.FlowID, int(st.TDN), st.recSpan, float64(st.CA), b)
+		"recovery", c.FlowID, int(st.TDN), st.recSpan, float64(st.CA()), b)
 	st.recSpan = 0
 }
 
@@ -339,13 +438,13 @@ func (c *Conn) ActiveState() *PathState { return c.states[c.policy.Active()] }
 func (c *Conn) Config() Config { return c.cfg }
 
 // SndUna and SndNxt expose sender cursors (for policies and tests).
-func (c *Conn) SndUna() uint32 { return c.sndUna }
+func (c *Conn) SndUna() uint32 { return c.sndUna() }
 
 // SndNxt returns the next sequence number to be sent.
-func (c *Conn) SndNxt() uint32 { return c.sndNxt }
+func (c *Conn) SndNxt() uint32 { return c.sndNxt() }
 
 // RcvNxt returns the receiver's next expected sequence number.
-func (c *Conn) RcvNxt() uint32 { return c.rcvNxt }
+func (c *Conn) RcvNxt() uint32 { return c.rcvNxt() }
 
 // RelSeq translates an absolute data sequence number into a 0-based stream
 // offset (the SYN consumes one sequence number).
@@ -365,7 +464,7 @@ func (c *Conn) TDEnabled() bool { return c.tdEnabled }
 func (c *Conn) totalPacketsOut() int {
 	n := 0
 	for _, st := range c.states {
-		n += st.PacketsOut
+		n += st.PacketsOut()
 	}
 	return n
 }
@@ -386,7 +485,8 @@ func (c *Conn) Connect(bytes int64) {
 	}
 	c.backlog = bytes
 	c.iss = c.Loop.Rand().Uint32()
-	c.sndUna, c.sndNxt = c.iss, c.iss
+	c.setSndUna(c.iss)
+	c.setSndNxt(c.iss)
 	c.highestSacked = c.iss
 	c.state = stSynSent
 	c.sendSYN(false)
@@ -426,19 +526,19 @@ func (c *Conn) Notify(tdn int, epoch uint32) {
 	c.Stats.NotifiesRcvd++
 	if epoch != 0 {
 		if c.notifySeen {
-			if epoch == c.notifyEpoch {
+			if epoch == c.notifyEpoch() {
 				c.Stats.NotifiesDup++
 				c.emit("notify_dup", tdn, float64(epoch), 0, "")
 				return
 			}
-			if seqLT(epoch, c.notifyEpoch) {
+			if seqLT(epoch, c.notifyEpoch()) {
 				c.Stats.NotifiesStale++
-				c.emit("notify_stale", tdn, float64(epoch), float64(c.notifyEpoch), "")
+				c.emit("notify_stale", tdn, float64(epoch), float64(c.notifyEpoch()), "")
 				return
 			}
 		}
 		c.notifySeen = true
-		c.notifyEpoch = epoch
+		c.setNotifyEpoch(epoch)
 	}
 	c.policy.OnNotify(tdn, epoch)
 	// A path switch may have opened the window: try to transmit.
@@ -458,7 +558,7 @@ func (c *Conn) Kick() { c.trySend() }
 // the subflow it activates.
 func (c *Conn) KickRecovery() {
 	st := c.ActiveState()
-	if (st.CA != CARecovery && st.CA != CALoss) || st.InFlight() > 0 || st.LostOut == 0 {
+	if (st.CA() != CARecovery && st.CA() != CALoss) || st.InFlight() > 0 || st.LostOut() == 0 {
 		return
 	}
 	var victim *TxSeg
@@ -498,14 +598,23 @@ func (c *Conn) CircuitDown() {
 
 // --- segment construction ------------------------------------------------
 
+// newSegment resets the connection's scratch segment for the next
+// transmission. The returned pointer is handed to Out and reused afterwards
+// (the Out contract); the SACK backing array is preserved across resets so
+// fillSACK appends without allocating.
+//
+//lint:hotpath runs once per transmitted segment
 func (c *Conn) newSegment(flags uint8) *packet.Segment {
-	s := &packet.Segment{
+	s := &c.outSeg
+	sack := s.TCP.SACK[:0]
+	*s = packet.Segment{
 		Src: c.LocalAddr, Dst: c.RemoteAddr, TTL: 64, Proto: packet.ProtoTCP,
 		TCP: packet.TCPHeader{
 			SrcPort: c.LocalPort, DstPort: c.RemotePort,
 			Flags:  flags,
 			Window: uint32(c.rcvWindow()),
-			Ack:    c.rcvNxt,
+			Ack:    c.rcvNxt(),
+			SACK:   sack,
 		},
 	}
 	if c.cfg.ECN && flags&packet.FlagSYN == 0 {
@@ -539,13 +648,15 @@ func (c *Conn) sendSYN(ack bool) {
 		s.TCP.TDCapable = true
 		s.TCP.NumTDNs = uint8(c.cfg.NumTDNs)
 	}
-	if c.sndNxt == c.iss {
+	if c.sndNxt() == c.iss {
 		// First transmission: the SYN occupies one sequence number and,
 		// per Appendix A.2, is always tracked under TDN 0.
-		c.sndNxt = c.iss + 1
-		seg := &TxSeg{Seq: seq, Len: 1, TDN: 0, SentAt: c.Loop.Now(), FirstSentAt: c.Loop.Now()}
+		c.setSndNxt(c.iss + 1)
+		seg := c.getTxSeg()
+		seg.Seq, seg.Len, seg.TDN = seq, 1, 0
+		seg.SentAt, seg.FirstSentAt = c.Loop.Now(), c.Loop.Now()
 		c.rtx.push(seg)
-		c.states[0].PacketsOut++
+		c.states[0].AddPacketsOut(1)
 	}
 	c.Stats.SegsSent++
 	c.Out(s)
@@ -562,17 +673,17 @@ func (c *Conn) transmitSeg(seg *TxSeg, isRetrans bool) {
 		// The retransmission moves the segment to the current TDN: its
 		// pipe accounting follows (§4.3 "any TDN" scheduling, with the
 		// copy in flight belonging to the TDN that carries it).
-		st.PacketsOut--
+		st.AddPacketsOut(-1)
 		if seg.Lost {
-			st.LostOut--
+			st.AddLostOut(-1)
 			seg.Lost = false
 		}
 		if seg.Retrans {
-			st.RetransOut--
+			st.AddRetransOut(-1)
 		}
 		nst := c.states[dataTDN]
-		nst.PacketsOut++
-		nst.RetransOut++
+		nst.AddPacketsOut(1)
+		nst.AddRetransOut(1)
 		seg.Retrans = true
 		seg.EverRetrans = true
 		seg.Retransmits++
@@ -640,7 +751,7 @@ func (c *Conn) trySend() {
 	// "any TDN": logical OR over states).
 	anyLost := false
 	for _, st := range c.states {
-		if st.LostOut > 0 && (st.CA == CARecovery || st.CA == CALoss) {
+		if st.LostOut() > 0 && (st.CA() == CARecovery || st.CA() == CALoss) {
 			anyLost = true
 			break
 		}
@@ -685,7 +796,7 @@ func (c *Conn) sendNewSegment() bool {
 		c.maybeSendFIN()
 		return false
 	}
-	inFlightBytes := c.sndNxt - c.sndUna
+	inFlightBytes := c.sndNxt() - c.sndUna()
 	if c.peerWnd > 0 && inFlightBytes+uint32(c.cfg.MSS) > c.peerWnd {
 		if c.OnSendBlocked != nil {
 			c.OnSendBlocked("rwnd")
@@ -700,14 +811,16 @@ func (c *Conn) sendNewSegment() bool {
 		n = int(c.backlog)
 	}
 	now := c.Loop.Now()
-	seg := &TxSeg{Seq: c.sndNxt, Len: n, SentAt: now, FirstSentAt: now}
-	c.sndNxt += uint32(n)
+	seg := c.getTxSeg()
+	seg.Seq, seg.Len = c.sndNxt(), n
+	seg.SentAt, seg.FirstSentAt = now, now
+	c.setSndNxt(c.sndNxt() + uint32(n))
 	if c.backlog > 0 {
 		c.backlog -= int64(n)
 	}
 	c.rtx.push(seg)
 	st := c.states[c.policy.DataTDN()]
-	st.PacketsOut++
+	st.AddPacketsOut(1)
 	st.prrSpend()
 	c.transmitSeg(seg, false)
 	return true
@@ -718,10 +831,12 @@ func (c *Conn) maybeSendFIN() {
 		return
 	}
 	now := c.Loop.Now()
-	seg := &TxSeg{Seq: c.sndNxt, Len: 1, TDN: c.policy.DataTDN(), SentAt: now, FirstSentAt: now}
-	c.sndNxt++
+	seg := c.getTxSeg()
+	seg.Seq, seg.Len, seg.TDN = c.sndNxt(), 1, c.policy.DataTDN()
+	seg.SentAt, seg.FirstSentAt = now, now
+	c.setSndNxt(c.sndNxt() + 1)
 	c.rtx.push(seg)
-	c.states[seg.TDN].PacketsOut++
+	c.states[seg.TDN].AddPacketsOut(1)
 	s := c.newSegment(packet.FlagFIN | packet.FlagACK)
 	s.TCP.Seq = seg.Seq
 	c.attachTDOption(s, false)
@@ -748,8 +863,8 @@ func (c *Conn) paceGate() bool {
 		return false
 	}
 	st := c.ActiveState()
-	if st.SRTT > 0 && st.Cwnd() > 0 {
-		gap := sim.Dur(float64(st.SRTT) / (st.Cwnd() * c.cfg.Pacing))
+	if st.SRTT() > 0 && st.Cwnd() > 0 {
+		gap := sim.Dur(float64(st.SRTT()) / (st.Cwnd() * c.cfg.Pacing))
 		c.paceNext = now.Add(gap)
 	}
 	return true
@@ -768,16 +883,18 @@ func (c *Conn) paceGate() bool {
 func (c *Conn) armTimer() {
 	head := c.rtx.headSeg()
 	if head == nil {
-		c.timer.Stop()
+		// Quiesce lazily: any armed timer is left to fire as a no-op rather
+		// than churning the heap on every send/ack quiescence boundary.
+		c.wantAt = 0
 		return
 	}
 	// TLP arms while the active path is healthy and nothing is marked lost
 	// anywhere; a recovery on an inactive TDN must not suppress tail probes
 	// for the path that is actually carrying traffic.
 	act := c.ActiveState()
-	healthy := act.CA == CAOpen || act.CA == CADisorder
+	healthy := act.CA() == CAOpen || act.CA() == CADisorder
 	for _, st := range c.states {
-		if st.LostOut > 0 {
+		if st.LostOut() > 0 {
 			healthy = false
 			break
 		}
@@ -785,7 +902,7 @@ func (c *Conn) armTimer() {
 	useTLP := c.cfg.TLP && healthy && !c.tlpInFlight && c.state >= stEstablished
 	var deadline sim.Time
 	if useTLP {
-		srtt := c.ActiveState().SRTT
+		srtt := c.ActiveState().SRTT()
 		if srtt == 0 {
 			srtt = c.cfg.InitialRTO / 2
 		}
@@ -808,18 +925,33 @@ func (c *Conn) armTimer() {
 	if deadline <= c.Loop.Now() {
 		deadline = c.Loop.Now().Add(sim.Microsecond)
 	}
+	c.wantAt, c.wantTLP = deadline, useTLP
 	if c.timer.Active() {
-		if c.timerIsTLP == useTLP && c.timer.When() == deadline {
-			return // identical timer already armed
+		if c.timer.When() <= deadline {
+			// Lazy revalidation: the armed timer fires at or before the
+			// wanted deadline; onTimer pushes itself out to wantAt then.
+			return
 		}
+		// The deadline moved earlier than the armed timer (e.g. a TLP probe
+		// replacing a long RTO): firing late is not an option, so re-arm.
 		c.timer.Stop()
 	}
-	c.timerIsTLP = useTLP
 	c.timer = c.Loop.At(deadline, c.onTimerFn)
 }
 
+// onTimer validates the armed timer against the wanted deadline and either
+// re-arms (the deadline moved out or vanished since arming) or dispatches.
+//
+//lint:hotpath runs once per timer expiry, including lazy re-arms
 func (c *Conn) onTimer() {
-	if c.timerIsTLP {
+	if c.wantAt == 0 {
+		return // quiesced: nothing outstanding when the stale timer fired
+	}
+	if now := c.Loop.Now(); now < c.wantAt {
+		c.timer = c.Loop.At(c.wantAt, c.onTimerFn)
+		return
+	}
+	if c.wantTLP {
 		c.fireTLP()
 		return
 	}
@@ -866,14 +998,17 @@ func (c *Conn) fireRTO() {
 	// by TDN (not a map) so the Loss transitions below happen in state order
 	// — map iteration would make the event sequence, and thus any attached
 	// trace, nondeterministic across runs.
-	touched := make([]bool, len(c.states))
+	touched := c.rtoTouched
+	for i := range touched {
+		touched[i] = false
+	}
 	c.rtx.forEach(func(seg *TxSeg) bool {
 		if !seg.Sacked && !seg.Lost {
 			st := c.states[seg.TDN]
-			st.LostOut++
+			st.AddLostOut(1)
 			seg.Lost = true
 			if seg.Retrans {
-				st.RetransOut--
+				st.AddRetransOut(-1)
 				seg.Retrans = false
 			}
 			touched[seg.TDN] = true
@@ -885,10 +1020,10 @@ func (c *Conn) fireRTO() {
 			continue
 		}
 		st := c.states[tdn]
-		if st.CA != CALoss {
-			from := st.CA
-			st.CA = CALoss
-			st.RecoveryPoint = c.sndNxt
+		if st.CA() != CALoss {
+			from := st.CA()
+			st.SetCA(CALoss)
+			st.SetRecoveryPoint(c.sndNxt())
 			st.undoPossible = false
 			st.enterRecoveryPRR()
 			st.CC.OnRTO(now, st.InFlight())
@@ -918,7 +1053,7 @@ func (c *Conn) fireRTO() {
 func (c *Conn) String() string {
 	return fmt.Sprintf("conn(%s una=%d nxt=%d states=%d active=%d)",
 		[]string{"closed", "listen", "synsent", "synrcvd", "estab", "finwait", "closewait", "done"}[c.state],
-		c.sndUna-c.iss, c.sndNxt-c.iss, len(c.states), c.policy.Active())
+		c.sndUna()-c.iss, c.sndNxt()-c.iss, len(c.states), c.policy.Active())
 }
 
 // cwndOf is a test helper exposing a state's cwnd rounded down.

@@ -12,8 +12,8 @@ import "fmt"
 // attach trace context.
 func (c *Conn) CheckInvariants() error {
 	// Sender cursors.
-	if seqGT(c.sndUna, c.sndNxt) {
-		return fmt.Errorf("tcp: snd_una %d beyond snd_nxt %d", c.sndUna-c.iss, c.sndNxt-c.iss)
+	if seqGT(c.sndUna(), c.sndNxt()) {
+		return fmt.Errorf("tcp: snd_una %d beyond snd_nxt %d", c.sndUna()-c.iss, c.sndNxt()-c.iss)
 	}
 	if c.backoff > 16 {
 		return fmt.Errorf("tcp: rto backoff %d beyond saturation", c.backoff)
@@ -67,9 +67,9 @@ func (c *Conn) CheckInvariants() error {
 	c.rtx.forEach(func(seg *TxSeg) bool {
 		if seg.Sacked {
 			sackedBytes += int64(seg.Len)
-			if seqLT(seg.Seq, c.sndUna) || seqGT(seg.End(), c.sndNxt) {
+			if seqLT(seg.Seq, c.sndUna()) || seqGT(seg.End(), c.sndNxt()) {
 				walkErr = fmt.Errorf("tcp: SACKed segment [%d,%d) outside outstanding window [%d,%d)",
-					c.RelSeq(seg.Seq), c.RelSeq(seg.End()), c.sndUna-c.iss, c.sndNxt-c.iss)
+					c.RelSeq(seg.Seq), c.RelSeq(seg.End()), c.sndUna()-c.iss, c.sndNxt()-c.iss)
 				return false
 			}
 		}
@@ -78,30 +78,30 @@ func (c *Conn) CheckInvariants() error {
 	if walkErr != nil {
 		return walkErr
 	}
-	if outstanding := int64(seqDiff(c.sndNxt, c.sndUna)); sackedBytes > outstanding {
+	if outstanding := int64(seqDiff(c.sndNxt(), c.sndUna())); sackedBytes > outstanding {
 		return fmt.Errorf("tcp: SACK scoreboard covers %d bytes, only %d outstanding", sackedBytes, outstanding)
 	}
 	if head := c.rtx.headSeg(); head != nil {
-		if seqGT(head.Seq, c.sndUna) || seqLEQ(head.End(), c.sndUna) {
+		if seqGT(head.Seq, c.sndUna()) || seqLEQ(head.End(), c.sndUna()) {
 			return fmt.Errorf("tcp: snd_una %d outside head segment [%d,%d)",
-				c.sndUna-c.iss, c.RelSeq(head.Seq)+1, c.RelSeq(head.End())+1)
+				c.sndUna()-c.iss, c.RelSeq(head.Seq)+1, c.RelSeq(head.End())+1)
 		}
-		if tail := c.rtx.tailSeg(); tail.End() != c.sndNxt {
+		if tail := c.rtx.tailSeg(); tail.End() != c.sndNxt() {
 			return fmt.Errorf("tcp: tail segment ends at %d, snd_nxt at %d",
-				tail.End()-c.iss, c.sndNxt-c.iss)
+				tail.End()-c.iss, c.sndNxt()-c.iss)
 		}
-	} else if c.sndUna != c.sndNxt {
+	} else if c.sndUna() != c.sndNxt() {
 		return fmt.Errorf("tcp: empty rtx queue with snd_una %d != snd_nxt %d",
-			c.sndUna-c.iss, c.sndNxt-c.iss)
+			c.sndUna()-c.iss, c.sndNxt()-c.iss)
 	}
 	for tdn, st := range c.states {
-		if st.PacketsOut != packets[tdn] || st.SackedOut != sacked[tdn] ||
-			st.LostOut != lost[tdn] || st.RetransOut != retrans[tdn] {
+		if st.PacketsOut() != packets[tdn] || st.SackedOut() != sacked[tdn] ||
+			st.LostOut() != lost[tdn] || st.RetransOut() != retrans[tdn] {
 			return fmt.Errorf("tcp: TDN %d pipe counters out/sacked/lost/retrans = %d/%d/%d/%d, recount %d/%d/%d/%d",
-				tdn, st.PacketsOut, st.SackedOut, st.LostOut, st.RetransOut,
+				tdn, st.PacketsOut(), st.SackedOut(), st.LostOut(), st.RetransOut(),
 				packets[tdn], sacked[tdn], lost[tdn], retrans[tdn])
 		}
-		if st.PacketsOut < 0 || st.SackedOut < 0 || st.LostOut < 0 || st.RetransOut < 0 {
+		if st.PacketsOut() < 0 || st.SackedOut() < 0 || st.LostOut() < 0 || st.RetransOut() < 0 {
 			return fmt.Errorf("tcp: TDN %d negative pipe counter", tdn)
 		}
 	}
@@ -111,8 +111,8 @@ func (c *Conn) CheckInvariants() error {
 		if seqGEQ(r.Start, r.End) {
 			return fmt.Errorf("tcp: receiver range %d is empty [%d,%d)", i, r.Start, r.End)
 		}
-		if seqLEQ(r.Start, c.rcvNxt) {
-			return fmt.Errorf("tcp: receiver range %d starts at %d, at or below rcv_nxt %d", i, r.Start, c.rcvNxt)
+		if seqLEQ(r.Start, c.rcvNxt()) {
+			return fmt.Errorf("tcp: receiver range %d starts at %d, at or below rcv_nxt %d", i, r.Start, c.rcvNxt())
 		}
 		if i > 0 && seqLT(r.Start, c.ranges[i-1].End) {
 			return fmt.Errorf("tcp: receiver ranges %d and %d overlap or are unsorted", i-1, i)

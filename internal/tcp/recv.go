@@ -37,19 +37,21 @@ func (c *Conn) processData(s *packet.Segment) {
 
 	if h.PayloadLen > 0 {
 		switch {
-		case seqLEQ(end, c.rcvNxt):
+		case seqLEQ(end, c.rcvNxt()):
 			// Entirely old: a spurious retransmission. Report via D-SACK
 			// (RFC 2883) so the sender can undo.
 			c.Stats.DupSegsRcvd++
-			c.dsack = &packet.SACKBlock{Start: start, End: end}
+			c.dsack = packet.SACKBlock{Start: start, End: end}
+			c.dsackValid = true
 			c.Stats.DSACKsSent++
-		case seqLT(start, c.rcvNxt):
+		case seqLT(start, c.rcvNxt()):
 			// Partial overlap: trim the old part, deliver the rest.
-			c.acceptRange(c.rcvNxt, end)
+			c.acceptRange(c.rcvNxt(), end)
 		default:
 			if c.coveredByRanges(start, end) {
 				c.Stats.DupSegsRcvd++
-				c.dsack = &packet.SACKBlock{Start: start, End: end}
+				c.dsack = packet.SACKBlock{Start: start, End: end}
+				c.dsackValid = true
 				c.Stats.DSACKsSent++
 			} else {
 				c.acceptRange(start, end)
@@ -57,8 +59,8 @@ func (c *Conn) processData(s *packet.Segment) {
 		}
 	}
 
-	if fin && end == c.rcvNxt && len(c.ranges) == 0 {
-		c.rcvNxt++
+	if fin && end == c.rcvNxt() && len(c.ranges) == 0 {
+		c.setRcvNxt(c.rcvNxt() + 1)
 		if c.state == stEstablished {
 			c.state = stCloseWait
 		}
@@ -84,7 +86,7 @@ func (c *Conn) acceptRange(start, end uint32) {
 	if seqLEQ(end, start) {
 		return
 	}
-	if start == c.rcvNxt {
+	if start == c.rcvNxt() {
 		c.advanceDelivery(end)
 		return
 	}
@@ -95,16 +97,19 @@ func (c *Conn) acceptRange(start, end uint32) {
 // advanceDelivery moves rcvNxt to at least end, absorbing any now-contiguous
 // buffered ranges, and notifies the delivery observer.
 func (c *Conn) advanceDelivery(end uint32) {
-	prev := c.rcvNxt
-	c.rcvNxt = end
-	for len(c.ranges) > 0 && seqLEQ(c.ranges[0].Start, c.rcvNxt) {
-		if seqGT(c.ranges[0].End, c.rcvNxt) {
-			c.rcvNxt = c.ranges[0].End
+	prev := c.rcvNxt()
+	c.setRcvNxt(end)
+	for len(c.ranges) > 0 && seqLEQ(c.ranges[0].Start, c.rcvNxt()) {
+		if seqGT(c.ranges[0].End, c.rcvNxt()) {
+			c.setRcvNxt(c.ranges[0].End)
 		}
 		c.dropMRU(c.ranges[0].Start)
-		c.ranges = c.ranges[1:]
+		// Pop by shifting down, not by reslicing forward: c.ranges[1:]
+		// would permanently surrender a capacity slot, making every later
+		// insertRange reallocate once the backing array "walks" forward.
+		c.ranges = c.ranges[:copy(c.ranges, c.ranges[1:])]
 	}
-	c.Stats.BytesDelivered += int64(c.rcvNxt - prev)
+	c.Stats.BytesDelivered += int64(c.rcvNxt() - prev)
 	if c.OnDelivered != nil {
 		c.OnDelivered(c.Loop.Now(), c.Stats.BytesDelivered)
 	}
@@ -142,14 +147,21 @@ func (c *Conn) insertRange(start, end uint32) {
 	c.touchMRU(c.ranges[i].Start)
 }
 
-// touchMRU moves (or inserts) a range start key to the front of the
-// recency list.
+// maxMRU bounds the recency list feeding SACK generation; RFC 2018 reporting
+// never needs more than the handful of most recently updated ranges.
+const maxMRU = 8
+
+// touchMRU moves (or inserts) a range start key to the front of the recency
+// list, shifting in place within the preallocated backing array.
+//
+//lint:hotpath runs once per out-of-order segment
 func (c *Conn) touchMRU(start uint32) {
 	c.dropMRU(start)
-	c.mruBlock = append([]uint32{start}, c.mruBlock...)
-	if len(c.mruBlock) > 8 {
-		c.mruBlock = c.mruBlock[:8]
+	if len(c.mruBlock) < maxMRU {
+		c.mruBlock = c.mruBlock[:len(c.mruBlock)+1]
 	}
+	copy(c.mruBlock[1:], c.mruBlock)
+	c.mruBlock[0] = start
 }
 
 func (c *Conn) dropMRU(start uint32) {
@@ -166,9 +178,9 @@ func (c *Conn) dropMRU(start uint32) {
 func (c *Conn) fillSACK(h *packet.TCPHeader) {
 	max := c.maxSACKBlocks()
 	h.SACK = h.SACK[:0]
-	if c.dsack != nil {
-		h.SACK = append(h.SACK, *c.dsack)
-		c.dsack = nil
+	if c.dsackValid {
+		h.SACK = append(h.SACK, c.dsack)
+		c.dsackValid = false
 	}
 	for _, start := range c.mruBlock {
 		if len(h.SACK) >= max {
@@ -186,7 +198,7 @@ func (c *Conn) fillSACK(h *packet.TCPHeader) {
 // sendAck emits an immediate pure ACK reflecting the current receive state.
 func (c *Conn) sendAck(ece bool) {
 	s := c.newSegment(packet.FlagACK)
-	s.TCP.Seq = c.sndNxt
+	s.TCP.Seq = c.sndNxt()
 	if ece {
 		s.TCP.Flags |= packet.FlagECE
 	}

@@ -85,3 +85,31 @@ func (q *rtxQueue) forEach(fn func(*TxSeg) bool) {
 		}
 	}
 }
+
+// forRange iterates outstanding segments whose Seq lies in [start, end), in
+// sequence order, locating the first by binary search (the queue is always
+// Seq-sorted: segments are pushed in send order and never reordered). fn
+// returning false stops the walk. Sequence-space comparisons are safe as long
+// as the outstanding window is below 2^31 bytes, the usual TCP constraint.
+//
+//lint:hotpath runs once per SACK block per ACK
+func (q *rtxQueue) forRange(start, end uint32, fn func(*TxSeg) bool) {
+	lo, hi := q.head, len(q.segs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if seqLT(q.segs[mid].Seq, start) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for i := lo; i < len(q.segs); i++ {
+		s := q.segs[i]
+		if seqGEQ(s.Seq, end) {
+			return
+		}
+		if !fn(s) {
+			return
+		}
+	}
+}

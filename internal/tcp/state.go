@@ -59,27 +59,20 @@ func (s CAState) String() string {
 
 // PathState is the per-path ("per-TDN" in TDTCP) state bundle of §3.1: pipe
 // variables, congestion-control variables, and delay/RTT variables.
+//
+// The hot fields — the RFC 6298 RTT estimator (SRTT, RTTVar, RTO, Samples),
+// the congestion state machine (CA, RecoveryPoint, DupAcks), and the §4.3
+// pipe counters (PacketsOut, SackedOut, LostOut, RetransOut) — live in the
+// struct-of-arrays Slab, indexed by idx, and are reached through the accessor
+// methods in slab.go. PathState itself keeps only the identity, the
+// congestion-control instance (which owns cwnd/ssthresh), and the cold
+// recovery-episode bookkeeping.
 type PathState struct {
 	TDN uint8
 	CC  cc.Algorithm
 
-	// Delay/RTT variables (RFC 6298).
-	SRTT    sim.Dur
-	RTTVar  sim.Dur
-	RTO     sim.Dur
-	Samples int // RTT samples incorporated
-
-	// Congestion state machine.
-	CA            CAState
-	RecoveryPoint uint32 // snd_nxt when recovery/loss was entered
-	DupAcks       int
-
-	// Pipe variables (§4.3): counts of retransmission-queue segments
-	// currently tagged with this TDN.
-	PacketsOut int // unacked segments
-	SackedOut  int // of those, SACKed
-	LostOut    int // of those, marked lost
-	RetransOut int // of those, retransmitted and outstanding
+	slab *Slab
+	idx  int32
 
 	// Undo bookkeeping: retransmissions in the current recovery episode
 	// not yet proven spurious by D-SACKs.
@@ -112,7 +105,7 @@ type PathState struct {
 // PRR governs fast recovery only; after an RTO (CALoss) Linux repairs by
 // plain slow start from cwnd=1, and so do we.
 func (ps *PathState) updatePRR(deliveredNow int) {
-	if ps.CA != CARecovery {
+	if ps.CA() != CARecovery {
 		return
 	}
 	pipe := ps.InFlight()
@@ -142,7 +135,7 @@ func (ps *PathState) updatePRR(deliveredNow int) {
 
 // prrBudget returns the unspent portion of the current ACK's allowance.
 func (ps *PathState) prrBudget() int {
-	if ps.CA != CARecovery {
+	if ps.CA() != CARecovery {
 		return 1 << 30
 	}
 	return ps.prrAllowance
@@ -170,12 +163,15 @@ func (ps *PathState) enterRecoveryPRR() {
 
 // InFlight estimates the packets of this state currently in the network:
 // sent and neither SACKed nor presumed lost.
+//
+//lint:hotpath read on every ACK and send attempt
 func (ps *PathState) InFlight() int {
-	n := ps.PacketsOut - ps.SackedOut - ps.LostOut
+	s, i := ps.slab, ps.idx
+	n := s.packetsOut[i] - s.sackedOut[i] - s.lostOut[i]
 	if n < 0 {
 		n = 0
 	}
-	return n
+	return int(n)
 }
 
 // Cwnd returns the state's congestion window in packets.
@@ -183,29 +179,33 @@ func (ps *PathState) Cwnd() float64 { return ps.CC.Cwnd() }
 
 // ObserveRTT folds a fresh RTT sample into the estimator (RFC 6298) and
 // recomputes RTO within [minRTO, maxRTO].
+//
+//lint:hotpath runs once per accepted RTT sample
 func (ps *PathState) ObserveRTT(sample sim.Dur, minRTO, maxRTO sim.Dur) {
 	if sample <= 0 {
 		return
 	}
-	if ps.Samples == 0 {
-		ps.SRTT = sample
-		ps.RTTVar = sample / 2
+	s, i := ps.slab, ps.idx
+	if s.samples[i] == 0 {
+		s.srtt[i] = sample
+		s.rttvar[i] = sample / 2
 	} else {
-		diff := ps.SRTT - sample
+		diff := s.srtt[i] - sample
 		if diff < 0 {
 			diff = -diff
 		}
-		ps.RTTVar = (3*ps.RTTVar + diff) / 4
-		ps.SRTT = (7*ps.SRTT + sample) / 8
+		s.rttvar[i] = (3*s.rttvar[i] + diff) / 4
+		s.srtt[i] = (7*s.srtt[i] + sample) / 8
 	}
-	ps.Samples++
-	ps.RTO = ps.SRTT + 4*ps.RTTVar
-	if ps.RTO < minRTO {
-		ps.RTO = minRTO
+	s.samples[i]++
+	rto := s.srtt[i] + 4*s.rttvar[i]
+	if rto < minRTO {
+		rto = minRTO
 	}
-	if ps.RTO > maxRTO {
-		ps.RTO = maxRTO
+	if rto > maxRTO {
+		rto = maxRTO
 	}
+	s.rto[i] = rto
 }
 
 // Policy abstracts how a connection manages its path state(s). The
@@ -273,4 +273,4 @@ func (p *SinglePath) FilterLoss(seg *TxSeg, trigTDN uint8) bool { return false }
 func (p *SinglePath) RTTTarget(dataTDN, ackTDN uint8) (int, bool) { return 0, true }
 
 // SegmentRTO implements Policy.
-func (p *SinglePath) SegmentRTO(tdn uint8) sim.Dur { return p.c.states[0].RTO }
+func (p *SinglePath) SegmentRTO(tdn uint8) sim.Dur { return p.c.states[0].RTO() }
