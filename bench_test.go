@@ -225,6 +225,17 @@ func BenchmarkSimulatedWeekSteady(b *testing.B) { bench.SimulatedWeekSteady(b) }
 // allocs/op delta.
 func BenchmarkSimulatedWeekFlight(b *testing.B) { bench.SimulatedWeekFlight(b) }
 
+// BenchmarkSimulatedWeekSequential runs the 8-rack rotor TDTCP experiment
+// through the engine with a single worker — the baseline for the sharded
+// speedup ratio tracked in BENCH_simcore.json.
+func BenchmarkSimulatedWeekSequential(b *testing.B) { bench.SimulatedWeekSequential(b) }
+
+// BenchmarkSimulatedWeekSharded is the same experiment on four event-loop
+// workers. The parity suite proves its output byte-identical to the
+// sequential twin; this benchmark measures what the workers buy in wall
+// time (tdbench -gate holds the ratio >= 1.5x on machines with >= 4 cores).
+func BenchmarkSimulatedWeekSharded(b *testing.B) { bench.SimulatedWeekSharded(b) }
+
 // BenchmarkSimulatedWeekTraced is BenchmarkSimulatedWeek with a full-mask
 // JSONL tracer attached (writing to io.Discard), measuring the enabled-path
 // tracing overhead on the end-to-end experiment.

@@ -37,8 +37,8 @@ go test -race -coverprofile=artifacts/cover.out ./...
 go tool cover -func=artifacts/cover.out | tee artifacts/coverage.txt
 
 # Sweep gate: the parallel experiment runner must stay race-clean and
-# bit-identical to the sequential path (goroutines are legal only in
-# internal/experiments; the simulation core below it is single-threaded).
+# bit-identical to the sequential path (outside internal/sim's worker pool,
+# goroutines are legal only in internal/experiments).
 go test -race -run TestSweepParallelMatchesSequential ./internal/experiments/
 
 # Progress-reporter gate: the live meters are read by a wall-clock goroutine
@@ -50,6 +50,12 @@ go test -race -run 'TestMeterConcurrentReads|TestReporter' ./internal/obs/
 # goodput bands, the 8-rack determinism trace, the workload sweep parity
 # check, and the conservation property suite.
 go test -race -run 'TestGolden|TestConservation' ./internal/experiments/
+
+# Shard parity gate: the sharded engine must produce byte-identical traces
+# and reports at every worker count, and the worker pool itself must be
+# race-clean while doing it. This is the proof obligation for `-shards`:
+# if this passes, worker count is unobservable except in wall time.
+go test -race -run 'TestShardParity|TestShardPerRackLedger' ./internal/experiments/
 
 # Service-lifecycle gate: the serve package is the one place where goroutines,
 # wall clocks, and shared mutable job state meet, so its admission / retry /
@@ -78,3 +84,4 @@ go run ./cmd/tdbench -gate
 go test -fuzz=FuzzConnDeliver -fuzztime=5s ./internal/tcp/
 go test -fuzz=FuzzScheduleParse -fuzztime=5s ./internal/rdcn/
 go test -fuzz=FuzzFlowSizeCDF -fuzztime=5s ./internal/workload/
+go test -fuzz=FuzzShardLookahead -fuzztime=5s ./internal/sim/

@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"testing"
 
@@ -59,6 +60,11 @@ type File struct {
 	// value must be zero: benchmark numbers from a tree that fails its own
 	// static gates are not comparable.
 	LintFindings int `json:"lint_findings"`
+	// CPUs is runtime.NumCPU() at recording time. The sharded-speedup gate
+	// only binds when the recording machine had enough cores for the four
+	// engine workers to actually run in parallel; on a small box the ratio is
+	// still recorded, just not enforced.
+	CPUs int `json:"cpus,omitempty"`
 }
 
 var headline = []struct {
@@ -69,6 +75,8 @@ var headline = []struct {
 	{"SimulatedWeek", bench.SimulatedWeek},
 	{"SimulatedWeekSteady", bench.SimulatedWeekSteady},
 	{"SimulatedWeekFlight", bench.SimulatedWeekFlight},
+	{"SimulatedWeekSequential", bench.SimulatedWeekSequential},
+	{"SimulatedWeekSharded", bench.SimulatedWeekSharded},
 }
 
 func main() {
@@ -120,7 +128,7 @@ func main() {
 		}
 		return
 	}
-	f := File{Benchmarks: cur, LintFindings: nlint}
+	f := File{Benchmarks: cur, LintFindings: nlint, CPUs: runtime.NumCPU()}
 	if len(prev) > 0 {
 		f.Previous = prev
 	}
@@ -186,11 +194,20 @@ const (
 	// maxEvRegressPct fails the gate when the recorded SimulatedWeek
 	// events/sec dropped more than this vs the file's "previous" entry.
 	maxEvRegressPct = 20.0
+	// minShardSpeedup is the floor on SimulatedWeekSharded events/sec over
+	// SimulatedWeekSequential: four workers must buy at least 1.5x. Enforced
+	// only when the recording machine had >= minShardGateCPUs cores — below
+	// that the four workers time-share and the ratio measures contention, not
+	// the engine.
+	minShardSpeedup  = 1.5
+	minShardGateCPUs = 4
 )
 
 // checkGate applies the committed-file regression thresholds: SimulatedWeek
-// allocation ceiling, SimulatedWeek events/sec vs the previous record, and
-// the SimulatedWeekSteady zero-allocation claim (the hot path's contract).
+// allocation ceiling, SimulatedWeek events/sec vs the previous record, the
+// SimulatedWeekSteady zero-allocation claim (the hot path's contract), and —
+// when the recording machine had enough cores to mean anything — the
+// sharded-engine speedup floor over the sequential twin.
 func checkGate(path string) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -217,6 +234,19 @@ func checkGate(path string) error {
 		if drop > maxEvRegressPct {
 			return fmt.Errorf("SimulatedWeek events/sec dropped %.1f%% (%.0f -> %.0f), over the %.0f%% budget",
 				drop, prev.EventsPerSec, week.EventsPerSec, maxEvRegressPct)
+		}
+	}
+	seq, seqOK := f.Benchmarks["SimulatedWeekSequential"]
+	sharded, shOK := f.Benchmarks["SimulatedWeekSharded"]
+	if seqOK && shOK && seq.EventsPerSec > 0 {
+		ratio := sharded.EventsPerSec / seq.EventsPerSec
+		if f.CPUs >= minShardGateCPUs && ratio < minShardSpeedup {
+			return fmt.Errorf("SimulatedWeekSharded is only %.2fx SimulatedWeekSequential (%.0f vs %.0f events/sec) on a %d-core recording; the floor is %.1fx",
+				ratio, sharded.EventsPerSec, seq.EventsPerSec, f.CPUs, minShardSpeedup)
+		}
+		if sharded.AllocsPerOp > 4*seq.AllocsPerOp+1024 {
+			return fmt.Errorf("SimulatedWeekSharded allocs/op %d far exceeds sequential %d; the shard runtime is allocating per event",
+				sharded.AllocsPerOp, seq.AllocsPerOp)
 		}
 	}
 	if f.LintFindings != 0 {

@@ -9,6 +9,8 @@
 //	tdsim -run tdtcp -trace out.jsonl -metrics out.json
 //	                                # + JSONL event trace and metrics JSON
 //	tdsim -run tdtcp -progress      # live events/sec + sim/wall on stderr
+//	tdsim -run tdtcp -shards 4      # 4 event-loop worker lanes; traces and
+//	                                # results stay byte-identical to -shards 1
 //	tdsim -run tdtcp -deadline 5s   # wall-clock budget; cooperative cancel,
 //	                                # exit 3 (trace stays a valid prefix)
 //	tdsim -sweep tdtcp,cubic -seeds 4 -parallel 8 -progress
@@ -54,6 +56,7 @@ func main() {
 		quick  = flag.Bool("quick", false, "shrink runs for a fast smoke pass (-fig and -sweep; -run sizes via -warmup/-weeks)")
 		csvDir = flag.String("csv", "", "directory to write plottable CSV series into (-fig only)")
 
+		shards   = flag.Int("shards", 1, "event-loop worker lanes (-run/-sweep; >= 1; traces and results are byte-identical for every value)")
 		racks    = flag.Int("racks", 0, "rack count for the multi-rack figures (rotor, multirack; 0 = default 4)")
 		workload = flag.String("workload", "", "flow-size distribution for the workload figures (websearch, datamining)")
 
@@ -78,6 +81,10 @@ func main() {
 	)
 	flag.Parse()
 
+	if *shards < 1 {
+		fatal(fmt.Errorf("-shards %d: worker count must be >= 1", *shards))
+	}
+
 	switch {
 	case *sweepSpec != "":
 		w, m := *warmup, *weeks
@@ -91,7 +98,7 @@ func main() {
 			w, m = 1, 2
 		}
 		if err := runSweep(*sweepSpec, *seeds, *parallel, tdtcp.RunConfig{
-			Flows: *flows, WarmupWeeks: w, MeasureWeeks: m,
+			Flows: *flows, WarmupWeeks: w, MeasureWeeks: m, Shards: *shards,
 		}, *flightLen, *progress); err != nil {
 			fatal(err)
 		}
@@ -106,7 +113,7 @@ func main() {
 		cfg := tdtcp.RunConfig{
 			Variant: tdtcp.Variant(*runVar), Flows: *flows,
 			WarmupWeeks: w, MeasureWeeks: m, Seed: *seed,
-			Invariants: *invariants,
+			Invariants: *invariants, Shards: *shards,
 		}
 		if *faultSpec != "" {
 			plan, err := tdtcp.ParseFaultPlan(*faultSpec)

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -143,6 +145,62 @@ func TestBadWorkloadExitsNonZero(t *testing.T) {
 	}
 	if !strings.Contains(stderr, "nosuch") {
 		t.Errorf("stderr should name the unknown workload, got: %s", stderr)
+	}
+}
+
+// TestShardsFlagInvalidExits1 pins the -shards validation contract: a
+// non-positive worker count is a hard configuration error (exit 1, named on
+// stderr), for every mode.
+func TestShardsFlagInvalidExits1(t *testing.T) {
+	bin := buildBinary(t)
+	for _, n := range []string{"0", "-3"} {
+		stdout, stderr, code := runSim(t, bin,
+			"-run", "tdtcp", "-flows", "2", "-warmup", "1", "-weeks", "1", "-shards", n)
+		if code != 1 {
+			t.Fatalf("-shards %s: exit %d, want 1\nstdout: %s\nstderr: %s", n, code, stdout, stderr)
+		}
+		if !strings.Contains(stderr, "shards") {
+			t.Errorf("-shards %s: stderr should name the flag, got: %s", n, stderr)
+		}
+	}
+}
+
+// TestShardsFlagByteIdentical is the CLI face of the parity suite: the trace
+// and the stdout report from -shards 1 must be byte-identical to a run with
+// no -shards flag at all, and to a multi-worker run — the worker count is
+// configuration for the machine, never for the experiment.
+func TestShardsFlagByteIdentical(t *testing.T) {
+	bin := buildBinary(t)
+	dir := t.TempDir()
+	run := func(name string, extra ...string) (trace []byte, report string) {
+		t.Helper()
+		out := filepath.Join(dir, name+".jsonl")
+		args := append([]string{
+			"-run", "tdtcp", "-flows", "2", "-warmup", "1", "-weeks", "1",
+			"-trace", out}, extra...)
+		stdout, stderr, code := runSim(t, bin, args...)
+		if code != 0 {
+			t.Fatalf("%s: exit %d\nstderr: %s", name, code, stderr)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("%s: empty trace", name)
+		}
+		return data, stdout
+	}
+	baseTrace, baseReport := run("noflag")
+	for _, n := range []string{"1", "4"} {
+		tr, rep := run("shards"+n, "-shards", n)
+		if !bytes.Equal(tr, baseTrace) {
+			t.Errorf("-shards %s: trace diverges from the unflagged run (%d vs %d bytes)",
+				n, len(tr), len(baseTrace))
+		}
+		if rep != baseReport {
+			t.Errorf("-shards %s: report diverges:\n%s\nvs:\n%s", n, rep, baseReport)
+		}
 	}
 }
 

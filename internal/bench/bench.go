@@ -101,6 +101,42 @@ func SimulatedWeekSteady(b *testing.B) {
 	b.ReportMetric(float64(loop.Fired()-fired)/float64(b.N), "events/op")
 }
 
+// simulatedWeekEngine runs one warmup+measurement TDTCP experiment on the
+// 8-rack rotor fabric through experiments.Run at the given worker count.
+// The sharded and sequential variants below share this body, so their
+// events/sec ratio isolates exactly one variable: how many workers the
+// engine spreads the per-rack lanes across.
+func simulatedWeekEngine(b *testing.B, shards int) {
+	b.ReportAllocs()
+	var fired uint64
+	for i := 0; i < b.N; i++ {
+		m := trace.NewRegistry()
+		_, err := experiments.Run(experiments.RunConfig{
+			Variant: experiments.TDTCP, Scenario: experiments.MultiRack(8),
+			Flows: 16, WarmupWeeks: 1, MeasureWeeks: 1, Seed: int64(i + 1),
+			Shards: shards, Metrics: m,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fired += uint64(m.Counter("sim.events_fired"))
+	}
+	b.ReportMetric(float64(fired)/float64(b.N), "events/op")
+}
+
+// SimulatedWeekSequential is the single-worker twin of SimulatedWeekSharded:
+// the same 8-rack rotor experiment with every lane run inline on one
+// goroutine. Tracked so the sharded speedup is a ratio between two numbers
+// measured the same way on the same machine.
+func SimulatedWeekSequential(b *testing.B) { simulatedWeekEngine(b, 1) }
+
+// SimulatedWeekSharded runs the 8-rack rotor experiment on four event-loop
+// workers. Its output is byte-identical to SimulatedWeekSequential's (the
+// parity suite proves that); only the wall clock may differ, and on a
+// multi-core machine tdbench's gate holds the events/sec ratio above its
+// floor.
+func SimulatedWeekSharded(b *testing.B) { simulatedWeekEngine(b, 4) }
+
 // SimulatedWeekFlight is SimulatedWeek with the always-on flight recorder
 // attached, the default experiments.Run configuration: every instrumented
 // site records into the fixed ring through a flight-only tracer (no JSONL

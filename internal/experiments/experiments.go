@@ -90,6 +90,14 @@ type RunConfig struct {
 	// is the measurement window (default 10).
 	WarmupWeeks, MeasureWeeks int
 	Seed                      int64
+	// Shards is the worker count for the sharded engine (default 1). Every
+	// run partitions its event population by rack onto sim.ShardedLoop
+	// lanes; Shards only selects how many OS workers execute those lanes.
+	// Lane assignment, lookahead windows, and the canonical merge order are
+	// all shard-count-independent, so the observable trace is byte-identical
+	// for every value of Shards (the parity suite proves it). 1 runs the
+	// lanes inline with zero goroutines.
+	Shards int
 	// Notify is the TDN-change notification profile (default optimized).
 	Notify *rdcn.NotifyProfile
 	// SampleEvery is the series sampling cadence (default 5 µs).
@@ -179,6 +187,9 @@ func (cfg *RunConfig) fillDefaults() {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
 	if cfg.SampleEvery == 0 {
 		cfg.SampleEvery = 5 * sim.Microsecond
 	}
@@ -248,8 +259,16 @@ type Result struct {
 // recorder contents) is a valid prefix of the uncancelled run's output.
 var ErrCancelled = errors.New("run cancelled")
 
+// loopStats is the slice of the event-loop API the error and metrics paths
+// need; both *sim.Loop and *sim.ShardedLoop satisfy it.
+type loopStats interface {
+	Fired() uint64
+	Live() int
+	Now() sim.Time
+}
+
 // cancelledErr builds the wrapped cancellation error for one run.
-func cancelledErr(what string, loop *sim.Loop) error {
+func cancelledErr(what string, loop loopStats) error {
 	return fmt.Errorf("experiments: %s after %d events at %v: %w",
 		what, loop.Fired(), loop.Now(), ErrCancelled)
 }
@@ -317,15 +336,25 @@ func Run(cfg RunConfig) (*Result, error) {
 			panic(r)
 		}
 	}()
-	loop := sim.NewLoop(cfg.Seed)
-	cfg.Meter.Attach(loop)
-	if cfg.Stop != nil {
-		loop.SetStopCheck(cfg.StopEvery, cfg.Stop)
-	}
-
 	racks := cfg.Scenario.Racks
 	if racks == 0 {
 		racks = 2
+	}
+	// Every run executes on the sharded engine: one lane per rack plus the
+	// control lane, regardless of Shards. Shards only picks the worker
+	// count, which the engine guarantees is unobservable.
+	engine := sim.NewSharded(cfg.Seed, racks, cfg.Shards)
+	loop := engine.Control()
+	if cfg.Meter != nil {
+		// The meter is all-atomic, so every lane can feed it: attach to the
+		// control loop and each rack lane for true whole-run event counts.
+		cfg.Meter.Attach(loop)
+		for r := 0; r < racks; r++ {
+			cfg.Meter.Attach(engine.RackLoop(r))
+		}
+	}
+	if cfg.Stop != nil {
+		engine.SetStopCheck(cfg.StopEvery, cfg.Stop)
 	}
 	if racks > 2 {
 		switch cfg.Variant {
@@ -359,11 +388,14 @@ func Run(cfg RunConfig) (*Result, error) {
 	if cfg.Variant == ReTCPDyn {
 		ncfg.PreChange = &rdcn.PreChange{TDN: 1, Lead: 150 * sim.Microsecond, Cap: 50}
 	}
+	ncfg.Cluster = engine
 	net, err := rdcn.New(loop, ncfg)
 	if err != nil {
 		return nil, err
 	}
-	loop.SetTracer(tracer)
+	// Engine first: it creates the per-rack tracer forks that Network's
+	// SetTracer then hands to each rack's components.
+	engine.SetTracer(tracer)
 	net.SetTracer(tracer)
 	if m := cfg.Metrics; m != nil {
 		// Histogram handles resolve here, at setup; the hot-path Record is
@@ -396,12 +428,20 @@ func Run(cfg RunConfig) (*Result, error) {
 		chk.WatchNetwork(net)
 	}
 
-	if cfg.Flow.Slab == nil {
-		// One struct-of-arrays slab per run: every flow's hot state packs
-		// into the same dense columns (see tcp.Slab).
-		cfg.Flow.Slab = tcp.NewSlab(2*cfg.Flows, 4*cfg.Flows)
+	if cfg.Flow.Slab == nil && cfg.Flow.Slabs == nil {
+		// One struct-of-arrays slab per rack: a flow's hot state packs into
+		// its own lane's dense columns (see tcp.Slab), so no two lanes ever
+		// share a free list.
+		slabs := make([]*tcp.Slab, racks)
+		for r := range slabs {
+			slabs[r] = tcp.NewSlab(2*cfg.Flows, 4*cfg.Flows)
+		}
+		cfg.Flow.Slabs = slabs
 	}
 	flows := make([]*Flow, cfg.Flows)
+	// A flow's sender emits trace events from its rack's lane, so it must
+	// record through that lane's tracer fork (Rack.Tracer), never the shared
+	// parent.
 	if racks > 2 {
 		mn := newMuxNet(net)
 		for i := range flows {
@@ -411,7 +451,7 @@ func Run(cfg RunConfig) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			f.SetTracer(tracer, i)
+			f.SetTracer(net.Racks[src].Tracer(), i)
 			wireFlowHists(cfg.Metrics, f, len(cfg.Scenario.TDNs))
 			flows[i] = f
 		}
@@ -421,7 +461,7 @@ func Run(cfg RunConfig) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			f.SetTracer(tracer, i)
+			f.SetTracer(net.Racks[0].Tracer(), i)
 			wireFlowHists(cfg.Metrics, f, len(cfg.Scenario.TDNs))
 			flows[i] = f
 		}
@@ -483,20 +523,22 @@ func Run(cfg RunConfig) (*Result, error) {
 		f.Start(-1)
 	}
 
-	loop.RunUntil(measureStart)
+	engine.RunUntil(measureStart)
 	// Cancellation is surfaced only between RunUntil legs: no trace event is
 	// emitted after the last executed simulation event, so the cancelled
 	// run's trace stays a byte-identical prefix of the full run's.
-	if loop.Stopped() {
-		return nil, cancelledErr(fmt.Sprintf("%s on %s", cfg.Variant, cfg.Scenario.Name), loop)
+	if engine.Stopped() {
+		return nil, cancelledErr(fmt.Sprintf("%s on %s", cfg.Variant, cfg.Scenario.Name), engine)
 	}
 	baseline := delivered()
+	// Samplers live on the control lane: their reads of flow state are
+	// barrier-synchronized (control instants run with every worker parked).
 	seq := stats.NewSampler(loop, string(cfg.Variant), cfg.SampleEvery, end,
 		func() float64 { return delivered() - baseline })
 	voq := stats.NewSampler(loop, string(cfg.Variant), cfg.SampleEvery, end, voqLen)
-	loop.RunUntil(end)
-	if loop.Stopped() {
-		return nil, cancelledErr(fmt.Sprintf("%s on %s", cfg.Variant, cfg.Scenario.Name), loop)
+	engine.RunUntil(end)
+	if engine.Stopped() {
+		return nil, cancelledErr(fmt.Sprintf("%s on %s", cfg.Variant, cfg.Scenario.Name), engine)
 	}
 	for i, f := range flows {
 		tracer.EndSpan(trace.CatTCP, int64(loop.Now()), "flow", i, -1,
@@ -537,6 +579,7 @@ func Run(cfg RunConfig) (*Result, error) {
 	res.FramesSent, res.FramesDelivered, res.FramesMisrouted = net.FrameLedger()
 	if err := net.CheckConservation(); err != nil {
 		dumpFlight(os.Stderr, flight, fmt.Sprintf("conservation failure: %v", err))
+		dumpEngineFlights(os.Stderr, engine, fmt.Sprintf("conservation failure: %v", err))
 		return nil, fmt.Errorf("experiments: %s on %s: %w", cfg.Variant, cfg.Scenario.Name, err)
 	}
 	if inj != nil {
@@ -552,14 +595,23 @@ func Run(cfg RunConfig) (*Result, error) {
 	// labels for clarity.
 	res.Seq.Label = string(cfg.Variant)
 	res.VOQ.Label = string(cfg.Variant)
-	populateMetrics(cfg, res, loop, net, flows)
+	populateMetrics(cfg, res, engine, net, flows)
 	return res, nil
+}
+
+// dumpEngineFlights dumps every rack lane's private flight recorder (the
+// per-fork rings the sharded engine maintains alongside the shared one).
+func dumpEngineFlights(w io.Writer, engine *sim.ShardedLoop, reason string) {
+	for r := 0; r < engine.Racks(); r++ {
+		dumpFlight(w, engine.RackTracer(r).FlightRecorder(),
+			fmt.Sprintf("%s, rack %d lane", reason, r))
+	}
 }
 
 // populateMetrics fills cfg.Metrics (when set) with the run's counters and
 // gauges. Keys are stable, so Registry.WriteJSON output is byte-comparable
 // across runs of the same configuration.
-func populateMetrics(cfg RunConfig, res *Result, loop *sim.Loop, net *rdcn.Network, flows []*Flow) {
+func populateMetrics(cfg RunConfig, res *Result, loop loopStats, net *rdcn.Network, flows []*Flow) {
 	m := cfg.Metrics
 	if m == nil {
 		return

@@ -156,6 +156,21 @@ type FlowOptions struct {
 	// connection state; pass one slab to every BuildFlow of an experiment
 	// so the flows' columns pack densely (see tcp.Slab).
 	Slab *tcp.Slab
+	// Slabs, when non-empty, overrides Slab per rack: the connection endpoint
+	// living on rack r allocates from Slabs[r]. The sharded engine requires
+	// this for workloads whose flows complete at runtime — ReleaseSlab
+	// mutates the slab's free lists on the owning rack's lane, so lanes must
+	// not share one.
+	Slabs []*tcp.Slab
+}
+
+// slabFor resolves the slab for a connection endpoint on the given rack: the
+// per-rack Slabs entry when present, the shared Slab otherwise.
+func (opt *FlowOptions) slabFor(rack int) *tcp.Slab {
+	if rack < len(opt.Slabs) && opt.Slabs[rack] != nil {
+		return opt.Slabs[rack]
+	}
+	return opt.Slab
 }
 
 func ccFactoryFor(v Variant, opt FlowOptions) cc.Factory {
@@ -228,17 +243,21 @@ func singlePathConfigs(net *rdcn.Network, v Variant, opt FlowOptions) (sndCfg, r
 
 // BuildFlow wires one flow of the given variant between host i of rack 0
 // (sender) and host i of rack 1 (receiver), registering receive and
-// notification upcalls on both hosts.
+// notification upcalls on both hosts. Each endpoint's connection lives on
+// its own rack's loop (Rack.Loop; identical to the loop argument on a
+// classic single-loop network), so under the sharded engine a connection's
+// timers fire on the lane that owns its host.
 func BuildFlow(loop *sim.Loop, net *rdcn.Network, i int, v Variant, opt FlowOptions) (*Flow, error) {
 	if i < 0 || i >= net.Cfg.HostsPerRack {
 		return nil, fmt.Errorf("experiments: host index %d out of range", i)
 	}
 	h0, h1 := net.Racks[0].Hosts[i], net.Racks[1].Hosts[i]
+	l0, l1 := h0.Rack.Loop(), h1.Rack.Loop()
 	ntdns := len(net.Cfg.TDNs)
 	f := &Flow{Variant: v}
 
 	if v == MPTCP {
-		buildMPTCP(loop, f, h0, h1, ntdns, opt)
+		buildMPTCP(f, h0, h1, ntdns, opt)
 		return f, nil
 	}
 
@@ -246,10 +265,10 @@ func BuildFlow(loop *sim.Loop, net *rdcn.Network, i int, v Variant, opt FlowOpti
 	if err != nil {
 		return nil, err
 	}
-	sndCfg.Slab, rcvCfg.Slab = opt.Slab, opt.Slab
+	sndCfg.Slab, rcvCfg.Slab = opt.slabFor(0), opt.slabFor(1)
 
-	f.Snd = tcp.NewConn(loop, sndCfg, func(s *packet.Segment) { h0.Send(s) })
-	f.Rcv = tcp.NewConn(loop, rcvCfg, func(s *packet.Segment) { h1.Send(s) })
+	f.Snd = tcp.NewConn(l0, sndCfg, func(s *packet.Segment) { h0.Send(s) })
+	f.Rcv = tcp.NewConn(l1, rcvCfg, func(s *packet.Segment) { h1.Send(s) })
 	f.Snd.LocalAddr, f.Snd.RemoteAddr = h0.Addr, h1.Addr
 	f.Snd.LocalPort, f.Snd.RemotePort = 40000, 5000
 	f.Rcv.LocalAddr, f.Rcv.RemoteAddr = h1.Addr, h0.Addr
@@ -279,15 +298,17 @@ func BuildFlow(loop *sim.Loop, net *rdcn.Network, i int, v Variant, opt FlowOpti
 		// into the packet network. retcpdyn gets explicit advance signals.
 		downDelay := 2 * react
 		h0.NotifyTDN = func(tdn int, epoch uint32) {
+			// The notification fires on h0's rack lane, so the reaction
+			// timer is armed there too.
 			if tdn == 1 {
 				if react > 0 {
-					loop.After(react, func() { f.Snd.CircuitUp() })
+					l0.After(react, func() { f.Snd.CircuitUp() })
 				} else {
 					f.Snd.CircuitUp()
 				}
 			} else {
 				if downDelay > 0 {
-					loop.After(downDelay, func() { f.Snd.CircuitDown() })
+					l0.After(downDelay, func() { f.Snd.CircuitDown() })
 				} else {
 					f.Snd.CircuitDown()
 				}
@@ -357,7 +378,7 @@ func (g *subflowGate) flush() {
 	g.held = nil
 }
 
-func buildMPTCP(loop *sim.Loop, f *Flow, h0, h1 *rdcn.Host, ntdns int, opt FlowOptions) {
+func buildMPTCP(f *Flow, h0, h1 *rdcn.Host, ntdns int, opt FlowOptions) {
 	minRTO := opt.MinRTO
 	if minRTO == 0 {
 		// Stranded subflows must not melt down in RTO storms between their
@@ -365,9 +386,12 @@ func buildMPTCP(loop *sim.Loop, f *Flow, h0, h1 *rdcn.Host, ntdns int, opt FlowO
 		// optical weeks).
 		minRTO = 10 * sim.Millisecond
 	}
-	sub := tcp.Config{Slab: opt.Slab, CC: ccFactoryFor(MPTCP, opt), MinRTO: minRTO, MaxRTO: opt.MaxRTO,
+	sub := tcp.Config{CC: ccFactoryFor(MPTCP, opt), MinRTO: minRTO, MaxRTO: opt.MaxRTO,
 		Pacing: opt.Pacing, MSS: opt.MSS, RcvBuf: opt.RcvBuf}
-	mcfg := mptcp.Config{NumSubflows: ntdns, Sub: sub, ReinjectDelay: opt.ReinjectDelay, SendBuf: opt.MPTCPSendBuf}
+	sub0, sub1 := sub, sub
+	sub0.Slab, sub1.Slab = opt.slabFor(0), opt.slabFor(1)
+	mcfg0 := mptcp.Config{NumSubflows: ntdns, Sub: sub0, ReinjectDelay: opt.ReinjectDelay, SendBuf: opt.MPTCPSendBuf}
+	mcfg1 := mptcp.Config{NumSubflows: ntdns, Sub: sub1, ReinjectDelay: opt.ReinjectDelay, SendBuf: opt.MPTCPSendBuf}
 
 	cur0, cur1 := 0, 0
 	outs0 := make([]func(*packet.Segment), ntdns)
@@ -380,8 +404,8 @@ func buildMPTCP(loop *sim.Loop, f *Flow, h0, h1 *rdcn.Host, ntdns int, opt FlowO
 		outs0[k] = gates0[k].send
 		outs1[k] = gates1[k].send
 	}
-	f.MSnd = mptcp.New(loop, mcfg, outs0)
-	f.MRcv = mptcp.New(loop, mcfg, outs1)
+	f.MSnd = mptcp.New(h0.Rack.Loop(), mcfg0, outs0)
+	f.MRcv = mptcp.New(h1.Rack.Loop(), mcfg1, outs1)
 	for k := 0; k < ntdns; k++ {
 		s, r := f.MSnd.Subflows()[k], f.MRcv.Subflows()[k]
 		s.LocalAddr, s.RemoteAddr = h0.Addr, h1.Addr

@@ -116,11 +116,14 @@ func (mn *muxNet) BuildFlow(loop *sim.Loop, srcRack, srcHost, dstRack, dstHost i
 	if err != nil {
 		return nil, err
 	}
+	sndCfg.Slab, rcvCfg.Slab = opt.slabFor(srcRack), opt.slabFor(dstRack)
 	hs := mn.net.Racks[srcRack].Hosts[srcHost]
 	hr := mn.net.Racks[dstRack].Hosts[dstHost]
 	f := &Flow{Variant: v}
-	f.Snd = tcp.NewConn(loop, sndCfg, func(s *packet.Segment) { hs.Send(s) })
-	f.Rcv = tcp.NewConn(loop, rcvCfg, func(s *packet.Segment) { hr.Send(s) })
+	// Each endpoint lives on its own rack's lane so its timers, retransmits,
+	// and slab traffic stay shard-local under the sharded engine.
+	f.Snd = tcp.NewConn(hs.Rack.Loop(), sndCfg, func(s *packet.Segment) { hs.Send(s) })
+	f.Rcv = tcp.NewConn(hr.Rack.Loop(), rcvCfg, func(s *packet.Segment) { hr.Send(s) })
 	f.Snd.LocalAddr, f.Snd.RemoteAddr = hs.Addr, hr.Addr
 	f.Snd.LocalPort, f.Snd.RemotePort = port, port
 	f.Rcv.LocalAddr, f.Rcv.RemoteAddr = hr.Addr, hs.Addr
@@ -155,6 +158,9 @@ type WorkloadConfig struct {
 	// flows arriving inside the window.
 	WarmupWeeks, MeasureWeeks int
 	Seed                      int64
+	// Shards is the sharded engine's worker count (default 1); results and
+	// traces are byte-identical for every value (see RunConfig.Shards).
+	Shards int
 	// MaxFlows caps total arrivals so a mis-set load cannot spawn unbounded
 	// state (default 512).
 	MaxFlows int
@@ -219,6 +225,9 @@ func (cfg *WorkloadConfig) fillDefaults() {
 	if cfg.MaxFlows == 0 {
 		cfg.MaxFlows = 512
 	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
 	if cfg.SampleEvery == 0 {
 		cfg.SampleEvery = 5 * sim.Microsecond
 	}
@@ -258,15 +267,20 @@ type WorkloadResult struct {
 // and a size from cfg.Dist, all from the loop's seeded RNG, so runs are fully
 // deterministic. Frame conservation is checked at the horizon.
 func RunWorkload(cfg WorkloadConfig) (*WorkloadResult, error) {
-	if cfg.Flow.Slab == nil {
-		// One slab per workload run; completed flows' rows are not recycled
-		// (they are few and small), matching the retained result objects.
-		cfg.Flow.Slab = tcp.NewSlab(256, 512)
-	}
 	cfg.fillDefaults()
 	racks := cfg.Scenario.Racks
 	if racks == 0 {
 		racks = 2
+	}
+	if cfg.Flow.Slab == nil && cfg.Flow.Slabs == nil {
+		// One slab per rack per workload run, so each lane's connections pack
+		// into lane-private columns; completed flows' rows are not recycled
+		// (they are few and small), matching the retained result objects.
+		slabs := make([]*tcp.Slab, racks)
+		for r := range slabs {
+			slabs[r] = tcp.NewSlab(256, 512)
+		}
+		cfg.Flow.Slabs = slabs
 	}
 	switch cfg.Variant {
 	case TDTCP, Cubic, DCTCP, Reno:
@@ -286,10 +300,18 @@ func RunWorkload(cfg WorkloadConfig) (*WorkloadResult, error) {
 		}
 	}()
 
-	loop := sim.NewLoop(cfg.Seed)
-	cfg.Meter.Attach(loop)
+	// The sharded engine runs every workload (see RunConfig.Shards): one lane
+	// per rack plus the control lane, where the arrival process lives.
+	engine := sim.NewSharded(cfg.Seed, racks, cfg.Shards)
+	loop := engine.Control()
+	if cfg.Meter != nil {
+		cfg.Meter.Attach(loop)
+		for r := 0; r < racks; r++ {
+			cfg.Meter.Attach(engine.RackLoop(r))
+		}
+	}
 	if cfg.Stop != nil {
-		loop.SetStopCheck(cfg.StopEvery, cfg.Stop)
+		engine.SetStopCheck(cfg.StopEvery, cfg.Stop)
 	}
 	ncfg := rdcn.DefaultConfig()
 	ncfg.Racks = racks
@@ -303,11 +325,12 @@ func RunWorkload(cfg WorkloadConfig) (*WorkloadResult, error) {
 	if cfg.Notify != nil {
 		ncfg.Notify = *cfg.Notify
 	}
+	ncfg.Cluster = engine
 	net, err := rdcn.New(loop, ncfg)
 	if err != nil {
 		return nil, err
 	}
-	loop.SetTracer(tracer)
+	engine.SetTracer(tracer)
 	net.SetTracer(tracer)
 	if m := cfg.Metrics; m != nil {
 		net.NotifyLat = m.Hist("rdcn.notify_lat_ns")
@@ -334,6 +357,16 @@ func RunWorkload(cfg WorkloadConfig) (*WorkloadResult, error) {
 	var flows []*Flow
 	var buildErr error
 	nextPort := 1024
+	// Completions fire on the sender's rack lane, so each lane gets a private
+	// done-list (single writer); they are merged into the result in canonical
+	// (completion time, rack) order after the horizon. The FCT histogram and
+	// the meter are atomic and order-independent, so those record inline.
+	type doneRec struct {
+		size  int64
+		start sim.Time
+		done  sim.Time
+	}
+	perRack := make([][]doneRec, racks)
 	var spawn func()
 	spawn = func() {
 		if buildErr != nil || res.FlowsStarted >= cfg.MaxFlows || nextPort > 0xFFFF {
@@ -352,21 +385,23 @@ func RunWorkload(cfg WorkloadConfig) (*WorkloadResult, error) {
 			return
 		}
 		id := res.FlowsStarted
-		f.SetTracer(tracer, id)
+		rt := net.Racks[src].Tracer()
+		f.SetTracer(rt, id)
 		wireFlowHists(cfg.Metrics, f, len(cfg.Scenario.TDNs))
 		start := loop.Now()
 		res.FlowsStarted++
 		res.BytesOffered += size
 		cfg.Meter.FlowStarted()
 		// The flow's lifetime (arrival to FIN-ack) is a causal span; flows
-		// still open at the horizon leave theirs unclosed.
+		// still open at the horizon leave theirs unclosed. The span opens on
+		// the shared tracer (arrivals run at control instants) and closes on
+		// the sender lane's fork; the ids pair up regardless.
 		sp := tracer.BeginSpan(trace.CatTCP, int64(start), "flow", id, -1, 0)
 		f.Snd.OnDone = func(now sim.Time) {
-			res.FlowsCompleted++
 			cfg.Meter.FlowDone()
-			tracer.EndSpan(trace.CatTCP, int64(now), "flow", id, -1, sp, float64(size), 0)
+			rt.EndSpan(trace.CatTCP, int64(now), "flow", id, -1, sp, float64(size), 0)
+			perRack[src] = append(perRack[src], doneRec{size: size, start: start, done: now})
 			if start >= measureStart {
-				res.FCT.Record(size, start, now)
 				fctHist.Record(int64(now.Sub(start)))
 			}
 		}
@@ -392,25 +427,50 @@ func RunWorkload(cfg WorkloadConfig) (*WorkloadResult, error) {
 		return float64(n)
 	}
 
-	loop.RunUntil(measureStart)
-	if loop.Stopped() {
-		return nil, cancelledErr(fmt.Sprintf("workload %s on %s", cfg.Variant, cfg.Scenario.Name), loop)
+	engine.RunUntil(measureStart)
+	if engine.Stopped() {
+		return nil, cancelledErr(fmt.Sprintf("workload %s on %s", cfg.Variant, cfg.Scenario.Name), engine)
 	}
 	baseline := delivered()
 	voq := stats.NewSampler(loop, string(cfg.Variant), cfg.SampleEvery, end, voqLen)
-	loop.RunUntil(end)
-	if loop.Stopped() {
-		return nil, cancelledErr(fmt.Sprintf("workload %s on %s", cfg.Variant, cfg.Scenario.Name), loop)
+	engine.RunUntil(end)
+	if engine.Stopped() {
+		return nil, cancelledErr(fmt.Sprintf("workload %s on %s", cfg.Variant, cfg.Scenario.Name), engine)
 	}
 
 	if buildErr != nil {
 		return nil, buildErr
+	}
+	// Merge the per-lane done-lists (each already in lane execution order,
+	// hence nondecreasing completion time) in canonical (done, rack) order —
+	// the same order a sequential execution completes them in.
+	heads := make([]int, racks)
+	for {
+		best := -1
+		for r := 0; r < racks; r++ {
+			if heads[r] >= len(perRack[r]) {
+				continue
+			}
+			if best < 0 || perRack[r][heads[r]].done < perRack[best][heads[best]].done {
+				best = r
+			}
+		}
+		if best < 0 {
+			break
+		}
+		d := perRack[best][heads[best]]
+		heads[best]++
+		res.FlowsCompleted++
+		if d.start >= measureStart {
+			res.FCT.Record(d.size, d.start, d.done)
+		}
 	}
 	res.GoodputGbps = stats.ThroughputGbps(int64(delivered()-baseline), end.Sub(measureStart))
 	res.MeanVOQ = voq.Series.Mean()
 	res.FramesSent, res.FramesDelivered, res.FramesMisrouted = net.FrameLedger()
 	if err := net.CheckConservation(); err != nil {
 		dumpFlight(os.Stderr, flight, fmt.Sprintf("conservation failure: %v", err))
+		dumpEngineFlights(os.Stderr, engine, fmt.Sprintf("conservation failure: %v", err))
 		return nil, fmt.Errorf("experiments: workload run %s: %w", cfg.Scenario.Name, err)
 	}
 	res.Flight = flight
@@ -420,8 +480,8 @@ func RunWorkload(cfg WorkloadConfig) (*WorkloadResult, error) {
 		m.Add("workload.flows_started", int64(res.FlowsStarted))
 		m.Add("workload.flows_completed", int64(res.FlowsCompleted))
 		m.Add("workload.bytes_offered", res.BytesOffered)
-		m.Add("sim.events_fired", int64(loop.Fired()))
-		m.Set("sim.virtual_seconds", float64(loop.Now())/1e9)
+		m.Add("sim.events_fired", int64(engine.Fired()))
+		m.Set("sim.virtual_seconds", float64(engine.Now())/1e9)
 	}
 	return res, nil
 }

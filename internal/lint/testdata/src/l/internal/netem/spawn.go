@@ -1,0 +1,10 @@
+// Package netem proves the //lint:shardruntime directive is inert outside
+// internal/sim: a deterministic package cannot buy itself goroutines by
+// pasting the comment.
+package netem
+
+//lint:shardruntime (no effect: only internal/sim may host the shard runtime)
+
+func spawn(fn func()) {
+	go fn() // want "go statement in a deterministic package"
+}

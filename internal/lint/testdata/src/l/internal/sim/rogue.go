@@ -1,0 +1,9 @@
+package sim
+
+// The //lint:shardruntime carve-out is per-file: this sibling file of the
+// marked shard runtime does not carry the directive, so its ad-hoc goroutine
+// is still a finding.
+
+func rogue(fn func()) {
+	go fn() // want "go statement in a deterministic package"
+}

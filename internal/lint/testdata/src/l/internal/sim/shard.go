@@ -1,0 +1,38 @@
+// Package sim is the shard-runtime carve-out fixture: this file carries the
+// //lint:shardruntime directive, so its bounded worker pool is the one place
+// a deterministic package may spawn goroutines.
+package sim
+
+import "sync"
+
+//lint:shardruntime The worker pool below stands in for the sharded engine's
+// single concurrency seam: coordinator→worker handoff is a WaitGroup.Add
+// plus a channel send, so event order is fixed by the window algebra, not by
+// goroutine scheduling.
+
+// pool is a bounded worker pool in the marked file: allowed.
+type pool struct {
+	wg   sync.WaitGroup
+	work []chan int
+}
+
+func (p *pool) start(workers int) {
+	p.work = make([]chan int, workers)
+	for i := range p.work {
+		ch := make(chan int, 1)
+		p.work[i] = ch
+		go func() {
+			for range ch {
+				p.wg.Done()
+			}
+		}()
+	}
+}
+
+func (p *pool) dispatch(w int) {
+	p.wg.Add(len(p.work))
+	for _, ch := range p.work {
+		ch <- w
+	}
+	p.wg.Wait()
+}

@@ -636,6 +636,13 @@ type Drainer struct {
 	// timer (see delayLine) instead of one loop event per frame.
 	Coalesce bool
 
+	// Dock, when non-nil, replaces the propagation-delay stage entirely:
+	// the destination ToR lives on a different simulation lane (sharded
+	// engine), so finished frames are staged in the cross-shard dock
+	// instead of a same-loop timer. The dock carries the in-flight ledger
+	// for this stage (see Dock.InFlight).
+	Dock *Dock
+
 	busy bool
 
 	// Same state-machine shape as Pipe: one frame serializes at a time
@@ -696,6 +703,12 @@ func (d *Drainer) serialized() {
 	f := d.cur
 	d.cur = Frame{}
 	d.busy = false
+	if d.Dock != nil {
+		// Cross-shard: the dock owns the frame (and its ledger) from here.
+		d.Dock.Add(f, d.curDelay, d.curTDN)
+		d.Kick()
+		return
+	}
 	d.propagating++
 	if d.Coalesce {
 		if d.line.fireFn == nil {
@@ -739,9 +752,13 @@ func (d *Drainer) lineSink(batch []pending) {
 
 // InFlight reports every frame currently owned by the drainer: being
 // serialized or in the propagation-delay stage (queued frames belong to the
-// VOQ).
+// VOQ). With a cross-shard dock attached, the propagation stage's ledger
+// lives in the dock; call only at barriers then.
 func (d *Drainer) InFlight() int {
 	n := d.propagating
+	if d.Dock != nil {
+		n += d.Dock.InFlight()
+	}
 	if d.busy {
 		n++
 	}

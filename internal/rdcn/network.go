@@ -88,6 +88,16 @@ type Config struct {
 	Notify       NotifyProfile
 	PreChange    *PreChange // optional retcpdyn switch support
 
+	// Cluster, when non-nil, places the network on the sharded engine: rack
+	// r's entire data plane (host NIC pipe, VOQs, drainers, delivery) lives
+	// on Cluster.RackLoop(r), cross-rack propagation travels through
+	// per-(src,dst) docks applied at engine barriers, and the control plane
+	// runs on Cluster.Control() — which must be the loop passed to New. The
+	// engine's tracer (ShardedLoop.SetTracer) must be attached before
+	// Network.SetTracer so per-rack forks exist. nil keeps the classic
+	// single-loop wiring, byte for byte.
+	Cluster *sim.ShardedLoop
+
 	// DisableFramePool turns off wire-buffer recycling, making every frame
 	// a fresh allocation. The pooled and unpooled data planes must produce
 	// byte-identical traces (the golden-trace test enforces this); the knob
@@ -184,9 +194,9 @@ type Host struct {
 // fabric rate, not as an instantaneous impulse.
 func (h *Host) Send(seg *packet.Segment) {
 	seg.Src = h.Addr
-	net := h.Rack.net
-	net.framesIn++
-	h.Rack.uplink.Send(netem.NewFrameIn(net.Loop, net.pool, seg))
+	r := h.Rack
+	r.framesIn++
+	r.uplink.Send(netem.NewFrameIn(r.loop, r.pool, seg))
 }
 
 // NICQueueLen reports the shared ingress NIC backlog in frames.
@@ -198,14 +208,71 @@ func (r *Rack) Uplink() *netem.Pipe { return r.uplink }
 
 // Rack is a ToR switch plus its attached hosts. Each rack has one VOQ per
 // destination rack (or one per TDN with PinnedVOQs on a two-rack network).
+//
+// Everything below the hosts is owned by the rack's home lane: with a
+// Cluster the loop is the rack's ShardedLoop lane, the tracer is the lane's
+// fork, and the pool / ledger / notification scratch are touched only by
+// that lane (or by the control plane at barriers, with workers parked).
+// Without a Cluster every rack shares Network.Loop and the wiring is the
+// classic single-loop one.
 type Rack struct {
 	net   *Network
 	ID    int
 	Hosts []*Host
 
-	uplink   *netem.Pipe // shared host-side ingress NIC
+	loop     *sim.Loop     // the rack's home lane (Network.Loop when unsharded)
+	tracer   *trace.Tracer // the rack's trace sink (lane fork under Cluster)
+	uplink   *netem.Pipe   // shared host-side ingress NIC
 	voqs     []*netem.VOQ
 	drainers []*netem.Drainer
+
+	// pool recycles wire buffers for frames this rack's hosts send. Without
+	// a Cluster every rack aliases one shared network-wide pool, so releases
+	// anywhere restock sends anywhere. Under a Cluster each lane owns its own
+	// pool, and a frame consumed on another rack's lane has its buffer
+	// repatriated at the next barrier (returnWire/flushReturns) — released
+	// straight into the destination pool, the source pool would never see a
+	// put again and both pools would allocate forever. Buffer identity is
+	// trace-invisible (the pooled/unpooled golden A/B proves it), so the
+	// barrier-delayed exchange cannot change results. Nil when
+	// Config.DisableFramePool.
+	pool *netem.BufPool
+
+	// Barrier-return staging for foreign wire buffers: retBufs[src] holds
+	// buffers consumed on this lane whose home pool is rack src's. Touched
+	// only by this lane mid-window and by the coordinator at barriers.
+	retBufs    [][][]byte
+	retDirty   bool
+	retFlushFn func()
+
+	// Per-rack slice of the frame-conservation ledger: framesIn counts
+	// frames sent by this rack's hosts (source lane), delivered/misrouted
+	// count frames terminating at this rack (destination lane). Network's
+	// ledger methods sum them at barriers.
+	framesIn  uint64
+	delivered uint64
+	misrouted uint64
+
+	// Notification delivery scratch: deliveries fire on this rack's lane,
+	// so the parse segment and the cell free list are per-rack.
+	notifyParse packet.Segment
+	notifyFree  []*notifyCell
+}
+
+// Loop returns the rack's home lane: the loop every component owned by this
+// rack (hosts, VOQs, drainers, transport connections) must arm timers on.
+func (r *Rack) Loop() *sim.Loop { return r.loop }
+
+// Tracer returns the rack's trace sink: the lane's fork of the shared
+// tracer under a Cluster, the shared tracer itself otherwise (nil when
+// tracing is off).
+func (r *Rack) Tracer() *trace.Tracer { return r.tracer }
+
+// FrameLedger reports this rack's slice of the conservation ledger: frames
+// sent by its hosts, and frames delivered to / misrouted at its hosts.
+// Summed over racks it equals Network.FrameLedger; read at barriers only.
+func (r *Rack) FrameLedger() (sent, delivered, misrouted uint64) {
+	return r.framesIn, r.delivered, r.misrouted
 }
 
 // qIndex maps a destination rack to its compact VOQ index (the rack itself
@@ -250,18 +317,6 @@ type Network struct {
 	baseVOQ int
 	tracer  *trace.Tracer
 
-	// Frame conservation ledger: every data-plane frame a host sends is
-	// eventually delivered, misrouted, dropped by a VOQ, or dropped by a
-	// pipe fault — or is still in flight. CheckConservation audits the sum.
-	framesIn  uint64
-	delivered uint64
-	misrouted uint64
-	// pool recycles frame wire buffers across the whole data plane:
-	// Host.Send draws from it, and the frame's single terminal point —
-	// ingress overflow, pipe fault-drop, misroute, or delivery — returns
-	// the buffer. ICMP notifications stay unpooled (a dup fault shares one
-	// wire between two deliveries). Nil when Config.DisableFramePool.
-	pool *netem.BufPool
 	// OnTransition, if set, is called at the start of every day with the
 	// new TDN (after drainers are kicked, before notifications are sent).
 	OnTransition func(tdn int)
@@ -279,13 +334,12 @@ type Network struct {
 
 	// Notification fan-out scratch, reused across transitions so the
 	// steady-state control plane allocates nothing: one serialization
-	// segment, one parse segment for deliveries, a scratch wire per host
-	// (see notifyWire for the recycling-horizon argument), and a free list
-	// of delivery cells standing in for per-delivery closures.
+	// segment and a scratch wire per host (see notifyWire for the
+	// recycling-horizon argument). The delivery-side scratch — parse
+	// segment and cell free list — lives on each Rack, because deliveries
+	// fire on the destination rack's lane.
 	notifySeg   packet.Segment
-	notifyParse packet.Segment
 	notifyWires [][]byte
-	notifyFree  []*notifyCell
 
 	// transitionFn is the slot-boundary callback, bound once.
 	transitionFn func()
@@ -298,8 +352,13 @@ type Network struct {
 func (n *Network) SetTracer(t *trace.Tracer) {
 	n.tracer = t
 	for _, rack := range n.Racks {
+		rt := t
+		if c := n.Cfg.Cluster; c != nil && t != nil {
+			rt = c.RackTracer(rack.ID)
+		}
+		rack.tracer = rt
 		for k, v := range rack.voqs {
-			v.Tracer = t
+			v.Tracer = rt
 			if n.Cfg.PinnedVOQs {
 				v.TDN = k
 			} else {
@@ -350,10 +409,27 @@ func New(loop *sim.Loop, cfg Config) (*Network, error) {
 			return nil, err
 		}
 	}
-	n := &Network{Loop: loop, Cfg: cfg, baseVOQ: cfg.VOQCap}
-	if !cfg.DisableFramePool {
-		n.pool = &netem.BufPool{}
+	cluster := cfg.Cluster
+	if cluster != nil {
+		if cluster.Control() != loop {
+			return nil, fmt.Errorf("rdcn: Cluster is set but loop is not Cluster.Control()")
+		}
+		if cluster.Racks() != cfg.Racks {
+			return nil, fmt.Errorf("rdcn: Cluster has %d rack lanes but Config.Racks is %d", cluster.Racks(), cfg.Racks)
+		}
+		// Conservative lookahead: no frame crosses racks in less than the
+		// fastest TDN's propagation delay, so windows of that span are safe.
+		if len(cfg.TDNs) > 0 {
+			la := cfg.TDNs[0].Delay
+			for _, p := range cfg.TDNs[1:] {
+				if p.Delay < la {
+					la = p.Delay
+				}
+			}
+			cluster.SetLookahead(la)
+		}
 	}
+	n := &Network{Loop: loop, Cfg: cfg, baseVOQ: cfg.VOQCap}
 	if cfg.PinnedVOQs && cfg.Classifier == nil {
 		ntdns := len(cfg.TDNs)
 		n.Cfg.Classifier = func(wire []byte) int { return PortClassifier(wire, ntdns) }
@@ -363,10 +439,31 @@ func New(loop *sim.Loop, cfg Config) (*Network, error) {
 		nvoq = len(cfg.TDNs)
 	}
 	n.Racks = make([]*Rack, cfg.Racks)
+	// Unsharded, every rack shares one pool (releases anywhere restock sends
+	// anywhere, so gets and puts balance by construction); under a Cluster
+	// each lane owns a pool and the barrier return path keeps them balanced.
+	var sharedPool *netem.BufPool
+	if !cfg.DisableFramePool && cluster == nil {
+		sharedPool = &netem.BufPool{}
+	}
 	for r := 0; r < cfg.Racks; r++ {
-		rack := &Rack{net: n, ID: r}
+		rloop := loop
+		if cluster != nil {
+			rloop = cluster.RackLoop(r)
+		}
+		rack := &Rack{net: n, ID: r, loop: rloop}
+		if !cfg.DisableFramePool {
+			rack.pool = sharedPool
+			if cluster != nil {
+				rack.pool = &netem.BufPool{}
+			}
+		}
+		if cluster != nil {
+			rack.retBufs = make([][][]byte, cfg.Racks)
+			rack.retFlushFn = rack.flushReturns
+		}
 		for k := 0; k < nvoq; k++ {
-			voq := netem.NewVOQ(loop, cfg.VOQCap, cfg.MarkThresh)
+			voq := netem.NewVOQ(rloop, cfg.VOQCap, cfg.MarkThresh)
 			voq.Label = fmt.Sprintf("r%dq%d", rack.ID, k)
 			var pf netem.PathFunc
 			dst := rack.qDst(k)
@@ -374,7 +471,7 @@ func New(loop *sim.Loop, cfg Config) (*Network, error) {
 				dst = 1 - r // pinned VOQs exist only on two-rack networks
 				kk := k
 				pf = func() (netem.Path, bool) {
-					tdn, ok := n.dataPlaneTDN(n.Loop.Now())
+					tdn, ok := n.dataPlaneTDN(rloop.Now())
 					if !ok || tdn != kk {
 						return netem.Path{}, false
 					}
@@ -382,10 +479,10 @@ func New(loop *sim.Loop, cfg Config) (*Network, error) {
 					return netem.Path{Rate: p.Rate, Delay: p.Delay, TDN: kk}, true
 				}
 			} else {
-				pf = n.pathFunc(r, dst)
+				pf = n.pathFunc(rloop, r, dst)
 			}
 			d := &netem.Drainer{
-				Loop: loop,
+				Loop: rloop,
 				Q:    voq,
 				Path: pf,
 				Out:  func(f netem.Frame) { n.deliver(dst, f) },
@@ -394,15 +491,29 @@ func New(loop *sim.Loop, cfg Config) (*Network, error) {
 				d.Coalesce = true
 				d.OutBatch = func(fs []netem.Frame, tdn int) { n.deliverBatch(dst, fs, tdn) }
 			}
+			if cluster != nil {
+				// Every drainer here crosses racks (qDst skips self), so its
+				// propagation stage becomes a dock: staged on this lane,
+				// flushed at barriers, delivered on the destination lane. The
+				// dock's sinks route through deliverFrom so the consumed
+				// buffers come home to this rack's pool.
+				src, ddst := r, dst
+				dk := netem.NewDock(src, ddst, rloop, cluster.RackLoop(ddst), cluster.Defer)
+				dk.Out = func(f netem.Frame) { n.deliverFrom(src, ddst, f) }
+				if !cfg.DisableBatchDelivery {
+					dk.OutBatch = func(fs []netem.Frame, tdn int) { n.deliverBatchFrom(src, ddst, fs, tdn) }
+				}
+				d.Dock = dk
+			}
 			rack.voqs = append(rack.voqs, voq)
 			rack.drainers = append(rack.drainers, d)
 		}
 		rack.uplink = &netem.Pipe{
-			Loop:     loop,
+			Loop:     rloop,
 			Rate:     cfg.HostRate,
 			Delay:    cfg.HostDelay,
 			Out:      func(f netem.Frame) { rack.ingress(f) },
-			Pool:     n.pool,
+			Pool:     rack.pool,
 			Coalesce: !cfg.DisableBatchDelivery,
 		}
 		for h := 0; h < cfg.HostsPerRack; h++ {
@@ -430,10 +541,12 @@ func PortClassifier(wire []byte, ntdns int) int {
 // toward rack dst. On a two-rack network every scheduled TDN connects the pair
 // at its full rate (the paper's hybrid testbed). With more racks, TDN 0 is the
 // packet network fair-sharing the rack uplink across its Racks-1 VOQs, and an
-// optical TDN k serves only the rack pair of rotor matching k.
-func (n *Network) pathFunc(rackID, dst int) netem.PathFunc {
+// optical TDN k serves only the rack pair of rotor matching k. The schedule
+// is evaluated on the owning rack's clock (identical to Network.Loop when
+// unsharded).
+func (n *Network) pathFunc(rloop *sim.Loop, rackID, dst int) netem.PathFunc {
 	return func() (netem.Path, bool) {
-		tdn, ok := n.dataPlaneTDN(n.Loop.Now())
+		tdn, ok := n.dataPlaneTDN(rloop.Now())
 		if !ok {
 			return netem.Path{}, false
 		}
@@ -479,15 +592,15 @@ func (r *Rack) ingress(f netem.Frame) {
 	n := r.net
 	if n.Cfg.Racks > 2 {
 		if len(f.Wire) < 20 {
-			n.misrouted++
-			f.Release(n.pool)
+			r.misrouted++
+			f.Release(r.pool)
 			return
 		}
 		addr := binary.BigEndian.Uint32(f.Wire[16:20])
 		dst := int(addr >> 16 & 0xFF)
 		if addr>>24 != 0x0A || dst >= n.Cfg.Racks {
-			n.misrouted++
-			f.Release(n.pool)
+			r.misrouted++
+			f.Release(r.pool)
 			return
 		}
 		if dst == r.ID {
@@ -495,7 +608,7 @@ func (r *Rack) ingress(f netem.Frame) {
 			return
 		}
 		if !r.voqs[r.qIndex(dst)].Enqueue(f) {
-			f.Release(n.pool)
+			f.Release(r.pool)
 		}
 		return
 	}
@@ -504,7 +617,7 @@ func (r *Rack) ingress(f netem.Frame) {
 		idx = n.Cfg.Classifier(f.Wire) % len(r.voqs)
 	}
 	if !r.voqs[idx].Enqueue(f) {
-		f.Release(n.pool)
+		f.Release(r.pool)
 	}
 }
 
@@ -517,15 +630,15 @@ func (n *Network) deliver(dst int, f netem.Frame) {
 	rack := n.Racks[dst]
 	h := n.hostIn(rack, f)
 	if h == nil {
-		n.misrouted++
-		f.Release(n.pool) // misrouted; drop
+		rack.misrouted++
+		f.Release(rack.pool) // misrouted; drop
 		return
 	}
-	n.delivered++
+	rack.delivered++
 	if h.Recv != nil {
 		h.Recv(f)
 	}
-	f.Release(n.pool)
+	f.Release(rack.pool)
 }
 
 // hostIn resolves a frame's destination host within rack by its IPv4
@@ -555,8 +668,8 @@ func (n *Network) deliverBatch(dst int, fs []netem.Frame, tdn int) {
 	for i := 0; i < len(fs); {
 		h := n.hostIn(rack, fs[i])
 		if h == nil {
-			n.misrouted++
-			fs[i].Release(n.pool)
+			rack.misrouted++
+			fs[i].Release(rack.pool)
 			i++
 			continue
 		}
@@ -564,7 +677,7 @@ func (n *Network) deliverBatch(dst int, fs []netem.Frame, tdn int) {
 		for j < len(fs) && n.hostIn(rack, fs[j]) == h {
 			j++
 		}
-		n.delivered += uint64(j - i)
+		rack.delivered += uint64(j - i)
 		if h.RecvBatch != nil {
 			h.RecvBatch(fs[i:j], tdn)
 		} else if h.Recv != nil {
@@ -573,9 +686,102 @@ func (n *Network) deliverBatch(dst int, fs []netem.Frame, tdn int) {
 			}
 		}
 		for k := i; k < j; k++ {
-			fs[k].Release(n.pool)
+			fs[k].Release(rack.pool)
 		}
 		i = j
+	}
+}
+
+// deliverFrom is deliver for frames that crossed the fabric between lanes
+// (the dock sinks): identical delivery, but the consumed wire buffer is
+// repatriated to rack src's pool at the next barrier instead of joining the
+// destination pool — under per-lane pools a one-way release would grow the
+// destination's free list and force the source to carve fresh blocks
+// forever.
+//
+//lint:hotpath runs once per cross-lane delivered frame
+func (n *Network) deliverFrom(src, dst int, f netem.Frame) {
+	rack := n.Racks[dst]
+	h := n.hostIn(rack, f)
+	if h == nil {
+		rack.misrouted++
+		rack.returnWire(src, &f)
+		return
+	}
+	rack.delivered++
+	if h.Recv != nil {
+		h.Recv(f)
+	}
+	rack.returnWire(src, &f)
+}
+
+// deliverBatchFrom is deliverBatch with deliverFrom's buffer repatriation.
+//
+//lint:hotpath runs once per cross-lane (host, TDN) delivery batch
+func (n *Network) deliverBatchFrom(src, dst int, fs []netem.Frame, tdn int) {
+	rack := n.Racks[dst]
+	for i := 0; i < len(fs); {
+		h := n.hostIn(rack, fs[i])
+		if h == nil {
+			rack.misrouted++
+			rack.returnWire(src, &fs[i])
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(fs) && n.hostIn(rack, fs[j]) == h {
+			j++
+		}
+		rack.delivered += uint64(j - i)
+		if h.RecvBatch != nil {
+			h.RecvBatch(fs[i:j], tdn)
+		} else if h.Recv != nil {
+			for k := i; k < j; k++ {
+				h.Recv(fs[k])
+			}
+		}
+		for k := i; k < j; k++ {
+			rack.returnWire(src, &fs[k])
+		}
+		i = j
+	}
+}
+
+// returnWire stages a consumed frame's buffer for repatriation to rack src's
+// pool at the next barrier. Cluster wiring only (dock sinks); falls back to
+// a local release when pooling is off or the buffer is already home. Runs on
+// this rack's lane.
+//
+//lint:hotpath runs once per cross-lane consumed frame
+func (r *Rack) returnWire(src int, f *netem.Frame) {
+	home := r.net.Racks[src].pool
+	if home == nil || src == r.ID || cap(f.Wire) == 0 {
+		f.Release(r.pool)
+		return
+	}
+	if !r.retDirty {
+		r.net.Cfg.Cluster.DeferLane(r.ID, r.retFlushFn)
+		r.retDirty = true
+	}
+	r.retBufs[src] = append(r.retBufs[src], f.Wire)
+	f.Wire = nil
+}
+
+// flushReturns hands every staged foreign buffer back to its home rack's
+// pool, in source-rack order. Runs on the coordinator at a barrier with all
+// workers parked, registered through the engine's DeferLane once per window.
+func (r *Rack) flushReturns() {
+	r.retDirty = false
+	for src, bufs := range r.retBufs {
+		if len(bufs) == 0 {
+			continue
+		}
+		home := r.net.Racks[src].pool
+		for i, b := range bufs {
+			home.Put(b)
+			bufs[i] = nil
+		}
+		r.retBufs[src] = bufs[:0]
 	}
 }
 
@@ -810,37 +1016,45 @@ type notifyCell struct {
 // deliverNotify schedules one ICMP notification delivery d from now, closing
 // span sp at the delivery instant and exposing it as the implicit parent of
 // whatever the host does in response (the TDTCP cwnd swap parents onto it).
+// The delivery timer is armed on the destination host's rack lane; the
+// control plane runs at barriers with every lane clock synced, so "d from
+// now" means the same instant on every clock.
 func (n *Network) deliverNotify(h *Host, wire []byte, d sim.Dur, sp trace.SpanID) {
+	r := h.Rack
 	var c *notifyCell
-	if k := len(n.notifyFree); k > 0 {
-		c = n.notifyFree[k-1]
-		n.notifyFree[k-1] = nil
-		n.notifyFree = n.notifyFree[:k-1]
+	if k := len(r.notifyFree); k > 0 {
+		c = r.notifyFree[k-1]
+		r.notifyFree[k-1] = nil
+		r.notifyFree = r.notifyFree[:k-1]
 	} else {
 		c = &notifyCell{n: n}
 		c.fn = c.fire
 	}
 	c.h, c.wire, c.d, c.sp = h, wire, d, sp
-	n.Loop.After(d, c.fn)
+	r.loop.After(d, c.fn)
 }
 
-// fire parses and delivers one notification, then recycles the cell.
+// fire parses and delivers one notification, then recycles the cell. It runs
+// on the destination rack's lane, so all scratch and tracing go through the
+// rack (the span id pairs with the control plane's BeginSpan regardless of
+// which tracer closes it).
 //
 //lint:hotpath runs once per host per schedule transition
 func (c *notifyCell) fire() {
 	n, h, wire, d, sp := c.n, c.h, c.wire, c.d, c.sp
+	r := h.Rack
 	c.h, c.wire = nil, nil
-	n.notifyFree = append(n.notifyFree, c)
-	s := &n.notifyParse
+	r.notifyFree = append(r.notifyFree, c)
+	s := &r.notifyParse
 	if err := packet.Parse(wire, s); err != nil || h.NotifyTDN == nil {
 		return
 	}
-	now := n.Loop.Now()
-	n.tracer.EndSpan(trace.CatRDCN, int64(now), "notify", -1, int(s.ICMP.ActiveTDN), sp, float64(s.ICMP.Epoch), float64(d))
+	now := r.loop.Now()
+	r.tracer.EndSpan(trace.CatRDCN, int64(now), "notify", -1, int(s.ICMP.ActiveTDN), sp, float64(s.ICMP.Epoch), float64(d))
 	n.NotifyLat.Record(int64(d))
-	n.tracer.PushParent(sp)
+	r.tracer.PushParent(sp)
 	h.NotifyTDN(int(s.ICMP.ActiveTDN), s.ICMP.Epoch)
-	n.tracer.PopParent()
+	r.tracer.PopParent()
 }
 
 // ActiveTDN reports the TDN active right now (ok=false during a night).
@@ -881,15 +1095,23 @@ func (n *Network) CheckConservation() error {
 		}
 	}
 	inFlight := n.InFlightFrames()
-	if got := n.delivered + n.misrouted + voqDrops + faultDrops + inFlight; got != n.framesIn {
+	sent, delivered, misrouted := n.FrameLedger()
+	if got := delivered + misrouted + voqDrops + faultDrops + inFlight; got != sent {
 		return fmt.Errorf("rdcn: frame conservation violated: sent %d != delivered %d + misrouted %d + voq drops %d + fault drops %d + in flight %d",
-			n.framesIn, n.delivered, n.misrouted, voqDrops, faultDrops, inFlight)
+			sent, delivered, misrouted, voqDrops, faultDrops, inFlight)
 	}
 	return nil
 }
 
 // FrameLedger reports the cumulative conservation counters: frames sent by
-// hosts, delivered to a Recv hook, and dropped as misrouted.
+// hosts, delivered to a Recv hook, and dropped as misrouted — summed over
+// the per-rack ledgers (see Rack.FrameLedger). Barrier-only under a
+// Cluster.
 func (n *Network) FrameLedger() (sent, delivered, misrouted uint64) {
-	return n.framesIn, n.delivered, n.misrouted
+	for _, rack := range n.Racks {
+		sent += rack.framesIn
+		delivered += rack.delivered
+		misrouted += rack.misrouted
+	}
+	return sent, delivered, misrouted
 }

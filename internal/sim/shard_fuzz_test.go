@@ -1,0 +1,170 @@
+package sim_test
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/rdcn-net/tdtcp/internal/sim"
+	"github.com/rdcn-net/tdtcp/internal/trace"
+)
+
+// fuzzMsg is one cross-lane message in the fuzz harness's miniature dock.
+type fuzzMsg struct {
+	due sim.Time
+	val int64
+}
+
+// fuzzDock reimplements the netem dock's staging discipline against the raw
+// engine API, so the fuzzer exercises Defer/flush/arm directly: the source
+// lane stages messages due at least one lookahead in the future, the barrier
+// flush moves them onto the destination lane, and a stale due (already in
+// the destination's past) means a lane executed beyond its safe horizon.
+type fuzzDock struct {
+	t        *testing.T
+	e        *sim.ShardedLoop
+	src, dst int
+	stage    []fuzzMsg
+	flushFn  func()
+	onRecv   func(m fuzzMsg)
+}
+
+// add stages a message on the source lane (source lane only).
+func (d *fuzzDock) add(val int64, due sim.Time) {
+	if len(d.stage) == 0 {
+		d.e.Defer(d.src, d.dst, d.flushFn)
+	}
+	d.stage = append(d.stage, fuzzMsg{due: due, val: val})
+}
+
+// flush runs on the coordinator at a barrier. Every staged due must still be
+// ahead of the destination clock — the conservative-lookahead guarantee. A
+// violation here is exactly "some lane executed past its safe horizon".
+func (d *fuzzDock) flush() {
+	dst := d.e.RackLoop(d.dst)
+	for _, m := range d.stage {
+		if m.due < dst.Now() {
+			d.t.Errorf("lookahead violation: message %d->%d due %d arrives with dst clock already at %d",
+				d.src, d.dst, m.due, dst.Now())
+			continue
+		}
+		m := m
+		dst.At(m.due, func() { d.onRecv(m) })
+	}
+	d.stage = d.stage[:0]
+}
+
+// runFuzzEngine drives one synthetic scenario: a control lane ticking with
+// drifting periods (the schedule stand-in), per-rack event chains with
+// seeded random gaps, and ring cross-lane messages through fuzz docks. It
+// returns the merged JSONL trace.
+func runFuzzEngine(t *testing.T, seed int64, racks, shards int, look, period sim.Dur, end sim.Time) []byte {
+	var buf bytes.Buffer
+	e := sim.NewSharded(seed, racks, shards)
+	e.SetLookahead(look)
+	look = e.Lookahead() // after clamping
+	tr := trace.New(&buf, trace.CatAll)
+	e.SetTracer(tr)
+
+	docks := make([]*fuzzDock, racks)
+	for r := 0; r < racks; r++ {
+		r := r
+		dst := (r + 1) % racks
+		d := &fuzzDock{t: t, e: e, src: r, dst: dst}
+		d.flushFn = d.flush
+		dl := e.RackLoop(dst)
+		d.onRecv = func(m fuzzMsg) {
+			if now := dl.Now(); now != m.due {
+				t.Errorf("message %d->%d due %d fired at %d", r, dst, m.due, now)
+			}
+			dl.Tracer().Emit(trace.CatSim, int64(dl.Now()), "fuzz.recv", r, dst, float64(m.val), 0, "")
+			// Couple the message into the destination's dynamics, so a
+			// horizon or ordering bug changes its whole downstream schedule.
+			dl.After(sim.Dur(m.val%int64(look))+1, func() {})
+		}
+		docks[r] = d
+	}
+
+	for r := 0; r < racks; r++ {
+		r := r
+		rk := e.RackLoop(r)
+		n := int64(0)
+		var step func()
+		step = func() {
+			n++
+			rk.Tracer().Emit(trace.CatSim, int64(rk.Now()), "fuzz.step", r, 0, float64(n), 0, "")
+			if n%5 == 0 {
+				extra := sim.Dur(rk.Rand().Int63n(int64(look)))
+				docks[r].add(n, rk.Now().Add(look+extra))
+			}
+			rk.After(sim.Dur(rk.Rand().Int63n(int64(period)))+1, step)
+		}
+		rk.After(sim.Dur(r)+1, step)
+	}
+
+	// Control lane: drifting ticks. At every tick the engine has synced all
+	// lane clocks to the barrier instant; a lane ahead of the control clock
+	// would mean it executed past the barrier.
+	ctl := e.Control()
+	var tick func()
+	tick = func() {
+		now := ctl.Now()
+		for r := 0; r < racks; r++ {
+			if rn := e.RackLoop(r).Now(); rn != now {
+				t.Errorf("barrier at %d: rack %d clock %d (lane ran past its horizon or was not synced)", now, r, rn)
+			}
+		}
+		ctl.Tracer().Emit(trace.CatSim, int64(now), "fuzz.tick", -1, 0, 0, 0, "")
+		ctl.After(period+sim.Dur(ctl.Rand().Int63n(int64(period))), tick)
+	}
+	ctl.After(period, tick)
+
+	e.RunUntil(end)
+	if err := tr.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzShardLookahead fuzzes the lookahead/barrier computation over rack
+// counts, propagation delays (the lookahead), control cadences with drift,
+// and worker counts, asserting that no lane ever executes past its safe
+// horizon (stale cross-lane dues, desynced barrier clocks) and that the
+// merged event order is total: nondecreasing timestamps with a deterministic
+// tie order, proven by byte-identity against the single-worker execution.
+func FuzzShardLookahead(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(2), uint16(19), uint16(50))
+	f.Add(int64(7), uint8(8), uint8(4), uint16(19), uint16(200))
+	f.Add(int64(3), uint8(3), uint8(8), uint16(1), uint16(7))
+	f.Add(int64(42), uint8(5), uint8(3), uint16(100), uint16(13))
+	f.Fuzz(func(t *testing.T, seed int64, racks, shards uint8, lookUs, periodUs uint16) {
+		nr := 2 + int(racks%7)  // 2..8 racks
+		ns := 1 + int(shards%8) // 1..8 workers
+		look := sim.Dur(1+int(lookUs%100)) * sim.Microsecond
+		period := sim.Dur(1+int(periodUs%200)) * sim.Microsecond
+		end := sim.Time(40 * period)
+
+		seq := runFuzzEngine(t, seed, nr, 1, look, period, end)
+		got := runFuzzEngine(t, seed, nr, ns, look, period, end)
+		if len(seq) == 0 {
+			t.Fatal("no trace events")
+		}
+		if !bytes.Equal(seq, got) {
+			t.Fatalf("merge order not total: %d-worker trace diverges from sequential (%d vs %d bytes)",
+				ns, len(got), len(seq))
+		}
+		// The merged stream must be globally time-ordered: the engine merges
+		// window output in (time, key) order and control records sit exactly
+		// at barriers.
+		var ev trace.Event
+		last := int64(-1)
+		for _, line := range bytes.Split(bytes.TrimSpace(seq), []byte("\n")) {
+			if err := trace.ParseLine(line, &ev); err != nil {
+				t.Fatalf("bad trace line %q: %v", line, err)
+			}
+			if ev.TS < last {
+				t.Fatalf("merge order regressed: event at ts=%d after ts=%d", ev.TS, last)
+			}
+			last = ev.TS
+		}
+	})
+}

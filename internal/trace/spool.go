@@ -1,0 +1,60 @@
+package trace
+
+// Spool is a per-lane trace byte buffer used by the sharded simulation
+// engine (internal/sim's ShardedLoop). During a parallel window each rack
+// lane encodes its JSONL lines into its own Spool instead of the shared
+// output stream; at the window barrier the engine merges all lanes' chunks
+// by their (time, scheduling-key) marks — globally unique and totally
+// ordered — and splices the result into the parent tracer, reproducing the
+// exact byte order a purely sequential execution would have produced. See
+// DESIGN.md §14 for the full ordering argument.
+//
+// A Spool is single-writer: exactly one lane appends to it during a window,
+// and the engine reads it only at barriers, after the worker has parked.
+// Reset keeps capacity, so the steady state recycles the same backing
+// arrays and stays allocation-free.
+type Spool struct {
+	buf   []byte
+	marks []spoolMark
+}
+
+// spoolMark labels the bytes from off up to the next mark's offset with the
+// (at, key) of the event that emitted them.
+type spoolMark struct {
+	off int
+	at  int64
+	key uint64
+}
+
+// Mark begins a new chunk for the event with firing time at and scheduling
+// key key. A trailing mark whose event emitted no bytes is overwritten in
+// place, so the marks slice stays proportional to the number of emitting
+// events, not the number of executed ones.
+func (s *Spool) Mark(at int64, key uint64) {
+	if n := len(s.marks); n > 0 && s.marks[n-1].off == len(s.buf) {
+		s.marks[n-1] = spoolMark{off: len(s.buf), at: at, key: key}
+		return
+	}
+	s.marks = append(s.marks, spoolMark{off: len(s.buf), at: at, key: key})
+}
+
+// Chunks returns the number of marked chunks currently held. The trailing
+// chunk may be empty (its event emitted nothing).
+func (s *Spool) Chunks() int { return len(s.marks) }
+
+// Chunk returns the i-th chunk's ordering key and bytes. The byte slice
+// aliases the spool's buffer and is valid until the next Reset.
+func (s *Spool) Chunk(i int) (at int64, key uint64, b []byte) {
+	m := s.marks[i]
+	end := len(s.buf)
+	if i+1 < len(s.marks) {
+		end = s.marks[i+1].off
+	}
+	return m.at, m.key, s.buf[m.off:end]
+}
+
+// Reset empties the spool, keeping both backing arrays for reuse.
+func (s *Spool) Reset() {
+	s.buf = s.buf[:0]
+	s.marks = s.marks[:0]
+}
